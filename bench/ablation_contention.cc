@@ -1,0 +1,76 @@
+// Ablation A9 — what rack-level contention does to a measured host.
+//
+// Section 3.4: "simultaneous burst events to other hosts on the same rack
+// ... can consume shared switch memory and likely exacerbates a subset of
+// incast bursts." The fleet harness supports three contention models; this
+// ablation runs the same "aggregator" traces under each:
+//
+//   none      — the measured host owns the ToR buffer;
+//   modeled   — a Markov on/off process pins 50-90% of the shared pool
+//               ~10% of the time (the default used by the Figure 2-4
+//               benches; cheap);
+//   neighbor  — a second receiver on the rack runs the same service for
+//               real, competing for the pool packet by packet.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/fleet_experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace incast;
+  using namespace incast::sim::literals;
+
+  core::print_header("Ablation A9", "Rack-level contention models ('aggregator' traces)");
+  bench::print_scale_banner();
+
+  const int hosts = bench::by_scale(1, 3, 8);
+  const sim::Time trace = bench::by_scale(300_ms, 1_s, 2_s);
+
+  core::Table t{{"contention", "bursts", "drops", "retx-free bursts", "p99 retx%",
+                 "worst retx%", "unmarked bursts"}};
+
+  using Mode = core::FleetConfig::ContentionMode;
+  const struct {
+    Mode mode;
+    const char* name;
+  } modes[] = {{Mode::kNone, "none"}, {Mode::kModeled, "modeled"},
+               {Mode::kNeighbor, "neighbor"}};
+
+  for (const auto& m : modes) {
+    core::FleetConfig cfg;
+    cfg.profile = workload::service_by_name("aggregator");
+    cfg.num_hosts = hosts;
+    cfg.num_snapshots = 1;
+    cfg.trace_duration = trace;
+    cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+    cfg.tcp.rtt.min_rto = 200_ms;
+    cfg.contention_mode = m.mode;
+    core::FleetExperiment exp{cfg};
+
+    analysis::Cdf retx, marked;
+    std::int64_t drops = 0;
+    for (const auto& r : exp.run_all()) {
+      drops += r.queue_drops;
+      for (const auto& b : r.summary.bursts) {
+        retx.add(b.retx_fraction() * 100.0);
+        marked.add(b.marked_fraction() * 100.0);
+      }
+    }
+    t.add_row({m.name, std::to_string(retx.count()), std::to_string(drops),
+               core::fmt(100.0 * retx.fraction_below(0.01), 0) + "%",
+               core::fmt(retx.percentile(99), 2), core::fmt(retx.max(), 1),
+               core::fmt(100.0 * marked.fraction_below(0.5), 0) + "%"});
+  }
+  t.print();
+
+  std::printf("\nExpectation: without contention, only the largest incasts overrun the\n"
+              "Dynamic-Threshold self-limit. The modeled process — representing the\n"
+              "aggregate footprint of *all* the ToR's other ports — produces the\n"
+              "paper's rare-but-heavy loss tail. The single real neighbor barely\n"
+              "moves the needle: one more ~10%-utilized host rarely bursts at the\n"
+              "same instant, which is itself informative — rack-level contention is\n"
+              "a many-port phenomenon, not a two-host one (add more neighbors for a\n"
+              "first-principles version of the modeled curve).\n");
+  return 0;
+}

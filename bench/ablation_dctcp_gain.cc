@@ -1,0 +1,47 @@
+// Ablation A2 — DCTCP gain g.
+//
+// Section 5.1 floats "tune the CCA's parameters, such as g in DCTCP, to
+// react more quickly to congestion", calling it brittle. The sweep shows
+// why: larger g reacts faster (less queue under bursts) but estimates alpha
+// from fewer observations, producing oscillation; tiny g is smooth but
+// slow to adapt across burst boundaries. The paper's deployment uses
+// g = 1/16 (Equation 15 of the DCTCP paper).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/incast_experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace incast;
+  using namespace incast::sim::literals;
+
+  core::print_header("Ablation A2", "DCTCP gain g sweep (100-flow, 15 ms bursts)");
+  bench::print_scale_banner();
+  const int bursts = bench::by_scale(3, 6, 11);
+
+  core::Table t{{"g", "avg queue", "peak queue", "marked%", "drops", "avg BCT ms",
+                 "straggler cwnd (MSS)"}};
+  for (const double g : {1.0 / 256, 1.0 / 64, 1.0 / 16, 1.0 / 4, 1.0}) {
+    core::IncastExperimentConfig cfg;
+    cfg.num_flows = 100;
+    cfg.burst_duration = 15_ms;
+    cfg.num_bursts = bursts;
+    cfg.discard_bursts = 1;
+    cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+    cfg.tcp.cc_config.dctcp_gain = g;
+    cfg.tcp.rtt.min_rto = 200_ms;
+    cfg.seed = 23;
+    const auto r = core::run_incast_experiment(cfg);
+    char label[32];
+    std::snprintf(label, sizeof(label), "1/%.0f", 1.0 / g);
+    t.add_row({label, core::fmt(r.avg_queue_packets, 1), core::fmt(r.peak_queue_packets, 0),
+               core::fmt(r.marked_fraction() * 100, 0), std::to_string(r.queue_drops),
+               core::fmt(r.avg_bct_ms, 2), core::fmt(r.end_of_burst_cwnd_max_mss, 1)});
+  }
+  t.print();
+  std::printf("\nExpectation: no g value fixes incast — the root cause (hundreds of\n"
+              "flows at the 1-MSS floor) is insensitive to the gain, which is the\n"
+              "paper's argument that tuning g 'does not address the root cause'.\n");
+  return 0;
+}

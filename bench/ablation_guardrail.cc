@@ -1,0 +1,83 @@
+// Ablation A4 — the Section 5.1 guardrail proposal.
+//
+// "Hosts could predict the scale of congestion and adjust their rates
+// proactively" (Section 1) — and Section 5.1 suggests "simple guardrails
+// that prevent TCP from ramping up excessively during incast". We
+// implement exactly that: a FlowCountPredictor learns the service's
+// per-burst flow-count distribution (stable per Section 3.3), and each
+// sender caps its cwnd so the p99-predicted incast fits BDP + K. This
+// bench compares vanilla DCTCP against the guardrail across flow counts.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/incast_experiment.h"
+#include "core/predictor.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+core::IncastExperimentConfig config(int flows, std::optional<std::int64_t> cap,
+                                    int bursts) {
+  core::IncastExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.burst_duration = 15_ms;
+  cfg.num_bursts = bursts;
+  cfg.discard_bursts = 1;
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  cfg.tcp.cwnd_cap_bytes = cap;
+  cfg.seed = 37;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  core::print_header("Ablation A4", "Predictor-driven cwnd guardrail vs vanilla DCTCP");
+  bench::print_scale_banner();
+  const int bursts = bench::by_scale(3, 6, 11);
+
+  constexpr std::int64_t kBdp = 37'500;          // 10 Gbps x 30 us
+  constexpr std::int64_t kEcn = 65 * 1500;       // marking threshold in bytes
+  constexpr std::int64_t kMss = 1460;
+
+  core::Table t{{"flows", "variant", "cap (MSS)", "peak queue", "avg queue",
+                 "straggler cwnd", "drops", "avg BCT ms"}};
+  for (const int flows : {50, 100, 200}) {
+    // The predictor observes a history drawn around the true flow count,
+    // as a host would from past bursts of its service.
+    sim::Rng rng{static_cast<std::uint64_t>(flows)};
+    core::FlowCountPredictor predictor;
+    for (int i = 0; i < 300; ++i) {
+      predictor.observe(
+          static_cast<int>(rng.lognormal(std::log(static_cast<double>(flows)), 0.2)));
+    }
+    const std::int64_t cap =
+        core::suggest_cwnd_cap_bytes(predictor.predict_p99(), kBdp, kEcn, kMss);
+
+    const auto vanilla = core::run_incast_experiment(config(flows, std::nullopt, bursts));
+    const auto guarded = core::run_incast_experiment(config(flows, cap, bursts));
+
+    t.add_row({std::to_string(flows), "vanilla DCTCP", "-",
+               core::fmt(vanilla.peak_queue_packets, 0),
+               core::fmt(vanilla.avg_queue_packets, 0),
+               core::fmt(vanilla.end_of_burst_cwnd_max_mss, 1),
+               std::to_string(vanilla.queue_drops), core::fmt(vanilla.avg_bct_ms, 2)});
+    t.add_row({std::to_string(flows), "guardrail (p99 forecast)",
+               core::fmt(static_cast<double>(cap) / kMss, 1),
+               core::fmt(guarded.peak_queue_packets, 0),
+               core::fmt(guarded.avg_queue_packets, 0),
+               core::fmt(guarded.end_of_burst_cwnd_max_mss, 1),
+               std::to_string(guarded.queue_drops), core::fmt(guarded.avg_bct_ms, 2)});
+  }
+  t.print();
+  std::printf("\nExpectation: the guardrail removes the straggler ramp-up (end-of-burst\n"
+              "cwnd pinned at the cap) and with it the start-of-burst queue spike,\n"
+              "while completion times stay near optimal — TCP remains responsive\n"
+              "because only the ceiling, not the control law, changed.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation A7 — minimum RTO sensitivity in Mode 3.
+//
+// Mode 3's ~200 ms burst completion time is the Linux default min RTO, not
+// a law of nature: with windows at 1 MSS, fast retransmit cannot engage
+// (no three duplicate ACKs fit), so every loss costs one full RTO. This
+// sweep shows BCT tracking min_rto almost linearly — and why datacenter
+// operators tune min RTO down even though it does not fix the loss itself.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/incast_experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace incast;
+  using namespace incast::sim::literals;
+
+  core::print_header("Ablation A7", "min RTO sensitivity (Mode 3: 1500-flow, 15 ms bursts)");
+  bench::print_scale_banner();
+  const int bursts = bench::by_scale(3, 5, 11);
+
+  core::Table t{{"min RTO", "drops", "timeouts", "avg BCT ms", "max BCT ms"}};
+  for (const sim::Time min_rto : {1_ms, 5_ms, 20_ms, 50_ms, 200_ms}) {
+    core::IncastExperimentConfig cfg;
+    cfg.num_flows = 1500;
+    cfg.burst_duration = 15_ms;
+    cfg.num_bursts = bursts;
+    cfg.discard_bursts = 1;
+    cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+    cfg.tcp.rtt.min_rto = min_rto;
+    cfg.tcp.rtt.initial_rto = min_rto;
+    cfg.seed = 47;
+    const auto r = core::run_incast_experiment(cfg);
+    t.add_row({min_rto.to_string(), std::to_string(r.queue_drops),
+               std::to_string(r.timeouts), core::fmt(r.avg_bct_ms, 1),
+               core::fmt(r.max_bct_ms, 1)});
+  }
+  t.print();
+  std::printf("\nExpectation: losses are roughly constant (the overflow is structural),\n"
+              "but BCT collapses from ~200 ms toward the burst length as min RTO\n"
+              "shrinks — recovery latency, not loss volume, dominates Mode 3.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench accepts a scale via the INCAST_BENCH_SCALE environment
+// variable: "quick" (CI smoke), "default", or "full" (paper-scale host and
+// snapshot counts; minutes of CPU). Benches print which scale is active so
+// output files are self-describing.
+#ifndef INCAST_BENCH_BENCH_UTIL_H_
+#define INCAST_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace incast::bench {
+
+enum class Scale { kQuick, kDefault, kFull };
+
+inline Scale bench_scale() {
+  const char* env = std::getenv("INCAST_BENCH_SCALE");
+  if (env == nullptr) return Scale::kDefault;
+  if (std::strcmp(env, "quick") == 0) return Scale::kQuick;
+  if (std::strcmp(env, "full") == 0) return Scale::kFull;
+  return Scale::kDefault;
+}
+
+inline const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kQuick:
+      return "quick";
+    case Scale::kDefault:
+      return "default";
+    case Scale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+// Picks a value by scale.
+template <typename T>
+T by_scale(T quick, T normal, T full) {
+  switch (bench_scale()) {
+    case Scale::kQuick:
+      return quick;
+    case Scale::kDefault:
+      return normal;
+    case Scale::kFull:
+      return full;
+  }
+  return normal;
+}
+
+inline void print_scale_banner() {
+  std::printf("[scale: %s — set INCAST_BENCH_SCALE=quick|default|full]\n",
+              scale_name(bench_scale()));
+}
+
+}  // namespace incast::bench
+
+#endif  // INCAST_BENCH_BENCH_UTIL_H_

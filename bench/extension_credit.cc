@@ -1,0 +1,114 @@
+// Extension E4 — receiver-driven credit transport vs TCP under incast.
+//
+// Section 5 surveys "receiver-based" designs (ExpressPass, pHost, NDP,
+// Homa) that "address incast with thousands of flows, but necessitate
+// replacing TCP, a significant deployment hurdle". With a working credit
+// transport in the stack (rdt::), the benefit side of that trade can be
+// measured on the paper's own workload: because the receiver paces one
+// credit per segment at line rate, the incast *cannot* overflow the
+// bottleneck queue, at any flow count — the scaling wall that defines
+// DCTCP's Modes 2 and 3 simply does not exist.
+//
+// The costs are visible in the same table: ~1 RTT of RTS/grant signaling
+// per burst, a grant packet per segment of reverse bandwidth, and a wire
+// protocol that is not TCP.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/incast_experiment.h"
+#include "core/report.h"
+#include "net/topology.h"
+#include "rdt/credit_incast.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+struct Outcome {
+  double avg_bct_ms{0.0};
+  std::int64_t drops{0};
+  std::int64_t timeouts{0};       // TCP only
+  std::int64_t control_packets{0};  // rdt only: RTS + grants
+  double overhead_pct{0.0};         // control bytes / data bytes
+};
+
+Outcome run_tcp(int flows, int bursts) {
+  core::IncastExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.burst_duration = 15_ms;
+  cfg.num_bursts = bursts;
+  cfg.discard_bursts = 1;
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  cfg.max_sim_time = sim::Time::seconds(120);
+  cfg.seed = 7;
+  const auto r = core::run_incast_experiment(cfg);
+  return Outcome{r.avg_bct_ms, r.queue_drops, r.timeouts, 0, 0.0};
+}
+
+Outcome run_credit(int flows, int bursts) {
+  sim::Simulator sim;
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_senders = flows;
+  // Byte-buffered queues (2 MB), matching the paper's 2 MB per-port memory.
+  topo_cfg.switch_queue.capacity_packets = 1'000'000;
+  topo_cfg.switch_queue.capacity_bytes = 2'000'000;
+  topo_cfg.switch_queue.ecn_threshold_packets = 0;
+  net::Dumbbell topo{sim, topo_cfg};
+
+  rdt::CreditIncastDriver::Config cfg;
+  cfg.num_flows = flows;
+  cfg.num_bursts = bursts;
+  cfg.burst_duration = 15_ms;
+  rdt::CreditIncastDriver driver{sim, topo, cfg, 7};
+  driver.start();
+  sim.run_until(sim::Time::seconds(120));
+
+  Outcome out;
+  double bct = 0.0;
+  int n = 0;
+  for (const auto& b : driver.bursts()) {
+    if (b.index == 0) continue;
+    bct += b.completion_time().ms();
+    ++n;
+  }
+  out.avg_bct_ms = n > 0 ? bct / n : -1.0;
+  out.drops = topo.bottleneck_queue().stats().dropped_packets;
+  out.control_packets = driver.total_rts() + driver.receiver().grants_sent();
+  const double data_bytes =
+      static_cast<double>(driver.receiver().total_received_bytes());
+  out.overhead_pct =
+      100.0 * static_cast<double>(out.control_packets) * net::kHeaderBytes / data_bytes;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::print_header("Extension E4",
+                     "Receiver-driven credit transport vs DCTCP (15 ms bursts)");
+  bench::print_scale_banner();
+  const int bursts = bench::by_scale(2, 3, 11);
+
+  core::Table t{{"flows", "transport", "avg BCT ms", "drops", "timeouts",
+                 "control pkts", "signal overhead"}};
+  for (const int flows : {500, 1500, 5000}) {
+    const Outcome tcp = run_tcp(flows, bursts);
+    const Outcome rdt = run_credit(flows, bursts);
+    t.add_row({std::to_string(flows), "DCTCP", core::fmt(tcp.avg_bct_ms, 1),
+               std::to_string(tcp.drops), std::to_string(tcp.timeouts), "-", "-"});
+    t.add_row({std::to_string(flows), "credit (rdt)", core::fmt(rdt.avg_bct_ms, 1),
+               std::to_string(rdt.drops), "-", std::to_string(rdt.control_packets),
+               core::fmt(rdt.overhead_pct, 1) + "%"});
+  }
+  t.print();
+
+  std::printf("\nExpectation: DCTCP hits its wall (Mode 2's standing queue, then Mode\n"
+              "3's RTO-bound collapse past ~1300 flows). The credit transport is flat:\n"
+              "~15.5-18 ms at every flow count with zero loss, because the receiver\n"
+              "never credits more than its downlink can carry. The price is the\n"
+              "signaling column — and that it is not TCP, which is the paper's whole\n"
+              "deployment objection to this class.\n");
+  return 0;
+}

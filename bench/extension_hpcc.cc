@@ -1,0 +1,137 @@
+// Extension E3 — INT-based congestion control (HPCC-style) under incast.
+//
+// The paper lists INT-based techniques [HPCC, PowerTCP, Bolt, Poseidon]
+// among the approaches that "do consider hundreds or thousands of flows,
+// but are challenging to deploy due to their requirements for fine-grained
+// timestamping, endpoint stack modifications, or switch features". With
+// switch INT stamping and an HPCC-style sender in the stack, we can measure
+// what that switch support actually buys — and what it does not:
+//
+//   (a) single flow / steady incast: near-line-rate goodput with an almost
+//       empty queue, the precision INT pays for;
+//   (b) the paper's millisecond cyclic bursts: precision does not survive
+//       idle periods — burst-start windows are stale regardless of how
+//       good the telemetry was a burst ago, so high-degree cyclic incast
+//       still collapses. Scheduling (E2), not telemetry, is what removes
+//       structural overload.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/incast_experiment.h"
+#include "core/report.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "tcp/tcp_connection.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+tcp::TcpConfig tcp_config(tcp::CcAlgorithm algo) {
+  tcp::TcpConfig cfg;
+  cfg.cc = algo;
+  cfg.int_telemetry = algo == tcp::CcAlgorithm::kHpcc;
+  cfg.cc_config.initial_window_segments = algo == tcp::CcAlgorithm::kSwift ? 1 : 10;
+  cfg.rtt.min_rto = 200_ms;
+  return cfg;
+}
+
+struct SteadyOutcome {
+  double avg_queue{0.0};
+  std::int64_t drops{0};
+  double goodput_gbps{0.0};
+};
+
+SteadyOutcome run_steady(tcp::CcAlgorithm algo, int flows, sim::Time duration) {
+  sim::Simulator sim;
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_senders = flows;
+  net::Dumbbell topo{sim, topo_cfg};
+  const tcp::TcpConfig cfg = tcp_config(algo);
+
+  std::vector<std::unique_ptr<tcp::TcpConnection>> conns;
+  sim::Rng rng{7};
+  for (int i = 0; i < flows; ++i) {
+    conns.push_back(std::make_unique<tcp::TcpConnection>(
+        sim, topo.sender(i), topo.receiver(0), static_cast<net::FlowId>(i + 1), cfg));
+    tcp::TcpSender* s = &conns.back()->sender();
+    sim.schedule_in(rng.uniform_time(sim::Time::zero(), 10_ms),
+                    [s] { s->add_app_data(1'000'000'000); });
+  }
+
+  const sim::Time half = duration / 2.0;
+  sim.run_until(half);
+  const std::int64_t drops0 = topo.bottleneck_queue().stats().dropped_packets;
+  std::int64_t rcv0 = 0;
+  for (const auto& c : conns) rcv0 += c->receiver().rcv_nxt();
+
+  std::vector<std::int64_t> depths;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(half + (duration - half) * (static_cast<double>(i) / 100.0),
+                    [&] { depths.push_back(topo.bottleneck_queue().packets()); });
+  }
+  sim.run_until(duration);
+
+  SteadyOutcome out;
+  out.drops = topo.bottleneck_queue().stats().dropped_packets - drops0;
+  for (const auto d : depths) out.avg_queue += static_cast<double>(d);
+  out.avg_queue /= static_cast<double>(depths.size());
+  std::int64_t rcv1 = 0;
+  for (const auto& c : conns) rcv1 += c->receiver().rcv_nxt();
+  out.goodput_gbps = static_cast<double>(rcv1 - rcv0) * 8.0 / (duration - half).sec() / 1e9;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::print_header("Extension E3",
+                     "HPCC-style INT congestion control: what switch telemetry buys");
+  bench::print_scale_banner();
+  const sim::Time steady_len = bench::by_scale(300_ms, 600_ms, 2_s);
+
+  std::printf("\n(a) Sustained traffic (%s, second half measured)\n",
+              steady_len.to_string().c_str());
+  core::Table steady{{"flows", "cca", "avg queue (pkts)", "drops", "goodput (Gbps)"}};
+  for (const int flows : {1, 50, 500}) {
+    for (const auto algo : {tcp::CcAlgorithm::kDctcp, tcp::CcAlgorithm::kHpcc}) {
+      const auto o = run_steady(algo, flows, steady_len);
+      steady.add_row({std::to_string(flows), tcp::to_string(algo),
+                      core::fmt(o.avg_queue, 0), std::to_string(o.drops),
+                      core::fmt(o.goodput_gbps, 2)});
+    }
+  }
+  steady.print();
+  std::printf("HPCC's per-hop utilization signal holds the queue near empty at one\n"
+              "flow and bounded at hundreds, with zero loss — the INT payoff.\n");
+
+  std::printf("\n(b) The paper's cyclic bursts (15 ms)\n");
+  const int nbursts = bench::by_scale(3, 4, 11);
+  core::Table bursts{{"flows", "cca", "drops", "timeouts", "avg BCT ms"}};
+  for (const int flows : {100, 500}) {
+    for (const auto algo : {tcp::CcAlgorithm::kDctcp, tcp::CcAlgorithm::kHpcc}) {
+      core::IncastExperimentConfig cfg;
+      cfg.num_flows = flows;
+      cfg.burst_duration = 15_ms;
+      cfg.num_bursts = nbursts;
+      cfg.discard_bursts = 1;
+      cfg.tcp = tcp_config(algo);
+      cfg.max_sim_time = sim::Time::seconds(60);
+      cfg.seed = 7;
+      const auto r = core::run_incast_experiment(cfg);
+      bursts.add_row({std::to_string(flows), tcp::to_string(algo),
+                      std::to_string(r.queue_drops), std::to_string(r.timeouts),
+                      core::fmt(r.avg_bct_ms, 1)});
+    }
+  }
+  bursts.print();
+  std::printf("At Mode-1 scale HPCC stays lossless with a much smaller queue than\n"
+              "DCTCP (at a modest completion-time premium). At hundreds of flows the\n"
+              "cyclic pattern defeats it: burst-start windows are stale no matter how\n"
+              "precise last burst's telemetry was — supporting the paper's view that\n"
+              "better sender signals alone do not solve high-degree cyclic incast.\n");
+  return 0;
+}

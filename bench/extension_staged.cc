@@ -1,0 +1,109 @@
+// Extension E2 — staged incast scheduling (the Section 5.2 proposal).
+//
+// "Divide, or schedule, a large incast into a series of smaller incasts
+// where only a manageable number of flows are active at once. With fewer
+// flows, each would operate in a healthier CWND regime, both for TCP and
+// the receiving host."
+//
+// StagedIncastDriver admits at most G flows concurrently (a sliding
+// window, as a receiver-driven puller would). Aggregate demand and the
+// bottleneck are identical to the unstaged workload, so the ideal
+// completion time is unchanged; the question is purely how much loss and
+// recovery latency the schedule removes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "net/topology.h"
+#include "workload/cyclic_incast.h"
+#include "workload/staged_incast.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+tcp::TcpConfig tcp_config() {
+  tcp::TcpConfig cfg;
+  cfg.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.rtt.min_rto = 200_ms;
+  return cfg;
+}
+
+struct Outcome {
+  std::int64_t drops{0};
+  std::int64_t timeouts{0};
+  double avg_bct_ms{0.0};
+};
+
+template <typename Driver, typename Config>
+Outcome run(int flows, Config cfg, std::uint64_t seed) {
+  sim::Simulator sim;
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_senders = flows;
+  net::Dumbbell topo{sim, topo_cfg};
+  Driver driver{sim, topo, tcp_config(), cfg, seed};
+
+  // Frame the measurement after burst 0 (slow start), as everywhere else.
+  std::int64_t drops0 = 0;
+  std::int64_t timeouts0 = 0;
+  auto senders = driver.senders();
+  driver.start();
+  sim.run_until(sim::Time::seconds(120));
+
+  Outcome out;
+  const auto& bursts = driver.bursts();
+  double bct = 0.0;
+  int n = 0;
+  for (const auto& b : bursts) {
+    if (b.index == 0) continue;
+    bct += b.completion_time().ms();
+    ++n;
+  }
+  out.avg_bct_ms = n > 0 ? bct / n : -1.0;
+  out.drops = topo.bottleneck_queue().stats().dropped_packets - drops0;
+  for (const auto* s : senders) out.timeouts += s->stats().timeouts;
+  out.timeouts -= timeouts0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::print_header("Extension E2",
+                     "Staged incast scheduling vs all-at-once (15 ms bursts, DCTCP)");
+  bench::print_scale_banner();
+  const int nbursts = bench::by_scale(2, 3, 11);
+
+  core::Table t{{"flows", "schedule", "drops (all bursts)", "timeouts", "avg BCT ms",
+                 "vs ideal 15 ms"}};
+  for (const int flows : {500, 1500, 3000}) {
+    workload::CyclicIncastDriver::Config un;
+    un.num_flows = flows;
+    un.num_bursts = nbursts;
+    un.burst_duration = 15_ms;
+    const Outcome unstaged = run<workload::CyclicIncastDriver>(flows, un, 31);
+
+    workload::StagedIncastDriver::Config st;
+    st.num_flows = flows;
+    st.group_size = 60;  // below the degenerate point: 60 < K + BDP = 90
+    st.num_bursts = nbursts;
+    st.burst_duration = 15_ms;
+    const Outcome staged = run<workload::StagedIncastDriver>(flows, st, 31);
+
+    t.add_row({std::to_string(flows), "all-at-once", std::to_string(unstaged.drops),
+               std::to_string(unstaged.timeouts), core::fmt(unstaged.avg_bct_ms, 1),
+               core::fmt(unstaged.avg_bct_ms / 15.0, 1) + "x"});
+    t.add_row({std::to_string(flows), "staged (G=60)", std::to_string(staged.drops),
+               std::to_string(staged.timeouts), core::fmt(staged.avg_bct_ms, 1),
+               core::fmt(staged.avg_bct_ms / 15.0, 1) + "x"});
+  }
+  t.print();
+
+  std::printf("\nExpectation: aggregate demand and the bottleneck are identical, so\n"
+              "staging costs almost nothing in completion time — but it removes the\n"
+              "overflow entirely: each 60-flow stage runs in DCTCP's healthy Mode 1\n"
+              "regime. This is why the paper argues scheduling 'need only serve as\n"
+              "an enhancement rather than a replacement to TCP'.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Extension E1 — Swift-style delay-based control vs DCTCP (Section 5.2).
+//
+// The paper argues that Swift's pacing mode "enables O(10k) incast" but
+// "is useful only for long incasts": for 5000 flows Swift presents a
+// 20-second experiment, whereas production incast bursts complete in
+// milliseconds. With SwiftCc and sub-MSS pacing in the stack, both halves
+// of that argument can be measured:
+//
+//   (a) long sustained incast — Swift holds a tiny queue with zero loss
+//       at flow counts where window-based DCTCP is pinned at the
+//       degenerate point or overflowing;
+//   (b) millisecond bursts — Swift's infrequent probing has no time to
+//       converge, and completion times blow out versus DCTCP.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/incast_experiment.h"
+#include "core/report.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "tcp/tcp_connection.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+tcp::TcpConfig tcp_config(tcp::CcAlgorithm algo) {
+  tcp::TcpConfig cfg;
+  cfg.cc = algo;
+  cfg.cc_config.initial_window_segments = algo == tcp::CcAlgorithm::kSwift ? 1 : 10;
+  cfg.rtt.min_rto = 200_ms;
+  return cfg;
+}
+
+struct SteadyOutcome {
+  std::int64_t drops{0};
+  double avg_queue{0.0};
+  double goodput_gbps{0.0};
+};
+
+// Sustained incast: every flow has continuous demand; measure the second
+// half of the run (post-convergence).
+SteadyOutcome run_steady(tcp::CcAlgorithm algo, int flows, sim::Time duration) {
+  sim::Simulator sim;
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_senders = flows;
+  net::Dumbbell topo{sim, topo_cfg};
+  const tcp::TcpConfig cfg = tcp_config(algo);
+
+  std::vector<std::unique_ptr<tcp::TcpConnection>> conns;
+  sim::Rng rng{7};
+  for (int i = 0; i < flows; ++i) {
+    conns.push_back(std::make_unique<tcp::TcpConnection>(
+        sim, topo.sender(i), topo.receiver(0), static_cast<net::FlowId>(i + 1), cfg));
+    tcp::TcpSender* s = &conns.back()->sender();
+    sim.schedule_in(rng.uniform_time(sim::Time::zero(), 10_ms),
+                    [s] { s->add_app_data(1'000'000'000); });
+  }
+
+  const sim::Time half = duration / 2.0;
+  sim.run_until(half);
+  const std::int64_t drops0 = topo.bottleneck_queue().stats().dropped_packets;
+  std::int64_t rcv0 = 0;
+  for (const auto& c : conns) rcv0 += c->receiver().rcv_nxt();
+
+  std::vector<std::int64_t> depths;
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_at(half + (duration - half) * (static_cast<double>(i) / 200.0),
+                    [&] { depths.push_back(topo.bottleneck_queue().packets()); });
+  }
+  sim.run_until(duration);
+
+  SteadyOutcome out;
+  out.drops = topo.bottleneck_queue().stats().dropped_packets - drops0;
+  for (const auto d : depths) out.avg_queue += static_cast<double>(d);
+  out.avg_queue /= static_cast<double>(depths.size());
+  std::int64_t rcv1 = 0;
+  for (const auto& c : conns) rcv1 += c->receiver().rcv_nxt();
+  out.goodput_gbps = static_cast<double>(rcv1 - rcv0) * 8.0 / (duration - half).sec() / 1e9;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::print_header("Extension E1", "Swift (delay-based, paced) vs DCTCP under incast");
+  bench::print_scale_banner();
+  const sim::Time steady_len = bench::by_scale(400_ms, 1_s, 2_s);
+  const std::vector<int> steady_flows =
+      bench::by_scale(std::vector<int>{500}, std::vector<int>{500, 2000},
+                      std::vector<int>{500, 2000, 5000});
+
+  std::printf("\n(a) Sustained incast (%s, second half measured)\n",
+              steady_len.to_string().c_str());
+  core::Table steady{{"flows", "cca", "avg queue (pkts)", "drops", "goodput (Gbps)"}};
+  for (const int flows : steady_flows) {
+    for (const auto algo : {tcp::CcAlgorithm::kDctcp, tcp::CcAlgorithm::kSwift}) {
+      const auto o = run_steady(algo, flows, steady_len);
+      steady.add_row({std::to_string(flows), tcp::to_string(algo),
+                      core::fmt(o.avg_queue, 0), std::to_string(o.drops),
+                      core::fmt(o.goodput_gbps, 2)});
+    }
+  }
+  steady.print();
+  std::printf("Expectation: Swift's sub-MSS pacing keeps the queue near its delay\n"
+              "target with zero loss even at thousands of flows; DCTCP's 1-MSS floor\n"
+              "pins the queue at (flows - BDP) and overflows past ~1300 flows.\n");
+
+  std::printf("\n(b) Millisecond bursts (15 ms, paper Section 4 workload)\n");
+  core::Table bursts{{"flows", "cca", "drops", "timeouts", "avg BCT ms"}};
+  const int nbursts = bench::by_scale(3, 4, 11);
+  for (const int flows : {500, 1500}) {
+    for (const auto algo : {tcp::CcAlgorithm::kDctcp, tcp::CcAlgorithm::kSwift}) {
+      core::IncastExperimentConfig cfg;
+      cfg.num_flows = flows;
+      cfg.burst_duration = 15_ms;
+      cfg.num_bursts = nbursts;
+      cfg.discard_bursts = 1;
+      cfg.tcp = tcp_config(algo);
+      cfg.max_sim_time = sim::Time::seconds(60);
+      cfg.seed = 7;
+      const auto r = core::run_incast_experiment(cfg);
+      bursts.add_row({std::to_string(flows), tcp::to_string(algo),
+                      std::to_string(r.queue_drops), std::to_string(r.timeouts),
+                      core::fmt(r.avg_bct_ms, 1)});
+    }
+  }
+  bursts.print();
+  std::printf("Expectation: the tables invert. On millisecond bursts Swift's paced,\n"
+              "infrequent probing cannot converge before the burst ends (stale\n"
+              "feedback, RTO-bound recovery), while DCTCP completes near-optimally up\n"
+              "to its degenerate point — the paper's Section 5.2 argument, measured.\n");
+  return 0;
+}

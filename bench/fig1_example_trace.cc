@@ -1,0 +1,104 @@
+// Figure 1 — "Example of incast bursts, measured at a receiver."
+//
+// A two-second Millisampler trace from one "aggregator" host, at 1 ms
+// granularity, reported as the paper's four panels:
+//   (a) ingress throughput      — bursts to line rate; low average util
+//   (b) active flow count       — jumps to 200+ during bursts
+//   (c) ECN-marked ingress rate — all-or-nothing marking
+//   (d) retransmitted data rate — rare but severe (up to ~24% of line rate)
+//
+// The full 2000-bin series is summarized: per-panel headline statistics
+// plus a downsampled time series for plotting.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/burst_detector.h"
+#include "bench_util.h"
+#include "core/fleet_experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace incast;
+  using namespace incast::sim::literals;
+
+  core::print_header("Figure 1", "Example of incast bursts, measured at a receiver "
+                                 "(2 s of 'aggregator', 1 ms bins)");
+  bench::print_scale_banner();
+
+  core::FleetConfig cfg;
+  cfg.profile = workload::service_by_name("aggregator");
+  cfg.trace_duration = bench::by_scale(500_ms, 2_s, 2_s);
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  core::FleetExperiment exp{cfg};
+  exp.set_keep_bins(true);
+  const auto trace = exp.run_host_trace(/*host=*/0, /*snapshot=*/0);
+
+  const double line_bytes_per_ms =
+      static_cast<double>(cfg.nic_rate.bytes_in(1_ms));
+  const auto util = [&](std::int64_t bytes) {
+    return static_cast<double>(bytes) / line_bytes_per_ms;
+  };
+
+  // Headline statistics per panel.
+  double peak_util = 0;
+  int peak_flows = 0;
+  double peak_marked = 0;
+  double peak_retx = 0;
+  int bins_at_line_rate = 0;
+  for (const auto& b : trace.bins) {
+    peak_util = std::max(peak_util, util(b.bytes));
+    peak_flows = std::max(peak_flows, b.active_flows);
+    peak_marked = std::max(peak_marked, util(b.marked_bytes));
+    peak_retx = std::max(peak_retx, util(b.retx_bytes));
+    if (util(b.bytes) > 0.9) ++bins_at_line_rate;
+  }
+
+  const analysis::BurstDetector detector;
+  const auto bursts = trace.summary.bursts;
+  std::int64_t burst_bytes = 0;
+  std::int64_t total_bytes = 0;
+  int incasts = 0;
+  for (const auto& b : trace.bins) total_bytes += b.bytes;
+  for (const auto& b : bursts) {
+    burst_bytes += b.bytes;
+    if (detector.is_incast(b)) ++incasts;
+  }
+
+  std::printf("\nHeadline statistics (paper values in brackets):\n");
+  core::Table t{{"panel", "metric", "measured", "paper"}};
+  t.add_row({"(a)", "average link utilization", core::fmt(trace.avg_utilization * 100, 1) + "%",
+             "10.6%"});
+  t.add_row({"(a)", "peak 1ms utilization", core::fmt(peak_util * 100, 0) + "%", "~100%"});
+  t.add_row({"(a)", "traffic inside bursts",
+             core::fmt(100.0 * static_cast<double>(burst_bytes) /
+                           std::max<std::int64_t>(total_bytes, 1),
+                       0) +
+                 "%",
+             "essentially all"});
+  t.add_row({"(b)", "peak active flows (1ms)", std::to_string(peak_flows), "200+"});
+  t.add_row({"(b)", "bursts that are incasts (>25 flows)",
+             std::to_string(incasts) + "/" + std::to_string(bursts.size()), "majority"});
+  t.add_row({"(c)", "peak ECN-marked rate", core::fmt(peak_marked * 100, 0) + "%",
+             "~line rate when marked"});
+  t.add_row({"(d)", "peak retransmission rate", core::fmt(peak_retx * 100, 1) + "%",
+             "up to 24%"});
+  t.print();
+
+  // Downsampled series: max per 25 ms, which preserves the burst envelope.
+  std::printf("\nTime series (per-25ms peaks): t_ms util%% flows marked%% retx%%\n");
+  const std::size_t window = 25;
+  for (std::size_t start = 0; start < trace.bins.size(); start += window) {
+    double u = 0, m = 0, r = 0;
+    int f = 0;
+    for (std::size_t i = start; i < std::min(start + window, trace.bins.size()); ++i) {
+      const auto& b = trace.bins[i];
+      u = std::max(u, util(b.bytes));
+      m = std::max(m, util(b.marked_bytes));
+      r = std::max(r, util(b.retx_bytes));
+      f = std::max(f, b.active_flows);
+    }
+    std::printf("%5zu %6.1f %5d %7.1f %6.2f\n", start, u * 100, f, m * 100, r * 100);
+  }
+  return 0;
+}

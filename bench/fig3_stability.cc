@@ -1,0 +1,124 @@
+// Figure 3 — "Within a service, the distribution of flow count during a
+// burst is stable over time and across hosts."
+//
+//   (a) average flow count per snapshot over "18 hours" of periodic
+//       snapshots: each service oscillates around its own operating point;
+//       "video" switches between ~225 and ~275 as its scheduler changes
+//       worker pools.
+//   (b) per-host mean and p99 flow count for "aggregator": hosts look
+//       alike.
+#include <cstdio>
+
+#include "analysis/stability.h"
+#include "bench_util.h"
+#include "core/fleet_experiment.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+core::FleetConfig base_config(const workload::ServiceProfile& profile) {
+  core::FleetConfig cfg;
+  cfg.profile = profile;
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  core::print_header("Figure 3", "Flow-count stability over time and across hosts");
+  bench::print_scale_banner();
+
+  const int snapshots = bench::by_scale(4, 12, 108);  // paper: 18 h / 10 min
+  const int hosts_a = bench::by_scale(1, 2, 20);
+  const int hosts_b = bench::by_scale(4, 8, 20);
+  const sim::Time trace = bench::by_scale(200_ms, 500_ms, 2_s);
+
+  // ---- (a) mean flow count per snapshot, per service -----------------------
+  std::printf("\n(a) Average flow count per snapshot (columns: services)\n");
+  std::printf("    snapshots=%d, hosts/snapshot=%d, trace=%s\n", snapshots, hosts_a,
+              trace.to_string().c_str());
+
+  std::vector<std::string> labels;
+  // means[service][snapshot]
+  std::vector<std::vector<double>> means;
+  for (const auto& profile : workload::service_catalog()) {
+    core::FleetConfig cfg = base_config(profile);
+    cfg.num_hosts = hosts_a;
+    cfg.num_snapshots = snapshots;
+    cfg.trace_duration = trace;
+    core::FleetExperiment exp{cfg};
+
+    std::vector<double> service_means;
+    for (int s = 0; s < snapshots; ++s) {
+      analysis::Cdf counts;
+      for (int h = 0; h < hosts_a; ++h) {
+        const auto r = exp.run_host_trace(h, s);
+        for (const auto& b : r.summary.bursts) {
+          counts.add(static_cast<double>(b.max_active_flows));
+        }
+      }
+      service_means.push_back(counts.mean());
+    }
+    labels.push_back(profile.name);
+    means.push_back(std::move(service_means));
+  }
+
+  core::Table series{[&] {
+    std::vector<std::string> h{"snapshot"};
+    h.insert(h.end(), labels.begin(), labels.end());
+    return h;
+  }()};
+  for (int s = 0; s < snapshots; ++s) {
+    std::vector<std::string> row{std::to_string(s)};
+    for (const auto& m : means) row.push_back(core::fmt(m[static_cast<std::size_t>(s)], 0));
+    series.add_row(std::move(row));
+  }
+  series.print();
+
+  std::printf("\nStability (coefficient of variation of per-snapshot means; "
+              "small = stable operating point):\n");
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::printf("  %-10s CoV = %.3f%s\n", labels[i].c_str(),
+                analysis::coefficient_of_variation(means[i]),
+                labels[i] == "video" ? "  (regime switching ~225 <-> ~275 expected)" : "");
+  }
+
+  // ---- (b) per-host mean and p99 for "aggregator" --------------------------
+  std::printf("\n(b) Per-host flow counts for 'aggregator' (%d hosts pooled over %d "
+              "snapshots)\n",
+              hosts_b, snapshots);
+  core::FleetConfig cfg = base_config(workload::service_by_name("aggregator"));
+  cfg.num_hosts = hosts_b;
+  cfg.num_snapshots = snapshots;
+  cfg.trace_duration = trace;
+  core::FleetExperiment exp{cfg};
+
+  std::vector<analysis::FlowCountGroup> groups(static_cast<std::size_t>(hosts_b));
+  for (int h = 0; h < hosts_b; ++h) {
+    groups[static_cast<std::size_t>(h)].index = static_cast<std::size_t>(h);
+    for (int s = 0; s < snapshots; ++s) {
+      const auto r = exp.run_host_trace(h, s);
+      for (const auto& b : r.summary.bursts) {
+        groups[static_cast<std::size_t>(h)].flow_counts.add(
+            static_cast<double>(b.max_active_flows));
+      }
+    }
+  }
+  const auto report = analysis::analyze_stability(groups);
+
+  core::Table hosts_table{{"host", "bursts", "mean flows", "p99 flows"}};
+  for (const auto& g : report.groups) {
+    hosts_table.add_row({std::to_string(g.index), std::to_string(g.bursts),
+                         core::fmt(g.mean, 0), core::fmt(g.p99, 0)});
+  }
+  hosts_table.print();
+  std::printf("cross-host spread: mean %.1f%%, p99 %.1f%% of the grand mean "
+              "(paper: 'similar average and p99 flow counts')\n",
+              report.mean_relative_spread * 100.0, report.p99_relative_spread * 100.0);
+  return 0;
+}

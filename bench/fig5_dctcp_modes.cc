@@ -1,0 +1,99 @@
+// Figure 5 — "DCTCP operating modes, in terms of ToR queue length."
+//
+// The Section 4 dumbbell, 15 ms bursts, 11 bursts with the first
+// discarded. Three flow counts show the three modes:
+//   (a) 100 flows  — healthy: queue oscillates around K = 65 packets
+//   (b) 500 flows  — degenerate point: standing queue ~ flows - BDP
+//   (c) high count — overflow: drops, RTO-driven recovery, BCT ~ min RTO
+//
+// Note: the paper demonstrates mode 3 at 1000 flows, where its straggler
+// ramp-up inflates the start-of-burst spike past capacity. Our completions
+// are more synchronized, so the loss boundary sits at the paper's own
+// steady-state formula K > queue + BDP (~1330 flows); we therefore run
+// mode 3 at 1500 flows (see EXPERIMENTS.md).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "core/incast_experiment.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+core::IncastExperimentConfig mode_config(int flows, int bursts) {
+  core::IncastExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.burst_duration = 15_ms;
+  cfg.num_bursts = bursts;
+  cfg.discard_bursts = 1;
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  cfg.queue_sample_every = 20_us;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void print_queue_series(const core::IncastExperimentResult& r, sim::Time step) {
+  // Queue length vs time since burst start, averaged over measured bursts,
+  // printed at 250 us resolution.
+  const std::size_t stride =
+      static_cast<std::size_t>(sim::Time::microseconds(250).ns() / step.ns());
+  std::printf("  t_ms  queue_pkts (mean over measured bursts)\n");
+  for (std::size_t i = 0; i < r.mean_queue_by_offset.size(); i += stride) {
+    std::printf("  %6.2f %7.1f\n", static_cast<double>(i) * step.ms(),
+                r.mean_queue_by_offset[i]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::print_header("Figure 5",
+                     "DCTCP operating modes, ToR queue length (capacity = 1333 pkts)");
+  bench::print_scale_banner();
+  const int bursts = bench::by_scale(4, 11, 11);
+
+  struct Mode {
+    const char* title;
+    int flows;
+    const char* expectation;
+  };
+  const Mode modes[] = {
+      {"(a') Mode 1 | 60 flows | healthy; periodic (sub-degenerate regime)", 60,
+       "queue oscillates around K=65 with unmarked dips; BCT ~ 15 ms"},
+      {"(a) Mode 1 | 100 flows | near the degenerate point in this reproduction", 100,
+       "queue holds just above K; BCT ~ 15 ms; no drops"},
+      {"(b) Mode 2 | 500 flows | degenerate point", 500,
+       "standing queue ~ flows - BDP = 475 pkts (~480us delay); BCT ~ 15 ms"},
+      {"(c) Mode 3 | 1500 flows | timeouts", 1500,
+       "overflow drops; recovery via RTO; BCT ~ 200 ms"},
+  };
+
+  core::Table summary{{"mode", "flows", "avg queue", "peak queue", "marked%", "drops",
+                       "timeouts", "avg BCT ms", "max BCT ms"}};
+  for (const Mode& mode : modes) {
+    const auto cfg = mode_config(mode.flows, bursts);
+    const auto r = core::run_incast_experiment(cfg);
+
+    std::printf("\n%s\n  expectation: %s\n", mode.title, mode.expectation);
+    print_queue_series(r, cfg.queue_sample_every);
+
+    const std::string label{mode.title + 1, std::strchr(mode.title, ')') - mode.title - 1};
+    summary.add_row({label, std::to_string(mode.flows),
+                     core::fmt(r.avg_queue_packets, 0), core::fmt(r.peak_queue_packets, 0),
+                     core::fmt(r.marked_fraction() * 100, 0),
+                     std::to_string(r.queue_drops), std::to_string(r.timeouts),
+                     core::fmt(r.avg_bct_ms, 1), core::fmt(r.max_bct_ms, 1)});
+  }
+
+  std::printf("\nSummary (averages over the measured bursts):\n");
+  summary.print();
+  std::printf("\nPaper comparison: Mode 1 oscillates near K=65 with near-optimal BCT;\n"
+              "Mode 2 holds a standing queue of ~(flows - 25) packets with ~0.5 ms of\n"
+              "added delay; Mode 3 overflows the queue, recovers only via ~200 ms RTOs,\n"
+              "and stretches BCT by >10x.\n");
+  return 0;
+}

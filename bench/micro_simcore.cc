@@ -1,0 +1,106 @@
+// M1 — microbenchmarks of the simulator core (google-benchmark).
+//
+// These do not reproduce a paper figure; they characterize the substrate's
+// raw speed so users can budget experiment sizes: event queue throughput,
+// RNG draws, queue operations, and end-to-end packets/second through the
+// dumbbell with a real TCP flow.
+#include <benchmark/benchmark.h>
+
+#include "core/incast_experiment.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_connection.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(sim::Time::nanoseconds(t + (i * 37) % 1000), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop());
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10'000) sim.schedule_in(100_ns, tick);
+    };
+    sim.schedule_in(100_ns, tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_RngLognormal(benchmark::State& state) {
+  sim::Rng rng{7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal(5.0, 0.4));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_QueueEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q{{.capacity_packets = 1333, .ecn_threshold_packets = 65}};
+  const net::Packet p = net::make_data_packet(0, 1, 1, 0, 1460);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) (void)q.enqueue(p);
+    while (auto out = q.dequeue()) benchmark::DoNotOptimize(*out);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QueueEnqueueDequeue);
+
+void BM_EndToEndTcpTransfer(benchmark::State& state) {
+  // Packets/second through the full stack: dumbbell topology, DCTCP flow,
+  // 1 MB transfers.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 1}};
+    tcp::TcpConfig cfg;
+    cfg.cc = tcp::CcAlgorithm::kDctcp;
+    tcp::TcpConnection conn{sim, topo.sender(0), topo.receiver(0), 1, cfg};
+    conn.sender().add_app_data(1'000'000);
+    sim.run();
+    benchmark::DoNotOptimize(conn.receiver().rcv_nxt());
+  }
+  // ~685 data packets + as many ACKs per iteration.
+  state.SetItemsProcessed(state.iterations() * 1370);
+}
+BENCHMARK(BM_EndToEndTcpTransfer);
+
+void BM_IncastBurst100Flows(benchmark::State& state) {
+  // Cost of one complete 100-flow, 2 ms incast experiment (2 bursts).
+  for (auto _ : state) {
+    core::IncastExperimentConfig cfg;
+    cfg.num_flows = 100;
+    cfg.burst_duration = 2_ms;
+    cfg.num_bursts = 2;
+    cfg.discard_bursts = 1;
+    cfg.queue_sample_every = 100_us;
+    cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+    benchmark::DoNotOptimize(core::run_incast_experiment(cfg));
+  }
+}
+BENCHMARK(BM_IncastBurst100Flows)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Partition/aggregate: query latency under increasing fan-in.
+//
+// The traffic pattern behind incast (paper Section 1): a coordinator
+// dispatches a query to W workers and waits for all responses. Each worker
+// answers with `response_bytes` over its persistent TCP connection, so the
+// responses converge on the coordinator's downlink — the incast. This
+// example sweeps the fan-in W and reports query-latency percentiles,
+// showing how the 99th percentile decouples from the median as the
+// response volley overwhelms the ToR queue.
+//
+// Built directly on the library's building blocks (Dumbbell,
+// TcpConnection) rather than the experiment harness, as an application
+// would be.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/cdf.h"
+#include "core/report.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "tcp/tcp_connection.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+class PartitionAggregateApp {
+ public:
+  PartitionAggregateApp(sim::Simulator& sim, net::Dumbbell& topo, int workers,
+                        std::int64_t response_bytes, std::uint64_t seed)
+      : sim_{sim}, workers_{workers}, response_bytes_{response_bytes}, rng_{seed} {
+    tcp::TcpConfig tcp_cfg;
+    tcp_cfg.cc = tcp::CcAlgorithm::kDctcp;
+    tcp_cfg.rtt.min_rto = 10_ms;  // a datacenter-tuned RTO
+    for (int w = 0; w < workers; ++w) {
+      connections_.push_back(std::make_unique<tcp::TcpConnection>(
+          sim, topo.sender(w), topo.receiver(0), static_cast<net::FlowId>(w + 1),
+          tcp_cfg));
+      // The coordinator counts response bytes as they arrive in order.
+      connections_.back()->receiver().set_on_data(
+          [this](std::int64_t bytes) { on_response_bytes(bytes); });
+    }
+  }
+
+  // Issues `queries` queries, each started `gap` after the previous one
+  // completes; invokes `done` when finished.
+  void run_queries(int queries, sim::Time gap, std::function<void()> done) {
+    remaining_queries_ = queries;
+    gap_ = gap;
+    done_ = std::move(done);
+    issue_query();
+  }
+
+  [[nodiscard]] const analysis::Cdf& latencies() const noexcept { return latencies_; }
+
+ private:
+  void issue_query() {
+    query_started_ = sim_.now();
+    outstanding_bytes_ = response_bytes_ * workers_;
+    for (auto& conn : connections_) {
+      // Worker think time: the "variations in processing time" that
+      // jitter the response volley.
+      const sim::Time think = rng_.uniform_time(sim::Time::zero(), 100_us);
+      tcp::TcpSender* sender = &conn->sender();
+      sim_.schedule_in(think,
+                       [sender, bytes = response_bytes_] { sender->add_app_data(bytes); });
+    }
+  }
+
+  void on_response_bytes(std::int64_t bytes) {
+    outstanding_bytes_ -= bytes;
+    if (outstanding_bytes_ > 0) return;
+
+    latencies_.add((sim_.now() - query_started_).ms());
+    if (--remaining_queries_ > 0) {
+      sim_.schedule_in(gap_, [this] { issue_query(); });
+    } else if (done_) {
+      done_();
+    }
+  }
+
+  sim::Simulator& sim_;
+  int workers_;
+  std::int64_t response_bytes_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<tcp::TcpConnection>> connections_;
+
+  int remaining_queries_{0};
+  sim::Time gap_{};
+  std::function<void()> done_;
+  sim::Time query_started_{};
+  std::int64_t outstanding_bytes_{0};
+  analysis::Cdf latencies_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Partition/aggregate query latency vs fan-in\n");
+  std::printf("(each worker responds with 50 KB; 30 queries per fan-in)\n\n");
+
+  incast::core::Table t{
+      {"workers", "volley (KB)", "p50 (ms)", "p99 (ms)", "max (ms)", "ideal (ms)"}};
+
+  for (const int workers : {16, 64, 128, 256, 512}) {
+    sim::Simulator sim;
+    net::DumbbellConfig topo_cfg;
+    topo_cfg.num_senders = workers;
+    net::Dumbbell topo{sim, topo_cfg};
+
+    const std::int64_t response_bytes = 50'000;
+    PartitionAggregateApp app{sim, topo, workers, response_bytes, 7};
+    app.run_queries(30, /*gap=*/5_ms, [&sim] { sim.stop(); });
+    sim.run_until(30_s);
+
+    // Time to move the whole volley through the 10 Gbps downlink.
+    const double ideal_ms =
+        static_cast<double>(response_bytes * workers) * 8.0 / 10e9 * 1e3;
+    t.add_row({std::to_string(workers),
+               incast::core::fmt(static_cast<double>(response_bytes * workers) / 1e3, 0),
+               incast::core::fmt(app.latencies().percentile(50), 2),
+               incast::core::fmt(app.latencies().percentile(99), 2),
+               incast::core::fmt(app.latencies().max(), 2),
+               incast::core::fmt(ideal_ms, 2)});
+  }
+  t.print();
+
+  std::printf("\nReading the table: at low fan-in, query latency tracks the ideal\n"
+              "transfer time. At hundreds of workers the response volley overruns\n"
+              "the ToR buffer, and the p99/max decouple from the median as some\n"
+              "queries pay loss-recovery penalties — the service-level tail-latency\n"
+              "cost of incast. Lower tcp_cfg.rtt.min_rto softens the tail; it does\n"
+              "not remove the loss.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "analysis/burst_detector.h"
+
+#include <algorithm>
+
+namespace incast::analysis {
+
+std::vector<Burst> BurstDetector::detect(
+    const telemetry::Millisampler& sampler,
+    std::span<const std::int64_t> queue_watermarks) const {
+  return detect(sampler.bins(),
+                sampler.config().line_rate.bytes_in(sampler.config().bin_duration),
+                queue_watermarks);
+}
+
+std::vector<Burst> BurstDetector::detect(
+    std::span<const telemetry::Millisampler::Bin> bins,
+    std::int64_t bytes_per_bin_at_line_rate,
+    std::span<const std::int64_t> queue_watermarks) const {
+  std::vector<Burst> bursts;
+
+  const bool have_queue = !queue_watermarks.empty();
+  Burst current;
+  bool in_burst = false;
+
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const bool hot = static_cast<double>(bins[i].bytes) /
+                         static_cast<double>(bytes_per_bin_at_line_rate) >
+                     config_.utilization_threshold;
+    if (hot) {
+      if (!in_burst) {
+        in_burst = true;
+        current = Burst{};
+        current.first_bin = i;
+        if (have_queue) current.peak_queue_packets = 0;
+      }
+      const auto& b = bins[i];
+      ++current.num_bins;
+      current.bytes += b.bytes;
+      current.marked_bytes += b.marked_bytes;
+      current.retx_bytes += b.retx_bytes;
+      current.max_active_flows = std::max(current.max_active_flows, b.active_flows);
+      if (have_queue && i < queue_watermarks.size()) {
+        current.peak_queue_packets = std::max(current.peak_queue_packets, queue_watermarks[i]);
+      }
+    } else if (in_burst) {
+      bursts.push_back(current);
+      in_burst = false;
+    }
+  }
+  if (in_burst) bursts.push_back(current);
+  return bursts;
+}
+
+}  // namespace incast::analysis

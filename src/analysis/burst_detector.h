@@ -1,0 +1,89 @@
+// BurstDetector: finds bursts in a Millisampler trace.
+//
+// The paper's definition (Section 3.1): a burst is "any contiguous time
+// span where the average aggregate ingress data rate, measured at the
+// receiver at 1 ms intervals, is greater than 50% of the NIC line rate."
+// An incast is a burst whose active flow count exceeds 25 (Section 3.3).
+#ifndef INCAST_ANALYSIS_BURST_DETECTOR_H_
+#define INCAST_ANALYSIS_BURST_DETECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "telemetry/millisampler.h"
+
+namespace incast::analysis {
+
+struct Burst {
+  std::size_t first_bin{0};  // index of the first bin of the burst
+  std::size_t num_bins{0};   // contiguous bins above threshold
+
+  std::int64_t bytes{0};
+  std::int64_t marked_bytes{0};
+  std::int64_t retx_bytes{0};
+  // Peak per-bin active flow count during the burst (each bin's count is
+  // itself measured over 1 ms, as in the paper).
+  int max_active_flows{0};
+  // Peak queue occupancy during the burst, joined from per-bin watermarks;
+  // -1 when no watermark data was supplied.
+  std::int64_t peak_queue_packets{-1};
+
+  [[nodiscard]] double marked_fraction() const noexcept {
+    return bytes > 0 ? static_cast<double>(marked_bytes) / static_cast<double>(bytes) : 0.0;
+  }
+  [[nodiscard]] double retx_fraction() const noexcept {
+    return bytes > 0 ? static_cast<double>(retx_bytes) / static_cast<double>(bytes) : 0.0;
+  }
+};
+
+struct BurstDetectorConfig {
+  // A bin belongs to a burst when utilization > threshold (fraction of
+  // line rate).
+  double utilization_threshold{0.5};
+  // Flow count above which a burst counts as an incast.
+  int incast_flow_threshold{25};
+};
+
+class BurstDetector {
+ public:
+  explicit BurstDetector(const BurstDetectorConfig& config = {}) noexcept
+      : config_{config} {}
+
+  // Detects bursts in `sampler`'s finished trace. `queue_watermarks`, if
+  // non-empty, supplies per-bin peak queue depth (same bin duration and
+  // origin as the sampler's bins) for Burst::peak_queue_packets.
+  [[nodiscard]] std::vector<Burst> detect(
+      const telemetry::Millisampler& sampler,
+      std::span<const std::int64_t> queue_watermarks = {}) const;
+
+  // Same, over raw bins (e.g. loaded from a CSV trace): `bytes_per_bin_at_
+  // line_rate` = line_rate * bin_duration in bytes.
+  [[nodiscard]] std::vector<Burst> detect(
+      std::span<const telemetry::Millisampler::Bin> bins,
+      std::int64_t bytes_per_bin_at_line_rate,
+      std::span<const std::int64_t> queue_watermarks = {}) const;
+
+  [[nodiscard]] bool is_incast(const Burst& b) const noexcept {
+    return b.max_active_flows > config_.incast_flow_threshold;
+  }
+
+  [[nodiscard]] const BurstDetectorConfig& config() const noexcept { return config_; }
+
+ private:
+  BurstDetectorConfig config_;
+};
+
+// Summary of a full trace, used by the fleet experiments.
+struct TraceBurstSummary {
+  double trace_seconds{0.0};
+  std::vector<Burst> bursts;
+
+  [[nodiscard]] double bursts_per_second() const noexcept {
+    return trace_seconds > 0.0 ? static_cast<double>(bursts.size()) / trace_seconds : 0.0;
+  }
+};
+
+}  // namespace incast::analysis
+
+#endif  // INCAST_ANALYSIS_BURST_DETECTOR_H_

@@ -1,0 +1,41 @@
+#include "analysis/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incast::analysis {
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (const double v : samples_) total += v;
+  return total / static_cast<double>(samples_.size());
+}
+
+double Cdf::fraction_below(double value) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), value);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+}  // namespace incast::analysis

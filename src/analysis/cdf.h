@@ -1,0 +1,52 @@
+// Cdf: an empirical cumulative distribution over double samples.
+//
+// Every distribution figure in the paper (Figures 2, 3, 4) is a CDF of
+// per-burst statistics; this class accumulates samples and answers
+// percentile queries with linear interpolation between order statistics.
+#ifndef INCAST_ANALYSIS_CDF_H_
+#define INCAST_ANALYSIS_CDF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace incast::analysis {
+
+class Cdf {
+ public:
+  Cdf() = default;
+
+  void add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  void add_all(const std::vector<double>& values) {
+    samples_.insert(samples_.end(), values.begin(), values.end());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  // p in [0, 100]. Interpolates between order statistics; p=0 is the min,
+  // p=100 the max. Returns 0 for an empty distribution.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double min() const { return percentile(0); }
+  [[nodiscard]] double median() const { return percentile(50); }
+  [[nodiscard]] double max() const { return percentile(100); }
+  [[nodiscard]] double mean() const;
+
+  // Fraction of samples <= value, in [0, 1].
+  [[nodiscard]] double fraction_below(double value) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+};
+
+}  // namespace incast::analysis
+
+#endif  // INCAST_ANALYSIS_CDF_H_

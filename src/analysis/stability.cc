@@ -1,0 +1,62 @@
+#include "analysis/stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incast::analysis {
+
+StabilityReport analyze_stability(const std::vector<FlowCountGroup>& groups) {
+  StabilityReport report;
+  if (groups.empty()) return report;
+
+  std::vector<double> means;
+  std::vector<double> p99s;
+  double grand_total = 0.0;
+  std::size_t grand_count = 0;
+
+  for (const FlowCountGroup& g : groups) {
+    GroupSummary s;
+    s.index = g.index;
+    s.bursts = g.flow_counts.count();
+    s.mean = g.flow_counts.mean();
+    s.p99 = g.flow_counts.percentile(99);
+    report.groups.push_back(s);
+    if (s.bursts > 0) {
+      means.push_back(s.mean);
+      p99s.push_back(s.p99);
+      grand_total += s.mean * static_cast<double>(s.bursts);
+      grand_count += s.bursts;
+    }
+  }
+  if (means.empty() || grand_count == 0) return report;
+
+  report.grand_mean = grand_total / static_cast<double>(grand_count);
+
+  const auto spread = [](const std::vector<double>& v, double denom) {
+    if (v.empty() || denom <= 0.0) return 0.0;
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return (*hi - *lo) / denom;
+  };
+  report.mean_relative_spread = spread(means, report.grand_mean);
+
+  double p99_mean = 0.0;
+  for (const double v : p99s) p99_mean += v;
+  p99_mean /= static_cast<double>(p99s.size());
+  report.p99_relative_spread = spread(p99s, p99_mean);
+
+  return report;
+}
+
+double coefficient_of_variation(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace incast::analysis

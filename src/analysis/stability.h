@@ -1,0 +1,51 @@
+// StabilityAnalysis: flow-count stability over time and across hosts.
+//
+// Section 3.3 / Figure 3: for each service, the distribution of per-burst
+// flow counts barely moves across 18 hours of snapshots and across the
+// sampled hosts. These helpers aggregate per-burst flow counts grouped by
+// snapshot (time) or by host and report the per-group mean and p99, plus a
+// summary of how much the groups disagree (the paper's notion of
+// "stability", quantified).
+#ifndef INCAST_ANALYSIS_STABILITY_H_
+#define INCAST_ANALYSIS_STABILITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/cdf.h"
+
+namespace incast::analysis {
+
+// One group of per-burst flow-count samples (one snapshot, or one host).
+struct FlowCountGroup {
+  // Label index: snapshot number or host number.
+  std::size_t index{0};
+  Cdf flow_counts;
+};
+
+struct GroupSummary {
+  std::size_t index{0};
+  double mean{0.0};
+  double p99{0.0};
+  std::size_t bursts{0};
+};
+
+struct StabilityReport {
+  std::vector<GroupSummary> groups;
+  // Dispersion of per-group means: (max - min) / grand mean. Small values
+  // mean the operating point is stable across groups.
+  double mean_relative_spread{0.0};
+  double p99_relative_spread{0.0};
+  double grand_mean{0.0};
+};
+
+// Summarizes each group and computes cross-group dispersion.
+[[nodiscard]] StabilityReport analyze_stability(const std::vector<FlowCountGroup>& groups);
+
+// Coefficient of variation (stddev / mean) of a series; the time-stability
+// metric we report for Figure 3a.
+[[nodiscard]] double coefficient_of_variation(const std::vector<double>& values);
+
+}  // namespace incast::analysis
+
+#endif  // INCAST_ANALYSIS_STABILITY_H_

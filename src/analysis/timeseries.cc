@@ -1,0 +1,103 @@
+#include "analysis/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace incast::analysis {
+
+void TimeSeries::add(sim::Time at, double value) {
+  assert(points_.empty() || at >= points_.back().at);
+  points_.push_back(Point{at, value});
+}
+
+double TimeSeries::min() const {
+  double out = points_.empty() ? 0.0 : points_.front().value;
+  for (const Point& p : points_) out = std::min(out, p.value);
+  return out;
+}
+
+double TimeSeries::max() const {
+  double out = points_.empty() ? 0.0 : points_.front().value;
+  for (const Point& p : points_) out = std::max(out, p.value);
+  return out;
+}
+
+double TimeSeries::mean() const {
+  if (points_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Point& p : points_) total += p.value;
+  return total / static_cast<double>(points_.size());
+}
+
+double TimeSeries::time_weighted_mean() const {
+  if (points_.size() < 2) return mean();
+  double area = 0.0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    area += points_[i].value * (points_[i + 1].at - points_[i].at).sec();
+  }
+  const double span = (points_.back().at - points_.front().at).sec();
+  return span > 0.0 ? area / span : mean();
+}
+
+sim::Time TimeSeries::argmax() const {
+  sim::Time best_at{};
+  double best = points_.empty() ? 0.0 : points_.front().value;
+  if (!points_.empty()) best_at = points_.front().at;
+  for (const Point& p : points_) {
+    if (p.value > best) {
+      best = p.value;
+      best_at = p.at;
+    }
+  }
+  return best_at;
+}
+
+std::vector<double> TimeSeries::resample(sim::Time origin, sim::Time width,
+                                         std::size_t bins, Reduce reduce) const {
+  std::vector<double> out(bins, 0.0);
+  std::vector<int> counts(bins, 0);
+  for (const Point& p : points_) {
+    if (p.at < origin) continue;
+    const auto idx = static_cast<std::size_t>((p.at - origin).ns() / width.ns());
+    if (idx >= bins) break;
+    switch (reduce) {
+      case Reduce::kMean:
+        out[idx] += p.value;
+        ++counts[idx];
+        break;
+      case Reduce::kMax:
+        out[idx] = counts[idx] == 0 ? p.value : std::max(out[idx], p.value);
+        ++counts[idx];
+        break;
+      case Reduce::kLast:
+        out[idx] = p.value;
+        ++counts[idx];
+        break;
+    }
+  }
+  double carry = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    if (counts[i] == 0) {
+      out[i] = carry;  // empty bin: hold the previous value
+    } else if (reduce == Reduce::kMean) {
+      out[i] /= counts[i];
+    }
+    carry = out[i];
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::ewma(double weight) const {
+  assert(weight > 0.0 && weight <= 1.0);
+  TimeSeries out;
+  double state = 0.0;
+  bool first = true;
+  for (const Point& p : points_) {
+    state = first ? p.value : (1.0 - weight) * state + weight * p.value;
+    first = false;
+    out.add(p.at, state);
+  }
+  return out;
+}
+
+}  // namespace incast::analysis

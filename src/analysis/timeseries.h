@@ -1,0 +1,60 @@
+// TimeSeries: a (time, value) sequence with the reductions the experiment
+// reports need — summary statistics, fixed-bin resampling (how Figures 5/6
+// downsample queue traces for printing), EWMA smoothing, and peak finding.
+#ifndef INCAST_ANALYSIS_TIMESERIES_H_
+#define INCAST_ANALYSIS_TIMESERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace incast::analysis {
+
+class TimeSeries {
+ public:
+  struct Point {
+    sim::Time at{};
+    double value{0.0};
+  };
+
+  TimeSeries() = default;
+
+  // Points must be appended in non-decreasing time order.
+  void add(sim::Time at, double value);
+
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // Arithmetic mean of the samples (unweighted).
+  [[nodiscard]] double mean() const;
+  // Time-weighted mean: each sample holds until the next one; the last
+  // sample gets zero weight (needs >= 2 points, else falls back to mean()).
+  [[nodiscard]] double time_weighted_mean() const;
+
+  // The time of the largest value (first occurrence).
+  [[nodiscard]] sim::Time argmax() const;
+
+  // Resamples into fixed bins of `width` starting at `origin`; each bin
+  // holds the chosen reduction of the samples falling in it (bins with no
+  // samples repeat the previous bin's value, 0.0 initially).
+  enum class Reduce { kMean, kMax, kLast };
+  [[nodiscard]] std::vector<double> resample(sim::Time origin, sim::Time width,
+                                             std::size_t bins,
+                                             Reduce reduce = Reduce::kMean) const;
+
+  // Exponentially weighted moving average with weight w in (0, 1]:
+  // s_i = (1-w) * s_{i-1} + w * x_i (s_0 = x_0). Returns a new series on
+  // the same timestamps.
+  [[nodiscard]] TimeSeries ewma(double weight) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace incast::analysis
+
+#endif  // INCAST_ANALYSIS_TIMESERIES_H_

@@ -1,0 +1,101 @@
+#include "core/cli_args.h"
+
+#include <charconv>
+
+namespace incast::core {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare flag
+    }
+  }
+  for (const auto& [key, value] : values_) consumed_[key] = false;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  const_cast<CliArgs*>(this)->consumed_[key] = true;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& key, std::string fallback) const {
+  return get(key).value_or(std::move(fallback));
+}
+
+std::int64_t CliArgs::int_or(const std::string& key, std::int64_t fallback) {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    errors_.push_back("--" + key + ": expected an integer, got '" + *raw + "'");
+    return fallback;
+  }
+  return value;
+}
+
+double CliArgs::double_or(const std::string& key, double fallback) {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    errors_.push_back("--" + key + ": expected a number, got '" + *raw + "'");
+    return fallback;
+  }
+  return value;
+}
+
+bool CliArgs::bool_or(const std::string& key, bool fallback) {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  if (*raw == "true" || *raw == "1" || *raw == "yes" || *raw == "on") return true;
+  if (*raw == "false" || *raw == "0" || *raw == "no" || *raw == "off") return false;
+  errors_.push_back("--" + key + ": expected a boolean, got '" + *raw + "'");
+  return fallback;
+}
+
+sim::Time CliArgs::time_or(const std::string& key, sim::Time fallback) {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  const auto parsed = sim::parse_time(*raw);
+  if (!parsed) {
+    errors_.push_back("--" + key + ": expected a duration like '15ms', got '" + *raw + "'");
+    return fallback;
+  }
+  return *parsed;
+}
+
+sim::Bandwidth CliArgs::bandwidth_or(const std::string& key, sim::Bandwidth fallback) {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  const auto parsed = sim::parse_bandwidth(*raw);
+  if (!parsed) {
+    errors_.push_back("--" + key + ": expected a rate like '10Gbps', got '" + *raw + "'");
+    return fallback;
+  }
+  return *parsed;
+}
+
+std::vector<std::string> CliArgs::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, used] : consumed_) {
+    if (!used) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace incast::core

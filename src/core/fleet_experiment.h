@@ -1,0 +1,104 @@
+// FleetExperiment: the Section 3 measurement-study harness.
+//
+// The paper instruments 20 hosts in each of five services and collects
+// 2-second Millisampler traces nine times a day (Figure 2/4) and every ten
+// minutes for 18 hours (Figure 3). Here each (host, snapshot) pair is an
+// independent rack simulation: a production-like ToR (shallower per-queue
+// cap, 6.7%-of-capacity ECN threshold, shared buffer with rack-level
+// contention) receiving that service's synthetic burst traffic, with a
+// Millisampler on the measured host and a watermark monitor on its ToR
+// queue. The burst detector then reduces each trace to per-burst records.
+#ifndef INCAST_CORE_FLEET_EXPERIMENT_H_
+#define INCAST_CORE_FLEET_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/burst_detector.h"
+#include "tcp/tcp_config.h"
+#include "workload/rack_contention.h"
+#include "workload/service_profile.h"
+
+namespace incast::core {
+
+struct FleetConfig {
+  workload::ServiceProfile profile;
+  int num_hosts{6};
+  int num_snapshots{3};
+  sim::Time trace_duration{sim::Time::seconds(1)};
+
+  // Production-like ToR: ECN marks at 6.7% of the per-queue capacity (the
+  // paper's production threshold); the effective capacity at runtime is
+  // lower whenever the shared pool is contended.
+  std::int64_t queue_capacity_packets{2000};
+  double ecn_threshold_fraction{0.067};
+  // Shared pool sized at ~one queue's worth of MTU frames: under rack
+  // contention the Dynamic Threshold squeezes the measured queue well
+  // below its static cap, which is where the rare catastrophic losses of
+  // Figure 4c come from.
+  std::int64_t shared_pool_bytes{2000 * 1500};
+
+  // How the "simultaneous burst events to other hosts on the same rack"
+  // (Section 3.4) are modelled:
+  //  * kNone     — the measured host has the rack to itself;
+  //  * kModeled  — a Markov on/off process pins a fraction of the shared
+  //    pool (cheap; the default);
+  //  * kNeighbor — a second receiver on the same ToR runs the same service
+  //    for real, its bursts competing for the shared pool packet by packet.
+  enum class ContentionMode { kNone, kModeled, kNeighbor };
+  ContentionMode contention_mode{ContentionMode::kModeled};
+  workload::RackContention::Config contention{};
+
+  tcp::TcpConfig tcp{};
+  sim::Bandwidth nic_rate{sim::Bandwidth::gigabits_per_second(10)};
+
+  // "video" switches operating regime every this many snapshots.
+  int regime_block_snapshots{3};
+
+  std::uint64_t base_seed{42};
+
+  analysis::BurstDetectorConfig detector{};
+};
+
+struct HostTraceResult {
+  int host{0};
+  int snapshot{0};
+  bool alt_regime{false};
+  double avg_utilization{0.0};
+  analysis::TraceBurstSummary summary;
+  std::int64_t queue_drops{0};
+  std::int64_t generated_bursts{0};  // ground truth from the generator
+
+  // Per-1ms ToR queue watermarks (always retained; Figure 4a coarsens them
+  // to production-style windows).
+  std::vector<std::int64_t> queue_watermarks;
+  // Raw Millisampler bins, retained only when FleetExperiment::keep_bins()
+  // is set (Figure 1 needs them; the CDF figures do not).
+  std::vector<telemetry::Millisampler::Bin> bins;
+};
+
+class FleetExperiment {
+ public:
+  explicit FleetExperiment(const FleetConfig& config) : config_{config} {}
+
+  // Retain per-bin series in results (memory-heavy; off by default).
+  void set_keep_bins(bool keep) noexcept { keep_bins_ = keep; }
+
+  // Runs one (host, snapshot) trace in an isolated simulation.
+  [[nodiscard]] HostTraceResult run_host_trace(int host, int snapshot) const;
+
+  // Runs every (host, snapshot) pair.
+  [[nodiscard]] std::vector<HostTraceResult> run_all() const;
+
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::uint64_t trace_seed(int host, int snapshot) const noexcept;
+
+  FleetConfig config_;
+  bool keep_bins_{false};
+};
+
+}  // namespace incast::core
+
+#endif  // INCAST_CORE_FLEET_EXPERIMENT_H_

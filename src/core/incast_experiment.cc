@@ -1,0 +1,192 @@
+#include "core/incast_experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace incast::core {
+
+namespace {
+
+struct TcpCounters {
+  std::int64_t timeouts{0};
+  std::int64_t fast_retransmits{0};
+  std::int64_t retransmitted_packets{0};
+  std::int64_t data_packets_sent{0};
+};
+
+TcpCounters sum_counters(const std::vector<tcp::TcpSender*>& senders) {
+  TcpCounters c;
+  for (const tcp::TcpSender* s : senders) {
+    c.timeouts += s->stats().timeouts;
+    c.fast_retransmits += s->stats().fast_retransmits;
+    c.retransmitted_packets += s->stats().retransmitted_packets;
+    c.data_packets_sent += s->stats().data_packets_sent;
+  }
+  return c;
+}
+
+struct QueueCounters {
+  std::int64_t drops{0};
+  std::int64_t marks{0};
+  std::int64_t enqueues{0};
+};
+
+QueueCounters queue_counters(const net::DropTailQueue& q) {
+  return QueueCounters{q.stats().dropped_packets, q.stats().ecn_marked_packets,
+                       q.stats().enqueued_packets};
+}
+
+}  // namespace
+
+IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& config) {
+  sim::Simulator sim;
+
+  net::DumbbellConfig topo = config.topology;
+  topo.num_senders = config.num_flows;
+  topo.num_receivers = std::max(topo.num_receivers, 1);
+  net::Dumbbell dumbbell{sim, topo};
+
+  workload::CyclicIncastDriver::Config driver_cfg;
+  driver_cfg.num_flows = config.num_flows;
+  driver_cfg.num_bursts = config.num_bursts;
+  driver_cfg.burst_duration = config.burst_duration;
+  driver_cfg.inter_burst_gap = config.inter_burst_gap;
+  driver_cfg.schedule = config.schedule;
+  workload::CyclicIncastDriver driver{sim, dumbbell, config.tcp, driver_cfg, config.seed};
+
+  telemetry::QueueMonitor::Config qcfg;
+  qcfg.sample_every = config.queue_sample_every;
+  qcfg.watermark_window = sim::Time::zero();
+  telemetry::QueueMonitor qmon{sim, dumbbell.bottleneck_queue(), qcfg};
+  qmon.start(config.max_sim_time);
+
+  auto senders = driver.senders();
+  std::unique_ptr<telemetry::InflightSampler> inflight;
+  if (config.inflight_sample_every > sim::Time::zero()) {
+    inflight = std::make_unique<telemetry::InflightSampler>(sim, senders,
+                                                            config.inflight_sample_every);
+    inflight->start(config.max_sim_time);
+  }
+
+  // Counter snapshots frame the measured window: taken when the last
+  // discarded burst completes (flows are idle between bursts, so the
+  // boundary is clean), or at t=0 when nothing is discarded.
+  TcpCounters tcp_at_start = sum_counters(senders);
+  QueueCounters q_at_start = queue_counters(dumbbell.bottleneck_queue());
+  double cwnd_mean_accum = 0.0;
+  double cwnd_max_accum = 0.0;
+  int measured_completions = 0;
+
+  driver.set_on_burst_complete([&](int index) {
+    if (index == config.discard_bursts - 1) {
+      tcp_at_start = sum_counters(senders);
+      q_at_start = queue_counters(dumbbell.bottleneck_queue());
+    }
+    if (index >= config.discard_bursts) {
+      double total_mss = 0.0;
+      double max_mss = 0.0;
+      const auto mss = static_cast<double>(config.tcp.mss_bytes);
+      for (const tcp::TcpSender* s : senders) {
+        const double w = static_cast<double>(s->effective_cwnd()) / mss;
+        total_mss += w;
+        max_mss = std::max(max_mss, w);
+      }
+      cwnd_mean_accum += total_mss / static_cast<double>(senders.size());
+      cwnd_max_accum += max_mss;
+      ++measured_completions;
+    }
+    if (driver.finished()) sim.stop();
+  });
+
+  driver.start();
+  sim.run_until(config.max_sim_time);
+
+  IncastExperimentResult result;
+  result.bursts = driver.bursts();
+  result.queue_series = qmon.samples();
+  result.queue_offset_step = config.queue_sample_every;
+
+  const TcpCounters tcp_end = sum_counters(senders);
+  const QueueCounters q_end = queue_counters(dumbbell.bottleneck_queue());
+  result.timeouts = tcp_end.timeouts - tcp_at_start.timeouts;
+  result.fast_retransmits = tcp_end.fast_retransmits - tcp_at_start.fast_retransmits;
+  result.retransmitted_packets =
+      tcp_end.retransmitted_packets - tcp_at_start.retransmitted_packets;
+  result.data_packets_sent = tcp_end.data_packets_sent - tcp_at_start.data_packets_sent;
+  result.queue_drops = q_end.drops - q_at_start.drops;
+  result.queue_ecn_marks = q_end.marks - q_at_start.marks;
+  result.queue_enqueues = q_end.enqueues - q_at_start.enqueues;
+
+  if (measured_completions > 0) {
+    result.end_of_burst_cwnd_mean_mss =
+        cwnd_mean_accum / static_cast<double>(measured_completions);
+    result.end_of_burst_cwnd_max_mss =
+        cwnd_max_accum / static_cast<double>(measured_completions);
+  }
+
+  // Per-burst aggregates and the aligned queue-vs-offset series.
+  const auto& bursts = result.bursts;
+  const auto first_measured = static_cast<std::size_t>(config.discard_bursts);
+  if (bursts.size() > first_measured) {
+    sim::Time window = sim::Time::zero();
+    double bct_total = 0.0;
+    for (std::size_t b = first_measured; b < bursts.size(); ++b) {
+      const sim::Time bct = bursts[b].completion_time();
+      window = std::max(window, bct);
+      bct_total += bct.ms();
+      result.max_bct_ms = std::max(result.max_bct_ms, bct.ms());
+    }
+    result.avg_bct_ms = bct_total / static_cast<double>(bursts.size() - first_measured);
+
+    const auto offsets =
+        static_cast<std::size_t>(window.ns() / config.queue_sample_every.ns()) + 1;
+    std::vector<double> sums(offsets, 0.0);
+    std::vector<int> counts(offsets, 0);
+
+    double in_burst_sum = 0.0;
+    std::int64_t in_burst_samples = 0;
+    std::int64_t peak = 0;
+
+    // queue_series is time-ordered; walk it once per burst window.
+    std::size_t cursor = 0;
+    for (std::size_t b = first_measured; b < bursts.size(); ++b) {
+      const sim::Time start = bursts[b].started;
+      const sim::Time end_window = start + window;
+      while (cursor < result.queue_series.size() &&
+             result.queue_series[cursor].at < start) {
+        ++cursor;
+      }
+      std::size_t i = cursor;
+      while (i < result.queue_series.size() && result.queue_series[i].at < end_window) {
+        const auto& s = result.queue_series[i];
+        const auto offset =
+            static_cast<std::size_t>((s.at - start).ns() / config.queue_sample_every.ns());
+        if (offset < offsets) {
+          sums[offset] += static_cast<double>(s.packets);
+          ++counts[offset];
+        }
+        if (s.at <= bursts[b].completed) {
+          in_burst_sum += static_cast<double>(s.packets);
+          ++in_burst_samples;
+          peak = std::max(peak, s.packets);
+        }
+        ++i;
+      }
+    }
+
+    result.mean_queue_by_offset.resize(offsets, 0.0);
+    for (std::size_t i = 0; i < offsets; ++i) {
+      if (counts[i] > 0) result.mean_queue_by_offset[i] = sums[i] / counts[i];
+    }
+    if (in_burst_samples > 0) {
+      result.avg_queue_packets = in_burst_sum / static_cast<double>(in_burst_samples);
+    }
+    result.peak_queue_packets = static_cast<double>(peak);
+  }
+
+  if (inflight) result.inflight = inflight->snapshots();
+
+  return result;
+}
+
+}  // namespace incast::core

@@ -1,0 +1,40 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace incast::core {
+
+void FlowCountPredictor::observe(int flows) {
+  history_.push_back(flows);
+  while (history_.size() > config_.window_bursts) {
+    history_.pop_front();
+  }
+}
+
+int FlowCountPredictor::predict_percentile(double p) const {
+  if (!ready()) return 0;
+  std::vector<int> sorted(history_.begin(), history_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(std::lround(rank))];
+}
+
+double FlowCountPredictor::predict_mean() const {
+  if (!ready()) return 0.0;
+  double total = 0.0;
+  for (const int v : history_) total += v;
+  return total / static_cast<double>(history_.size());
+}
+
+std::int64_t suggest_cwnd_cap_bytes(int predicted_flows, std::int64_t bdp_bytes,
+                                    std::int64_t ecn_threshold_bytes,
+                                    std::int64_t mss_bytes) {
+  if (predicted_flows <= 0) return mss_bytes;
+  const std::int64_t budget = bdp_bytes + ecn_threshold_bytes;
+  return std::max(budget / predicted_flows, mss_bytes);
+}
+
+}  // namespace incast::core

@@ -1,0 +1,61 @@
+// FlowCountPredictor: forecast a service's incast degree from history.
+//
+// Section 3.3's finding — per-service flow-count distributions are stable
+// over hours and across hosts — implies hosts can *predict* the scale of
+// the next incast instead of reacting to it. This predictor maintains a
+// sliding window of observed per-burst flow counts and forecasts any
+// percentile of the next burst's flow count. Section 5.1's "guardrail"
+// proposal uses the p99 forecast to cap cwnd so that even the worst-case
+// incast fits the switch buffer (see suggest_cwnd_cap_bytes).
+#ifndef INCAST_CORE_PREDICTOR_H_
+#define INCAST_CORE_PREDICTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "sim/units.h"
+
+namespace incast::core {
+
+class FlowCountPredictor {
+ public:
+  struct Config {
+    std::size_t window_bursts{1000};  // history size
+    std::size_t min_history{20};      // below this, no prediction
+  };
+
+  FlowCountPredictor() = default;
+  explicit FlowCountPredictor(Config config) : config_{config} {}
+
+  // Records the flow count of an observed burst.
+  void observe(int flows);
+
+  [[nodiscard]] bool ready() const noexcept {
+    return history_.size() >= config_.min_history;
+  }
+  [[nodiscard]] std::size_t history_size() const noexcept { return history_.size(); }
+
+  // Forecast of the given percentile of the next burst's flow count.
+  // Returns 0 if not ready.
+  [[nodiscard]] int predict_percentile(double p) const;
+  [[nodiscard]] int predict_p99() const { return predict_percentile(99); }
+  [[nodiscard]] double predict_mean() const;
+
+ private:
+  Config config_;
+  std::deque<int> history_;
+};
+
+// The guardrail: a per-flow cwnd cap such that `predicted_flows` flows at
+// the cap fill exactly the path BDP plus the ECN marking threshold — i.e.
+// the worst-case incast converges at the marking point instead of
+// overshooting it. Floors at 1 MSS (the window cannot go lower anyway).
+[[nodiscard]] std::int64_t suggest_cwnd_cap_bytes(int predicted_flows,
+                                                  std::int64_t bdp_bytes,
+                                                  std::int64_t ecn_threshold_bytes,
+                                                  std::int64_t mss_bytes);
+
+}  // namespace incast::core
+
+#endif  // INCAST_CORE_PREDICTOR_H_

@@ -1,0 +1,93 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace incast::core {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+  out += rule + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::print(std::FILE* out) const { std::fputs(render().c_str(), out); }
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+void print_cdf(const std::string& title, const analysis::Cdf& cdf,
+               const std::vector<double>& percentiles, std::FILE* out) {
+  std::fprintf(out, "%s (n=%zu)\n", title.c_str(), cdf.count());
+  Table t{{"pct", "value"}};
+  for (const double p : percentiles) {
+    t.add_row({fmt(p, p == static_cast<int>(p) ? 0 : 1), fmt(cdf.percentile(p), 2)});
+  }
+  t.print(out);
+}
+
+void print_cdf_comparison(const std::string& title, const std::vector<std::string>& labels,
+                          const std::vector<analysis::Cdf>& cdfs,
+                          const std::vector<double>& percentiles, std::FILE* out) {
+  assert(labels.size() == cdfs.size());
+  std::fprintf(out, "%s\n", title.c_str());
+  std::vector<std::string> headers{"pct"};
+  headers.insert(headers.end(), labels.begin(), labels.end());
+  Table t{headers};
+  for (const double p : percentiles) {
+    std::vector<std::string> row{fmt(p, p == static_cast<int>(p) ? 0 : 1)};
+    for (const auto& cdf : cdfs) row.push_back(fmt(cdf.percentile(p), 2));
+    t.add_row(std::move(row));
+  }
+  t.print(out);
+  std::string counts = "n:";
+  for (std::size_t i = 0; i < cdfs.size(); ++i) {
+    counts += " " + labels[i] + "=" + std::to_string(cdfs[i].count());
+  }
+  std::fprintf(out, "%s\n", counts.c_str());
+}
+
+void print_header(const std::string& experiment_id, const std::string& caption,
+                  std::FILE* out) {
+  std::fprintf(out, "\n================================================================\n");
+  std::fprintf(out, "%s — %s\n", experiment_id.c_str(), caption.c_str());
+  std::fprintf(out, "================================================================\n");
+}
+
+}  // namespace incast::core

@@ -1,0 +1,40 @@
+#include "net/host.h"
+
+#include <cassert>
+#include <utility>
+
+namespace incast::net {
+
+std::size_t Host::add_nic(sim::Bandwidth bandwidth, sim::Time propagation_delay,
+                          const DropTailQueue::Config& queue_config) {
+  assert(!has_nic_ && "host already has a NIC");
+  nic_port_ = add_port(bandwidth, propagation_delay, queue_config);
+  has_nic_ = true;
+  return nic_port_;
+}
+
+void Host::send(Packet p) {
+  assert(has_nic_);
+  port(nic_port_).send(std::move(p));
+}
+
+void Host::register_flow(FlowId flow, PacketHandler* handler) {
+  assert(handler != nullptr);
+  flows_[flow] = handler;
+}
+
+void Host::unregister_flow(FlowId flow) { flows_.erase(flow); }
+
+void Host::receive(Packet p, std::size_t /*in_port*/) {
+  for (IngressTap* tap : taps_) {
+    tap->on_ingress(p, sim_.now());
+  }
+  const auto it = flows_.find(p.tcp.flow_id);
+  if (it == flows_.end()) {
+    ++unclaimed_packets_;
+    return;
+  }
+  it->second->handle_packet(std::move(p));
+}
+
+}  // namespace incast::net

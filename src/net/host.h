@@ -1,0 +1,68 @@
+// Host: an endhost with one NIC, flow demultiplexing, and telemetry taps.
+//
+// Hosts deliver arriving packets first to any registered IngressTaps (this
+// is where the Millisampler attaches, mirroring its production deployment as
+// an eBPF tc filter on the host NIC) and then to the PacketHandler
+// registered for the packet's flow (a TCP endpoint).
+#ifndef INCAST_NET_HOST_H_
+#define INCAST_NET_HOST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/node.h"
+
+namespace incast::net {
+
+// Consumes packets addressed to a flow terminating at this host.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle_packet(Packet p) = 0;
+};
+
+// Observes every packet arriving at the host NIC (read-only).
+class IngressTap {
+ public:
+  virtual ~IngressTap() = default;
+  virtual void on_ingress(const Packet& p, sim::Time now) = 0;
+};
+
+class Host : public Node {
+ public:
+  using Node::Node;
+
+  // Creates the NIC: an egress port of rate `bandwidth`. A host has exactly
+  // one NIC; calling twice is a bug.
+  std::size_t add_nic(sim::Bandwidth bandwidth, sim::Time propagation_delay,
+                      const DropTailQueue::Config& queue_config);
+
+  // Sends a packet out of the NIC.
+  void send(Packet p);
+
+  // Registers `handler` for packets of `flow`. The handler must outlive the
+  // registration; unregister before destroying it.
+  void register_flow(FlowId flow, PacketHandler* handler);
+  void unregister_flow(FlowId flow);
+
+  // Adds a read-only observer of all ingress packets (e.g. Millisampler).
+  void add_ingress_tap(IngressTap* tap) { taps_.push_back(tap); }
+
+  void receive(Packet p, std::size_t in_port) override;
+
+  [[nodiscard]] sim::Bandwidth nic_bandwidth() const { return port(nic_port_).bandwidth(); }
+
+  // Packets that arrived for a flow with no registered handler.
+  [[nodiscard]] std::int64_t unclaimed_packets() const noexcept { return unclaimed_packets_; }
+
+ private:
+  std::size_t nic_port_{0};
+  bool has_nic_{false};
+  std::unordered_map<FlowId, PacketHandler*> flows_;
+  std::vector<IngressTap*> taps_;
+  std::int64_t unclaimed_packets_{0};
+};
+
+}  // namespace incast::net
+
+#endif  // INCAST_NET_HOST_H_

@@ -1,0 +1,48 @@
+#include "net/node.h"
+
+#include <cassert>
+#include <utility>
+
+namespace incast::net {
+
+void Port::send(Packet p) {
+  assert(connected() && "port must be connected before sending");
+  if (queue_.enqueue(std::move(p))) {
+    maybe_transmit();
+  }
+}
+
+void Port::maybe_transmit() {
+  if (busy_) return;
+  auto next = queue_.dequeue();
+  if (!next.has_value()) return;
+
+  if (int_stamping_ && next->int_stack.enabled) {
+    next->int_stack.push(IntHopRecord{
+        .qlen_bytes = queue_.bytes(),
+        .tx_bytes = queue_.stats().dequeued_bytes,
+        .link_bps = bandwidth_.bps(),
+        .timestamp_ns = sim_.now().ns(),
+    });
+  }
+
+  busy_ = true;
+  const sim::Time serialization = bandwidth_.serialization_time(next->size_bytes);
+  // Two-phase delivery: the transmitter frees up after serialization, then
+  // the packet arrives at the peer one propagation delay later. Packets on
+  // the wire are "in flight" inside the event queue, not in any buffer.
+  sim_.schedule_in(serialization, [this, p = std::move(*next)]() mutable {
+    busy_ = false;
+    sim_.schedule_in(propagation_delay_, [this, p = std::move(p)]() mutable {
+      peer_->receive(std::move(p), peer_in_port_);
+    });
+    maybe_transmit();
+  });
+}
+
+void connect_duplex(Node& a, std::size_t ap, Node& b, std::size_t bp) {
+  a.port(ap).connect(b, bp);
+  b.port(bp).connect(a, ap);
+}
+
+}  // namespace incast::net

@@ -1,0 +1,118 @@
+// Node and Port: devices and their egress interfaces.
+//
+// A Node is anything with network ports (Host, Switch). A Port is one
+// unidirectional egress interface: it owns a DropTailQueue and a transmitter
+// that serializes packets at the port's line rate, then delivers them to the
+// connected peer after the link's propagation delay. Full-duplex links are
+// simply a pair of Ports, one on each endpoint.
+#ifndef INCAST_NET_NODE_H_
+#define INCAST_NET_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace incast::net {
+
+class Node;
+
+class Port {
+ public:
+  Port(sim::Simulator& sim, sim::Bandwidth bandwidth, sim::Time propagation_delay,
+       const DropTailQueue::Config& queue_config)
+      : sim_{sim},
+        bandwidth_{bandwidth},
+        propagation_delay_{propagation_delay},
+        queue_{queue_config} {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  // Wires this port's output to `peer`; delivered packets arrive via
+  // peer.receive(packet, peer_in_port).
+  void connect(Node& peer, std::size_t peer_in_port) noexcept {
+    peer_ = &peer;
+    peer_in_port_ = peer_in_port;
+  }
+
+  [[nodiscard]] bool connected() const noexcept { return peer_ != nullptr; }
+
+  // Queues `p` for transmission, starting the transmitter if idle. The
+  // queue may ECN-mark or drop the packet.
+  void send(Packet p);
+
+  [[nodiscard]] DropTailQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const DropTailQueue& queue() const noexcept { return queue_; }
+  [[nodiscard]] sim::Bandwidth bandwidth() const noexcept { return bandwidth_; }
+  [[nodiscard]] sim::Time propagation_delay() const noexcept { return propagation_delay_; }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+  // Switch egress ports stamp INT telemetry onto INT-enabled packets at
+  // dequeue (HPCC-style). Off by default; the topology builder enables it
+  // on switch ports.
+  void set_int_stamping(bool enabled) noexcept { int_stamping_ = enabled; }
+  [[nodiscard]] bool int_stamping() const noexcept { return int_stamping_; }
+
+ private:
+  void maybe_transmit();
+
+  sim::Simulator& sim_;
+  sim::Bandwidth bandwidth_;
+  sim::Time propagation_delay_;
+  DropTailQueue queue_;
+  Node* peer_{nullptr};
+  std::size_t peer_in_port_{0};
+  bool busy_{false};
+  bool int_stamping_{false};
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, NodeId id, std::string name)
+      : sim_{sim}, id_{id}, name_{std::move(name)} {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Delivers a packet that finished traversing a link into this node.
+  virtual void receive(Packet p, std::size_t in_port) = 0;
+
+  // Adds an egress port. Returns its index.
+  std::size_t add_port(sim::Bandwidth bandwidth, sim::Time propagation_delay,
+                       const DropTailQueue::Config& queue_config) {
+    ports_.push_back(
+        std::make_unique<Port>(sim_, bandwidth, propagation_delay, queue_config));
+    return ports_.size() - 1;
+  }
+
+  [[nodiscard]] Port& port(std::size_t i) { return *ports_.at(i); }
+  [[nodiscard]] const Port& port(std::size_t i) const { return *ports_.at(i); }
+  [[nodiscard]] std::size_t num_ports() const noexcept { return ports_.size(); }
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ protected:
+  sim::Simulator& sim_;
+
+ private:
+  NodeId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+// Connects a full-duplex link: a.port(ap) -> b as b's in-port bp, and
+// b.port(bp) -> a as a's in-port ap.
+void connect_duplex(Node& a, std::size_t ap, Node& b, std::size_t bp);
+
+}  // namespace incast::net
+
+#endif  // INCAST_NET_NODE_H_

@@ -1,0 +1,45 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace incast::net {
+
+std::string Packet::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "pkt{%u->%u flow=%llu seq=%lld ack=%lld len=%lld%s%s%s%s%s}", src, dst,
+                static_cast<unsigned long long>(tcp.flow_id), static_cast<long long>(tcp.seq),
+                static_cast<long long>(tcp.ack), static_cast<long long>(payload_bytes),
+                tcp.has_ack ? " ACK" : "", tcp.syn ? " SYN" : "", tcp.fin ? " FIN" : "",
+                tcp.ece ? " ECE" : "", ecn == Ecn::kCe ? " CE" : "");
+  return buf;
+}
+
+Packet make_data_packet(NodeId src, NodeId dst, FlowId flow, std::int64_t seq,
+                        std::int64_t payload_bytes) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = payload_bytes;
+  p.size_bytes = payload_bytes + kHeaderBytes;
+  p.ecn = Ecn::kEct0;  // DCTCP marks all data packets as ECN-capable
+  p.tcp.flow_id = flow;
+  p.tcp.seq = seq;
+  return p;
+}
+
+Packet make_ack_packet(NodeId src, NodeId dst, FlowId flow, std::int64_t ack, bool ece) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = 0;
+  p.size_bytes = kHeaderBytes;
+  p.ecn = Ecn::kNotEct;  // pure ACKs are not ECN-capable (standard practice)
+  p.tcp.flow_id = flow;
+  p.tcp.ack = ack;
+  p.tcp.has_ack = true;
+  p.tcp.ece = ece;
+  return p;
+}
+
+}  // namespace incast::net

@@ -1,0 +1,138 @@
+// Packet: the unit of data moved by the network simulator.
+//
+// One struct models the IP fields we need (ECN codepoint) plus a simplified
+// TCP header (sequence/ack numbers, flags, ECE/CWR echo bits). Packets are
+// plain values: they are moved through queues and links by value, never
+// shared, so there is no aliasing to reason about.
+#ifndef INCAST_NET_PACKET_H_
+#define INCAST_NET_PACKET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace incast::net {
+
+// Identifies a node (host or switch) in the simulated network.
+using NodeId = std::uint32_t;
+
+// Identifies one TCP connection, globally unique across the simulation.
+using FlowId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+
+// IP ECN field (RFC 3168). Senders mark data packets ECT(0); switches
+// escalate ECT packets to CE when congested; non-ECT packets are dropped
+// instead of marked.
+enum class Ecn : std::uint8_t {
+  kNotEct = 0,
+  kEct0 = 1,
+  kEct1 = 2,
+  kCe = 3,
+};
+
+[[nodiscard]] constexpr bool is_ect(Ecn e) noexcept { return e != Ecn::kNotEct; }
+
+// A SACK block: one contiguous range of out-of-order bytes the receiver
+// holds (RFC 2018). Real TCP fits at most 3-4 blocks in the option space;
+// we model the same limit.
+struct SackBlock {
+  std::int64_t start{0};  // first byte of the range
+  std::int64_t end{0};    // one past the last byte
+
+  friend constexpr bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+inline constexpr int kMaxSackBlocks = 3;
+
+// One hop's in-band network telemetry record (INT), in the style HPCC
+// [Li et al., SIGCOMM 2019] and successors rely on. Switch egress ports
+// stamp these onto INT-enabled data packets at dequeue; the receiver
+// echoes the stack back to the sender on ACKs.
+struct IntHopRecord {
+  std::int64_t qlen_bytes{0};     // egress queue depth when the packet left
+  std::int64_t tx_bytes{0};       // cumulative bytes transmitted by the port
+  std::int64_t link_bps{0};       // port line rate
+  std::int64_t timestamp_ns{0};   // stamping time
+
+  friend constexpr bool operator==(const IntHopRecord&, const IntHopRecord&) = default;
+};
+
+inline constexpr int kMaxIntHops = 4;
+
+// Simplified TCP header. Sequence numbers are 64-bit byte offsets — the
+// simulator never transfers enough to wrap 64 bits, which removes wraparound
+// from the protocol core (the wrap-safe 32-bit arithmetic used by real TCP
+// is provided and tested separately in tcp/sequence.h).
+struct TcpHeader {
+  FlowId flow_id{0};
+  std::int64_t seq{0};  // first payload byte carried by this segment
+  std::int64_t ack{0};  // next byte expected by the receiver
+  bool syn{false};
+  bool fin{false};
+  bool has_ack{false};  // ACK flag
+  bool ece{false};      // ECN-Echo: receiver -> sender congestion signal
+  bool cwr{false};      // Congestion Window Reduced: sender -> receiver
+  // SACK option: up to kMaxSackBlocks ranges, most recently changed first.
+  std::uint8_t num_sack{0};
+  std::array<SackBlock, kMaxSackBlocks> sack{};
+};
+
+// Receiver-driven credit transport messages (Homa/pHost/ExpressPass-style;
+// the "receiver-based" class the paper's Section 5 discusses). kRts
+// announces demand, kGrant is a credit for one segment, kData carries
+// granted bytes.
+enum class RdtType : std::uint8_t { kNone = 0, kRts, kGrant, kData };
+
+struct RdtHeader {
+  RdtType type{RdtType::kNone};
+  std::int64_t offset{0};  // grant/data: first byte; rts: total demand
+  std::int64_t length{0};  // grant/data: byte count
+};
+
+// INT stack carried by a packet (on data: stamped by switches; on ACKs:
+// echoed by the receiver).
+struct IntStack {
+  bool enabled{false};
+  std::uint8_t num_hops{0};
+  std::array<IntHopRecord, kMaxIntHops> hops{};
+
+  void push(const IntHopRecord& rec) noexcept {
+    if (num_hops < kMaxIntHops) hops[num_hops++] = rec;
+  }
+};
+
+struct Packet {
+  NodeId src{kInvalidNodeId};
+  NodeId dst{kInvalidNodeId};
+  std::int64_t size_bytes{0};     // on-the-wire size, headers included
+  std::int64_t payload_bytes{0};  // TCP payload carried
+  Ecn ecn{Ecn::kNotEct};
+  TcpHeader tcp{};
+  RdtHeader rdt{};
+  IntStack int_stack{};
+  bool is_retransmit{false};  // set by the sender on retransmitted data
+  sim::Time sent_at{};        // when the sender emitted it (diagnostics)
+  std::uint64_t uid{0};       // unique per packet (diagnostics)
+
+  [[nodiscard]] bool is_data() const noexcept { return payload_bytes > 0; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Size of the combined TCP/IP header we charge each packet.
+inline constexpr std::int64_t kHeaderBytes = 40;
+
+// Builds a data segment. Wire size = payload + headers.
+[[nodiscard]] Packet make_data_packet(NodeId src, NodeId dst, FlowId flow, std::int64_t seq,
+                                      std::int64_t payload_bytes);
+
+// Builds a pure ACK (no payload).
+[[nodiscard]] Packet make_ack_packet(NodeId src, NodeId dst, FlowId flow, std::int64_t ack,
+                                     bool ece);
+
+}  // namespace incast::net
+
+#endif  // INCAST_NET_PACKET_H_

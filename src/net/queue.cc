@@ -1,0 +1,44 @@
+#include "net/queue.h"
+
+#include <utility>
+
+namespace incast::net {
+
+bool DropTailQueue::enqueue(Packet p) {
+  // Check the per-queue caps before touching the pool so that a drop never
+  // leaves memory reserved.
+  if (packets() >= config_.capacity_packets ||
+      (config_.capacity_bytes > 0 && bytes_ + p.size_bytes > config_.capacity_bytes) ||
+      (pool_ != nullptr && !pool_->try_reserve(p.size_bytes, bytes_))) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += p.size_bytes;
+    return false;
+  }
+
+  // DCTCP marking rule: mark the arriving packet when the instantaneous
+  // occupancy is already at/above K.
+  if (config_.ecn_threshold_packets > 0 && is_ect(p.ecn) &&
+      packets() >= config_.ecn_threshold_packets) {
+    p.ecn = Ecn::kCe;
+    ++stats_.ecn_marked_packets;
+  }
+
+  bytes_ += p.size_bytes;
+  items_.push_back(std::move(p));
+  ++stats_.enqueued_packets;
+  if (packets() > peak_packets_) peak_packets_ = packets();
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (items_.empty()) return std::nullopt;
+  Packet p = std::move(items_.front());
+  items_.pop_front();
+  bytes_ -= p.size_bytes;
+  if (pool_ != nullptr) pool_->release(p.size_bytes);
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += p.size_bytes;
+  return p;
+}
+
+}  // namespace incast::net

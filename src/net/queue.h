@@ -1,0 +1,84 @@
+// DropTailQueue: a FIFO egress queue with threshold ECN marking.
+//
+// This is the queue the paper studies: a ToR egress FIFO with capacity 1333
+// packets (2 MB) and an ECN marking threshold K. An arriving ECT packet is
+// marked CE when the instantaneous occupancy is at or above K — the DCTCP
+// marking rule. Arrivals beyond capacity (or beyond the shared-buffer
+// dynamic threshold, when a pool is attached) are dropped at the tail.
+#ifndef INCAST_NET_QUEUE_H_
+#define INCAST_NET_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.h"
+#include "net/shared_buffer.h"
+
+namespace incast::net {
+
+class DropTailQueue {
+ public:
+  struct Config {
+    // Per-queue capacity limit, in packets. The paper's simulations use
+    // 1333 packets (2 MB of MTU-sized frames).
+    std::int64_t capacity_packets{1333};
+    // Optional additional byte-based cap (how real switches account their
+    // buffers; matters when small control packets share the queue with
+    // MTU frames). <= 0 disables the byte check.
+    std::int64_t capacity_bytes{0};
+    // ECN marking threshold K, in packets; <= 0 disables marking.
+    std::int64_t ecn_threshold_packets{65};
+  };
+
+  struct Stats {
+    std::int64_t enqueued_packets{0};
+    std::int64_t dropped_packets{0};
+    std::int64_t dropped_bytes{0};
+    std::int64_t ecn_marked_packets{0};
+    std::int64_t dequeued_packets{0};
+    std::int64_t dequeued_bytes{0};
+  };
+
+  explicit DropTailQueue(const Config& config) noexcept : config_{config} {}
+
+  // Attaches a shared buffer pool; admission then also requires pool memory.
+  void attach_pool(SharedBufferPool* pool) noexcept { pool_ = pool; }
+
+  // Admits `p` (marking it CE if the queue is past the ECN threshold) or
+  // drops it. Returns true if the packet was enqueued.
+  bool enqueue(Packet p);
+
+  // Removes the head-of-line packet; nullopt if empty.
+  std::optional<Packet> dequeue();
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::int64_t packets() const noexcept {
+    return static_cast<std::int64_t>(items_.size());
+  }
+  [[nodiscard]] std::int64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  // High watermark (packets) since the last take_watermark() call. This is
+  // how production ToRs report queue depth: a per-interval peak, not a time
+  // series (Section 3.4).
+  [[nodiscard]] std::int64_t peak_packets() const noexcept { return peak_packets_; }
+  std::int64_t take_watermark() noexcept {
+    const std::int64_t peak = peak_packets_;
+    peak_packets_ = packets();
+    return peak;
+  }
+
+ private:
+  Config config_;
+  SharedBufferPool* pool_{nullptr};
+  std::deque<Packet> items_;
+  std::int64_t bytes_{0};
+  std::int64_t peak_packets_{0};
+  Stats stats_;
+};
+
+}  // namespace incast::net
+
+#endif  // INCAST_NET_QUEUE_H_

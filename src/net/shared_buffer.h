@@ -1,0 +1,69 @@
+// SharedBufferPool: a switch-wide packet memory shared across ports.
+//
+// Production ToRs ("dynamically shared buffers", paper Section 2) let all
+// egress queues draw from one memory pool, with each queue's instantaneous
+// cap set by the Dynamic Threshold algorithm (Choudhury & Hahne):
+//
+//   cap(queue) = alpha * (pool_total - pool_used)
+//
+// The paper stresses that its own ns-3 simulations did NOT model this, and
+// that buffer sharing is why production incasts lose packets at flow counts
+// where a dedicated per-port buffer would survive (Sections 3.4, 4.1.1).
+// Modelling it here lets the fleet experiments produce realistic loss, and
+// lets ablation A3 quantify the effect.
+#ifndef INCAST_NET_SHARED_BUFFER_H_
+#define INCAST_NET_SHARED_BUFFER_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace incast::net {
+
+class SharedBufferPool {
+ public:
+  struct Config {
+    std::int64_t total_bytes{2 * 1024 * 1024};  // typical shallow ToR: a few MB
+    double alpha{1.0};                          // Dynamic Threshold aggressiveness
+  };
+
+  explicit SharedBufferPool(const Config& config) noexcept : config_{config} {}
+
+  // Asks whether a queue currently holding `queue_bytes` may admit a packet
+  // of `packet_bytes`, and reserves the memory if so.
+  [[nodiscard]] bool try_reserve(std::int64_t packet_bytes, std::int64_t queue_bytes) noexcept {
+    const std::int64_t free_bytes = config_.total_bytes - used_bytes_;
+    if (packet_bytes > free_bytes) return false;
+    const auto cap = static_cast<std::int64_t>(config_.alpha * static_cast<double>(free_bytes));
+    if (queue_bytes + packet_bytes > cap) return false;
+    used_bytes_ += packet_bytes;
+    return true;
+  }
+
+  // Returns memory when a packet leaves its queue.
+  void release(std::int64_t packet_bytes) noexcept {
+    assert(packet_bytes <= used_bytes_);
+    used_bytes_ -= packet_bytes;
+  }
+
+  // Models contention from other traffic on the rack (the "rack-level
+  // contention" of Section 3.4): bytes pinned by queues we do not simulate.
+  void set_external_usage(std::int64_t bytes) noexcept {
+    used_bytes_ += bytes - external_bytes_;
+    external_bytes_ = bytes;
+  }
+
+  [[nodiscard]] std::int64_t used_bytes() const noexcept { return used_bytes_; }
+  [[nodiscard]] std::int64_t free_bytes() const noexcept {
+    return config_.total_bytes - used_bytes_;
+  }
+  [[nodiscard]] std::int64_t total_bytes() const noexcept { return config_.total_bytes; }
+
+ private:
+  Config config_;
+  std::int64_t used_bytes_{0};
+  std::int64_t external_bytes_{0};
+};
+
+}  // namespace incast::net
+
+#endif  // INCAST_NET_SHARED_BUFFER_H_

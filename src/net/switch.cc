@@ -1,0 +1,24 @@
+#include "net/switch.h"
+
+#include <utility>
+
+namespace incast::net {
+
+SharedBufferPool& Switch::enable_shared_buffer(const SharedBufferPool::Config& config) {
+  pool_ = std::make_unique<SharedBufferPool>(config);
+  for (std::size_t i = 0; i < num_ports(); ++i) {
+    port(i).queue().attach_pool(pool_.get());
+  }
+  return *pool_;
+}
+
+void Switch::receive(Packet p, std::size_t /*in_port*/) {
+  const auto it = routes_.find(p.dst);
+  if (it == routes_.end()) {
+    ++unrouted_packets_;
+    return;
+  }
+  port(it->second).send(std::move(p));
+}
+
+}  // namespace incast::net

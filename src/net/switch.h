@@ -1,0 +1,45 @@
+// Switch: an output-queued switch with static destination-based routing.
+//
+// On ingress, the switch looks up the egress port for the packet's
+// destination node and hands the packet to that port (whose DropTailQueue
+// applies ECN marking and tail drop). Optionally, all of a switch's egress
+// queues can share one SharedBufferPool, modelling the dynamically shared
+// buffers of production ToRs.
+#ifndef INCAST_NET_SWITCH_H_
+#define INCAST_NET_SWITCH_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/node.h"
+#include "net/shared_buffer.h"
+
+namespace incast::net {
+
+class Switch : public Node {
+ public:
+  using Node::Node;
+
+  // Routes packets destined to `dst` out of `out_port`.
+  void set_route(NodeId dst, std::size_t out_port) { routes_[dst] = out_port; }
+
+  // Creates a shared buffer pool and attaches it to every *current* port's
+  // queue. Call after all ports have been added.
+  SharedBufferPool& enable_shared_buffer(const SharedBufferPool::Config& config);
+
+  [[nodiscard]] SharedBufferPool* shared_buffer() noexcept { return pool_.get(); }
+
+  void receive(Packet p, std::size_t in_port) override;
+
+  // Packets that arrived with no matching route (a topology bug).
+  [[nodiscard]] std::int64_t unrouted_packets() const noexcept { return unrouted_packets_; }
+
+ private:
+  std::unordered_map<NodeId, std::size_t> routes_;
+  std::unique_ptr<SharedBufferPool> pool_;
+  std::int64_t unrouted_packets_{0};
+};
+
+}  // namespace incast::net
+
+#endif  // INCAST_NET_SWITCH_H_

@@ -1,0 +1,68 @@
+#include "rdt/credit_incast.h"
+
+#include <cassert>
+
+namespace incast::rdt {
+
+CreditIncastDriver::CreditIncastDriver(sim::Simulator& sim, net::Dumbbell& dumbbell,
+                                       const Config& config, std::uint64_t seed)
+    : sim_{sim}, config_{config}, rng_{seed} {
+  assert(config_.num_flows <= dumbbell.num_senders());
+
+  const sim::Bandwidth bottleneck =
+      dumbbell.config().receiver_link.value_or(dumbbell.config().host_link);
+  demand_per_flow_ = std::max<std::int64_t>(
+      bottleneck.bytes_in(config_.burst_duration) / config_.num_flows, 1);
+
+  CreditReceiver::Config rcfg = config_.receiver;
+  rcfg.line_rate = bottleneck;
+  receiver_ = std::make_unique<CreditReceiver>(sim_, dumbbell.receiver(0), rcfg);
+  receiver_->set_on_flow_complete([this](net::FlowId) { on_flow_complete(); });
+
+  senders_.reserve(static_cast<std::size_t>(config_.num_flows));
+  for (int i = 0; i < config_.num_flows; ++i) {
+    const auto flow = static_cast<net::FlowId>(i) + 1;
+    senders_.push_back(std::make_unique<CreditSender>(
+        sim_, dumbbell.sender(i), dumbbell.receiver(0).id(), flow, config_.sender));
+    receiver_->accept_flow(flow, dumbbell.sender(i).id());
+  }
+}
+
+void CreditIncastDriver::start() { start_burst(); }
+
+void CreditIncastDriver::start_burst() {
+  ++current_burst_;
+  flows_done_in_burst_ = 0;
+  burst_started_ = sim_.now();
+  for (auto& sender : senders_) {
+    const sim::Time jitter =
+        rng_.uniform_time(sim::Time::zero(), config_.start_jitter_max);
+    CreditSender* s = sender.get();
+    sim_.schedule_in(jitter, [s, demand = demand_per_flow_] { s->add_app_data(demand); });
+  }
+}
+
+void CreditIncastDriver::on_flow_complete() {
+  ++flows_done_in_burst_;
+  if (flows_done_in_burst_ < config_.num_flows) return;
+
+  records_.push_back(BurstRecord{current_burst_, burst_started_, sim_.now()});
+  ++completed_bursts_;
+  if (completed_bursts_ < config_.num_bursts) {
+    sim_.schedule_in(config_.inter_burst_gap, [this] { start_burst(); });
+  }
+}
+
+std::int64_t CreditIncastDriver::total_rts() const {
+  std::int64_t total = 0;
+  for (const auto& s : senders_) total += s->rts_sent();
+  return total;
+}
+
+std::int64_t CreditIncastDriver::total_data_packets() const {
+  std::int64_t total = 0;
+  for (const auto& s : senders_) total += s->data_packets_sent();
+  return total;
+}
+
+}  // namespace incast::rdt

@@ -1,0 +1,71 @@
+// CreditIncastDriver: the Section 4 cyclic incast workload over the
+// receiver-driven credit transport, mirroring workload::CyclicIncastDriver
+// so the two transports can be compared on identical demand.
+#ifndef INCAST_RDT_CREDIT_INCAST_H_
+#define INCAST_RDT_CREDIT_INCAST_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "rdt/credit_transport.h"
+#include "sim/random.h"
+
+namespace incast::rdt {
+
+class CreditIncastDriver {
+ public:
+  struct Config {
+    int num_flows{500};
+    int num_bursts{4};
+    sim::Time burst_duration{sim::Time::milliseconds(15)};
+    sim::Time inter_burst_gap{sim::Time::milliseconds(10)};
+    sim::Time start_jitter_max{sim::Time::microseconds(100)};
+    CreditReceiver::Config receiver{};
+    CreditSender::Config sender{};
+  };
+
+  struct BurstRecord {
+    int index{0};
+    sim::Time started{};
+    sim::Time completed{};
+    [[nodiscard]] sim::Time completion_time() const noexcept { return completed - started; }
+  };
+
+  CreditIncastDriver(sim::Simulator& sim, net::Dumbbell& dumbbell, const Config& config,
+                     std::uint64_t seed);
+
+  void start();
+
+  [[nodiscard]] bool finished() const noexcept {
+    return completed_bursts_ == config_.num_bursts;
+  }
+  [[nodiscard]] const std::vector<BurstRecord>& bursts() const noexcept { return records_; }
+  [[nodiscard]] std::int64_t demand_per_flow_bytes() const noexcept {
+    return demand_per_flow_;
+  }
+  [[nodiscard]] CreditReceiver& receiver() noexcept { return *receiver_; }
+  [[nodiscard]] std::int64_t total_rts() const;
+  [[nodiscard]] std::int64_t total_data_packets() const;
+
+ private:
+  void start_burst();
+  void on_flow_complete();
+
+  sim::Simulator& sim_;
+  Config config_;
+  sim::Rng rng_;
+  std::int64_t demand_per_flow_{0};
+  std::unique_ptr<CreditReceiver> receiver_;
+  std::vector<std::unique_ptr<CreditSender>> senders_;
+
+  int current_burst_{-1};
+  int completed_bursts_{0};
+  int flows_done_in_burst_{0};
+  sim::Time burst_started_{};
+  std::vector<BurstRecord> records_;
+};
+
+}  // namespace incast::rdt
+
+#endif  // INCAST_RDT_CREDIT_INCAST_H_

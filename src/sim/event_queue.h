@@ -1,0 +1,112 @@
+// EventQueue: the pending-event set of the discrete-event kernel.
+//
+// A binary heap ordered by (time, sequence number). The sequence number is a
+// monotonically increasing insertion counter, which makes event ordering at
+// equal timestamps deterministic (FIFO) — essential for reproducible runs.
+// Cancellation is lazy: cancelled ids are remembered and skipped at pop time.
+#ifndef INCAST_SIM_EVENT_QUEUE_H_
+#define INCAST_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace incast::sim {
+
+// Identifies a scheduled event for cancellation. Ids are never reused.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` to run at absolute time `at`. Returns an id usable with
+  // cancel(). Scheduling into the past is the caller's bug; the queue will
+  // still pop events in heap order, so the kernel asserts on it instead.
+  EventId push(Time at, Callback cb) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(cb)});
+    pending_.insert(id);
+    return id;
+  }
+
+  // Cancels a pending event. Cancelling an id that already fired (or was
+  // already cancelled) is a harmless no-op — this is what timer code wants.
+  void cancel(EventId id) {
+    if (id == kInvalidEventId) return;
+    if (pending_.erase(id) > 0) {
+      cancelled_.insert(id);
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  // Time of the next non-cancelled event; Time::infinity() if none.
+  [[nodiscard]] Time next_time() {
+    skip_cancelled();
+    return heap_.empty() ? Time::infinity() : heap_.top().at;
+  }
+
+  // Pops the next non-cancelled event. Precondition: !empty().
+  struct Popped {
+    Time at;
+    EventId id;
+    Callback cb;
+  };
+  Popped pop() {
+    skip_cancelled();
+    // const_cast to move the callback out: priority_queue::top() is const,
+    // but we are about to pop the entry, so mutating it is safe.
+    auto& top = const_cast<Entry&>(heap_.top());
+    Popped out{top.at, top.id, std::move(top.cb)};
+    heap_.pop();
+    pending_.erase(out.id);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) break;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids scheduled and not yet fired or cancelled. Tracking pending ids
+  // (rather than a live counter) makes cancel() of an already-fired id a
+  // true no-op, as the contract promises.
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_{1};
+};
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_EVENT_QUEUE_H_

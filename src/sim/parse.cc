@@ -1,0 +1,72 @@
+#include "sim/parse.h"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+namespace incast::sim {
+
+namespace {
+
+// Splits "<number><unit>", tolerating whitespace; returns false when the
+// number is malformed or either part is empty.
+bool split_value_unit(std::string_view text, double& value, std::string& unit) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return false;
+
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.' ||
+          text[i] == '-' || text[i] == '+')) {
+    ++i;
+  }
+  const std::string_view number = text.substr(0, i);
+  std::string_view rest = text.substr(i);
+  while (!rest.empty() && std::isspace(static_cast<unsigned char>(rest.front()))) {
+    rest.remove_prefix(1);
+  }
+  if (number.empty() || rest.empty()) return false;
+
+  const auto [ptr, ec] =
+      std::from_chars(number.data(), number.data() + number.size(), value);
+  if (ec != std::errc{} || ptr != number.data() + number.size()) return false;
+
+  unit.clear();
+  for (const char c : rest) {
+    unit.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Time> parse_time(std::string_view text) {
+  double value = 0.0;
+  std::string unit;
+  if (!split_value_unit(text, value, unit)) return std::nullopt;
+
+  if (unit == "ns") return Time::nanoseconds(static_cast<std::int64_t>(value));
+  if (unit == "us") return Time::microseconds(value);
+  if (unit == "ms") return Time::milliseconds(value);
+  if (unit == "s") return Time::seconds(value);
+  return std::nullopt;
+}
+
+std::optional<Bandwidth> parse_bandwidth(std::string_view text) {
+  double value = 0.0;
+  std::string unit;
+  if (!split_value_unit(text, value, unit)) return std::nullopt;
+
+  if (unit == "bps") return Bandwidth::bits_per_second(static_cast<std::int64_t>(value));
+  if (unit == "kbps") return Bandwidth::kilobits_per_second(value);
+  if (unit == "mbps") return Bandwidth::megabits_per_second(value);
+  if (unit == "gbps") return Bandwidth::gigabits_per_second(value);
+  return std::nullopt;
+}
+
+}  // namespace incast::sim

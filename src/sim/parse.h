@@ -1,0 +1,31 @@
+// Parsing helpers: human-friendly strings to Time and Bandwidth.
+//
+// Used by the CLI driver and anywhere configuration comes from text:
+//   parse_time("15ms") -> 15 milliseconds      (ns, us, ms, s)
+//   parse_bandwidth("10Gbps") -> 10 Gbit/s     (bps, Kbps, Mbps, Gbps)
+//
+// Both return std::nullopt on malformed input instead of throwing, so
+// callers can produce their own diagnostics.
+#ifndef INCAST_SIM_PARSE_H_
+#define INCAST_SIM_PARSE_H_
+
+#include <optional>
+#include <string_view>
+
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace incast::sim {
+
+// Accepts "<number><unit>" with unit in {ns, us, ms, s} (case-insensitive);
+// the number may be fractional ("1.5ms"). Whitespace between number and
+// unit is allowed ("15 ms").
+[[nodiscard]] std::optional<Time> parse_time(std::string_view text);
+
+// Accepts "<number><unit>" with unit in {bps, kbps, mbps, gbps}
+// (case-insensitive); fractional numbers allowed ("2.5Gbps").
+[[nodiscard]] std::optional<Bandwidth> parse_bandwidth(std::string_view text);
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_PARSE_H_

@@ -1,0 +1,65 @@
+// Rng: deterministic pseudo-random numbers for simulations.
+//
+// We implement the generator (xoshiro256**) and every distribution ourselves
+// instead of using <random>'s distributions, whose output is
+// implementation-defined. With this class, a seed fully determines a run on
+// any platform, which the test suite relies on.
+#ifndef INCAST_SIM_RANDOM_H_
+#define INCAST_SIM_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace incast::sim {
+
+class Rng {
+ public:
+  // Seeds the state via SplitMix64, so any 64-bit seed (including 0) yields
+  // a well-mixed state.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  // Uniform 64-bit output (xoshiro256**).
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  // Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform duration in [lo, hi).
+  [[nodiscard]] Time uniform_time(Time lo, Time hi) noexcept;
+
+  // True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  // Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  // Standard normal via Box-Muller (no state cached; we burn one draw pair).
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  // Lognormal: exp(N(mu, sigma)). Note mu/sigma are parameters of the
+  // underlying normal, not the lognormal's own mean/stddev.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  // Poisson with the given mean. Uses inversion for small means and a
+  // normal approximation above 256 (ample for our workloads).
+  [[nodiscard]] std::int64_t poisson(double mean) noexcept;
+
+  // Derives an independent child generator; used to give each host/flow its
+  // own stream so adding components does not perturb others' draws.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_RANDOM_H_

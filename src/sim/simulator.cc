@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace incast::sim {
+
+EventId Simulator::schedule_at(Time at, Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  return queue_.push(at, std::move(cb));
+}
+
+void Simulator::dispatch_one() {
+  auto ev = queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  ++events_processed_;
+  ev.cb();
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    dispatch_one();
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    const Time next = queue_.next_time();
+    if (next > deadline) break;
+    dispatch_one();
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace incast::sim

@@ -1,0 +1,63 @@
+// Simulator: the discrete-event loop.
+//
+// Single-threaded and deterministic: events at equal timestamps fire in
+// scheduling order. All simulation components hold a Simulator& and schedule
+// work through it; nothing in the simulation may consult wall-clock time.
+#ifndef INCAST_SIM_SIMULATOR_H_
+#define INCAST_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace incast::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time. Advances only inside run()/run_until().
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  // Schedules `cb` at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, Callback cb);
+
+  // Schedules `cb` after `delay` (must be >= 0).
+  EventId schedule_in(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a pending event; no-op if it already fired.
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs until the event queue drains or stop() is called.
+  void run();
+
+  // Runs events with timestamp <= deadline, then sets now() = deadline.
+  // Events scheduled beyond the deadline stay queued, so simulation can be
+  // resumed with further run_until() calls.
+  void run_until(Time deadline);
+
+  // Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+  [[nodiscard]] std::size_t events_pending() const noexcept { return queue_.size(); }
+
+ private:
+  void dispatch_one();
+
+  EventQueue queue_;
+  Time now_{Time::zero()};
+  bool stopped_{false};
+  std::uint64_t events_processed_{0};
+};
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_SIMULATOR_H_

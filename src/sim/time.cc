@@ -1,0 +1,26 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace incast::sim {
+
+std::string Time::to_string() const {
+  if (is_infinite()) return "inf";
+  char buf[32];
+  const std::int64_t v = ns_;
+  if (v == 0) {
+    return "0s";
+  }
+  if (v % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(v / 1'000'000'000));
+  } else if (v % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(v / 1'000'000));
+  } else if (v % 1'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(v / 1'000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(v));
+  }
+  return buf;
+}
+
+}  // namespace incast::sim

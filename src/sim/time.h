@@ -1,0 +1,115 @@
+// Time: a strong type for simulated time with nanosecond resolution.
+//
+// All simulator timestamps and durations use this type. Using a dedicated
+// type (rather than a bare int64_t) prevents accidentally mixing time with
+// byte counts or rates, and gives named constructors for each unit.
+#ifndef INCAST_SIM_TIME_H_
+#define INCAST_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace incast::sim {
+
+// A point in simulated time, or a duration, in nanoseconds.
+//
+// Time supports the usual arithmetic (difference of two points is a
+// duration; durations add, scale, and divide). We deliberately use one type
+// for both points and durations — the simulator's origin is always t = 0, so
+// the distinction carries no information here and a single type keeps the
+// API small.
+class Time {
+ public:
+  constexpr Time() noexcept = default;
+
+  // Named constructors. Fractional inputs are supported for the coarser
+  // units because configuration is often expressed as e.g. 0.5 ms.
+  [[nodiscard]] static constexpr Time nanoseconds(std::int64_t ns) noexcept {
+    return Time{ns};
+  }
+  [[nodiscard]] static constexpr Time microseconds(double us) noexcept {
+    return Time{static_cast<std::int64_t>(us * 1e3)};
+  }
+  [[nodiscard]] static constexpr Time milliseconds(double ms) noexcept {
+    return Time{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  [[nodiscard]] static constexpr Time seconds(double s) noexcept {
+    return Time{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr Time zero() noexcept { return Time{0}; }
+  // A sentinel later than any reachable simulation time.
+  [[nodiscard]] static constexpr Time infinity() noexcept {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double us() const noexcept { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double ms() const noexcept { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double sec() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+
+  [[nodiscard]] constexpr bool is_infinite() const noexcept {
+    return ns_ == std::numeric_limits<std::int64_t>::max();
+  }
+
+  constexpr auto operator<=>(const Time&) const noexcept = default;
+
+  constexpr Time& operator+=(Time other) noexcept {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time other) noexcept {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) noexcept {
+    return Time{a.ns_ + b.ns_};
+  }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) noexcept {
+    return Time{a.ns_ - b.ns_};
+  }
+  // Scaling uses double throughout: nanosecond counts in any realistic
+  // simulation stay far below 2^53, so the conversion is exact.
+  [[nodiscard]] friend constexpr Time operator*(Time a, double k) noexcept {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  [[nodiscard]] friend constexpr Time operator*(double k, Time a) noexcept { return a * k; }
+  // Ratio of two durations (e.g. how many bins fit in a trace).
+  [[nodiscard]] friend constexpr double operator/(Time a, Time b) noexcept {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  [[nodiscard]] friend constexpr Time operator/(Time a, double k) noexcept {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.ns_) / k)};
+  }
+
+  // Human-readable rendering with an auto-selected unit ("1.5ms", "30us").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) noexcept : ns_{ns} {}
+
+  std::int64_t ns_{0};
+};
+
+namespace literals {
+
+[[nodiscard]] constexpr Time operator""_ns(unsigned long long v) noexcept {
+  return Time::nanoseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_us(unsigned long long v) noexcept {
+  return Time::microseconds(static_cast<double>(v));
+}
+[[nodiscard]] constexpr Time operator""_ms(unsigned long long v) noexcept {
+  return Time::milliseconds(static_cast<double>(v));
+}
+[[nodiscard]] constexpr Time operator""_s(unsigned long long v) noexcept {
+  return Time::seconds(static_cast<double>(v));
+}
+
+}  // namespace literals
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_TIME_H_

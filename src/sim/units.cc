@@ -1,0 +1,19 @@
+#include "sim/units.h"
+
+#include <cstdio>
+
+namespace incast::sim {
+
+std::string Bandwidth::to_string() const {
+  char buf[32];
+  if (bps_ >= 1'000'000'000 && bps_ % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldGbps", static_cast<long long>(bps_ / 1'000'000'000));
+  } else if (bps_ >= 1'000'000 && bps_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldMbps", static_cast<long long>(bps_ / 1'000'000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldbps", static_cast<long long>(bps_));
+  }
+  return buf;
+}
+
+}  // namespace incast::sim

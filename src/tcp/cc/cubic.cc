@@ -1,0 +1,122 @@
+#include "tcp/cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tcp/cc/hpcc.h"
+#include "tcp/cc/swift.h"
+
+namespace incast::tcp {
+
+void CubicCc::start_epoch(sim::Time now) noexcept {
+  // W_max was recorded at the last decrease; if we have grown past it since
+  // (e.g. after an idle period), treat the current window as the new W_max.
+  const double current = static_cast<double>(cwnd_bytes()) / static_cast<double>(mss());
+  w_max_segments_ = std::max(w_max_segments_, current);
+  epoch_start_ = now;
+  epoch_active_ = true;
+}
+
+void CubicCc::on_ack(const AckEvent& ev) {
+  if (ev.newly_acked_bytes <= 0) return;
+
+  if (in_slow_start()) {
+    increase_on_ack(ev.newly_acked_bytes);
+    return;
+  }
+  if (!epoch_active_) {
+    start_epoch(ev.now);
+  }
+
+  const double c = config().cubic_c;
+  const double beta = config().cubic_beta;
+  const double t = (ev.now - epoch_start_).sec();
+  const double k = std::cbrt(w_max_segments_ * (1.0 - beta) / c);
+  const double target_segments = c * std::pow(t - k, 3.0) + w_max_segments_;
+  const auto target_bytes =
+      static_cast<std::int64_t>(target_segments * static_cast<double>(mss()));
+
+  if (target_bytes > cwnd_bytes()) {
+    // Approach the cubic target smoothly: close the gap by cwnd/target per
+    // ACK rather than jumping (RFC 9438 §4.4's per-ACK increment).
+    const std::int64_t gap = target_bytes - cwnd_bytes();
+    const std::int64_t step = std::max<std::int64_t>(
+        gap * ev.newly_acked_bytes / std::max<std::int64_t>(cwnd_bytes(), mss()), 0);
+    set_cwnd(cwnd_bytes() + std::min(step, mss()));
+  }
+}
+
+void CubicCc::on_loss(std::int64_t /*in_flight*/) {
+  const double beta = config().cubic_beta;
+  const double current = static_cast<double>(cwnd_bytes()) / static_cast<double>(mss());
+  w_max_segments_ = current;
+  epoch_active_ = false;  // the next ACK restarts the epoch with this W_max
+  decrease_to(static_cast<std::int64_t>(current * beta * static_cast<double>(mss())));
+}
+
+void CubicCc::on_timeout() {
+  WindowCc::on_timeout();
+  epoch_active_ = false;
+  w_max_segments_ = 0.0;
+}
+
+std::unique_ptr<CongestionControl> make_cubic(const CcConfig& config) {
+  return std::make_unique<CubicCc>(config);
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcAlgorithm algo,
+                                                           const CcConfig& config) {
+  switch (algo) {
+    case CcAlgorithm::kReno:
+      return make_reno(config, /*ecn_enabled=*/false);
+    case CcAlgorithm::kRenoEcn:
+      return make_reno(config, /*ecn_enabled=*/true);
+    case CcAlgorithm::kDctcp:
+      return make_dctcp(config);
+    case CcAlgorithm::kCubic:
+      return make_cubic(config);
+    case CcAlgorithm::kSwift: {
+      SwiftConfig swift;
+      swift.mss_bytes = config.mss_bytes;
+      swift.initial_window_segments = config.initial_window_segments;
+      swift.target_delay = config.swift_target_delay;
+      swift.additive_increase_segments = config.swift_additive_increase_segments;
+      swift.beta = config.swift_beta;
+      swift.max_mdf = config.swift_max_mdf;
+      swift.min_cwnd_segments = config.swift_min_cwnd_segments;
+      return make_swift(swift);
+    }
+    case CcAlgorithm::kHpcc: {
+      HpccConfig hpcc;
+      hpcc.mss_bytes = config.mss_bytes;
+      hpcc.initial_window_segments = config.initial_window_segments;
+      hpcc.eta = config.hpcc_eta;
+      hpcc.max_stage = config.hpcc_max_stage;
+      hpcc.wai_bytes = config.hpcc_wai_bytes;
+      hpcc.base_rtt = config.hpcc_base_rtt;
+      hpcc.min_cwnd_segments = config.hpcc_min_cwnd_segments;
+      return make_hpcc(hpcc);
+    }
+  }
+  return make_dctcp(config);
+}
+
+const char* to_string(CcAlgorithm algo) noexcept {
+  switch (algo) {
+    case CcAlgorithm::kReno:
+      return "reno";
+    case CcAlgorithm::kRenoEcn:
+      return "reno-ecn";
+    case CcAlgorithm::kDctcp:
+      return "dctcp";
+    case CcAlgorithm::kCubic:
+      return "cubic";
+    case CcAlgorithm::kSwift:
+      return "swift";
+    case CcAlgorithm::kHpcc:
+      return "hpcc";
+  }
+  return "unknown";
+}
+
+}  // namespace incast::tcp

@@ -1,0 +1,71 @@
+// RttEstimator: smoothed RTT and retransmission timeout per RFC 6298.
+//
+//   SRTT    <- (1 - 1/8) * SRTT + 1/8 * sample
+//   RTTVAR  <- (1 - 1/4) * RTTVAR + 1/4 * |SRTT - sample|
+//   RTO     <- clamp(SRTT + 4 * RTTVAR, min_rto, max_rto)
+//
+// min_rto matters enormously for incast Mode 3 (Section 4.1.3): with the
+// Linux default of 200 ms, a timeout stretches a 15 ms burst to ~200 ms of
+// burst completion time, which is exactly what the paper reports.
+#ifndef INCAST_TCP_RTT_ESTIMATOR_H_
+#define INCAST_TCP_RTT_ESTIMATOR_H_
+
+#include "sim/time.h"
+
+namespace incast::tcp {
+
+class RttEstimator {
+ public:
+  struct Config {
+    sim::Time initial_rto{sim::Time::milliseconds(1)};
+    sim::Time min_rto{sim::Time::milliseconds(200)};  // Linux default
+    sim::Time max_rto{sim::Time::seconds(120)};
+  };
+
+  explicit RttEstimator(const Config& config) noexcept : config_{config} {}
+
+  // Feeds one RTT measurement (from a segment that was not retransmitted —
+  // Karn's rule is enforced by the caller).
+  void add_sample(sim::Time rtt) noexcept {
+    if (!has_sample_ || rtt < min_rtt_) min_rtt_ = rtt;
+    if (!has_sample_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      has_sample_ = true;
+    } else {
+      const sim::Time err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+      rttvar_ = rttvar_ * 0.75 + err * 0.25;
+      srtt_ = srtt_ * 0.875 + rtt * 0.125;
+    }
+  }
+
+  [[nodiscard]] sim::Time rto() const noexcept {
+    if (!has_sample_) return clamp(config_.initial_rto);
+    return clamp(srtt_ + rttvar_ * 4);
+  }
+
+  [[nodiscard]] bool has_sample() const noexcept { return has_sample_; }
+  [[nodiscard]] sim::Time srtt() const noexcept { return srtt_; }
+  [[nodiscard]] sim::Time rttvar() const noexcept { return rttvar_; }
+  // Smallest sample seen: an estimate of the propagation (base) RTT, free
+  // of queueing. Used for pacing-rate computation.
+  [[nodiscard]] sim::Time min_rtt() const noexcept { return min_rtt_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] sim::Time clamp(sim::Time t) const noexcept {
+    if (t < config_.min_rto) return config_.min_rto;
+    if (t > config_.max_rto) return config_.max_rto;
+    return t;
+  }
+
+  Config config_;
+  sim::Time srtt_{sim::Time::zero()};
+  sim::Time rttvar_{sim::Time::zero()};
+  sim::Time min_rtt_{sim::Time::zero()};
+  bool has_sample_{false};
+};
+
+}  // namespace incast::tcp
+
+#endif  // INCAST_TCP_RTT_ESTIMATOR_H_

@@ -1,0 +1,73 @@
+// SeqNum32: wrap-safe 32-bit TCP sequence-number arithmetic (RFC 9293).
+//
+// The simulator's protocol core uses 64-bit byte offsets (which cannot wrap
+// at simulated scales), but real TCP headers carry 32-bit sequence numbers
+// whose comparisons must be computed modulo 2^32. This class provides that
+// arithmetic for the on-the-wire representation, with the standard
+// "serial number" ordering: a < b iff (b - a) mod 2^32 is in (0, 2^31).
+#ifndef INCAST_TCP_SEQUENCE_H_
+#define INCAST_TCP_SEQUENCE_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace incast::tcp {
+
+class SeqNum32 {
+ public:
+  constexpr SeqNum32() noexcept = default;
+  explicit constexpr SeqNum32(std::uint32_t raw) noexcept : raw_{raw} {}
+
+  [[nodiscard]] constexpr std::uint32_t raw() const noexcept { return raw_; }
+
+  // Advances by `bytes`, wrapping modulo 2^32.
+  [[nodiscard]] constexpr SeqNum32 operator+(std::uint32_t bytes) const noexcept {
+    return SeqNum32{raw_ + bytes};
+  }
+  constexpr SeqNum32& operator+=(std::uint32_t bytes) noexcept {
+    raw_ += bytes;
+    return *this;
+  }
+
+  // Signed distance from `other` to *this (how far *this is ahead),
+  // interpreting the gap as a two's-complement 32-bit value.
+  [[nodiscard]] constexpr std::int32_t operator-(SeqNum32 other) const noexcept {
+    return static_cast<std::int32_t>(raw_ - other.raw_);
+  }
+
+  friend constexpr bool operator==(SeqNum32 a, SeqNum32 b) noexcept {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr bool operator<(SeqNum32 a, SeqNum32 b) noexcept { return (b - a) > 0; }
+  friend constexpr bool operator>(SeqNum32 a, SeqNum32 b) noexcept { return b < a; }
+  friend constexpr bool operator<=(SeqNum32 a, SeqNum32 b) noexcept { return !(b < a); }
+  friend constexpr bool operator>=(SeqNum32 a, SeqNum32 b) noexcept { return !(a < b); }
+
+  // True if *this lies in the half-open window [lo, lo + size).
+  [[nodiscard]] constexpr bool in_window(SeqNum32 lo, std::uint32_t size) const noexcept {
+    return static_cast<std::uint32_t>(raw_ - lo.raw_) < size;
+  }
+
+ private:
+  std::uint32_t raw_{0};
+};
+
+// Converts a 64-bit stream offset to its 32-bit wire representation.
+[[nodiscard]] constexpr SeqNum32 to_wire_seq(std::int64_t offset, std::uint32_t isn = 0) noexcept {
+  return SeqNum32{static_cast<std::uint32_t>(offset) + isn};
+}
+
+// Recovers a 64-bit stream offset from a wire sequence number, given a
+// reference offset known to be within 2^31 of the true value (e.g. the
+// receiver's rcv_nxt). This is how a real implementation "unwraps" 32-bit
+// sequence numbers into a linear stream position.
+[[nodiscard]] constexpr std::int64_t from_wire_seq(SeqNum32 wire, std::int64_t reference,
+                                                   std::uint32_t isn = 0) noexcept {
+  const SeqNum32 ref_wire = to_wire_seq(reference, isn);
+  const std::int32_t delta = wire - ref_wire;
+  return reference + delta;
+}
+
+}  // namespace incast::tcp
+
+#endif  // INCAST_TCP_SEQUENCE_H_

@@ -1,0 +1,40 @@
+// TcpConnection: a sender/receiver endpoint pair with a shared flow id.
+//
+// Connections are persistent (the paper's workloads reuse connections across
+// bursts, which is what makes the Section 4.3 divergence possible), so no
+// SYN handshake is modelled: both endpoints exist from construction, exactly
+// like a long-lived connection in steady state.
+#ifndef INCAST_TCP_TCP_CONNECTION_H_
+#define INCAST_TCP_TCP_CONNECTION_H_
+
+#include <memory>
+
+#include "tcp/tcp_receiver.h"
+#include "tcp/tcp_sender.h"
+
+namespace incast::tcp {
+
+class TcpConnection {
+ public:
+  // Builds a connection carrying data sender_host -> receiver_host.
+  TcpConnection(sim::Simulator& sim, net::Host& sender_host, net::Host& receiver_host,
+                net::FlowId flow, const TcpConfig& config)
+      : sender_{std::make_unique<TcpSender>(sim, sender_host, receiver_host.id(), flow,
+                                            config)},
+        receiver_{std::make_unique<TcpReceiver>(sim, receiver_host, sender_host.id(), flow,
+                                                config)} {}
+
+  [[nodiscard]] TcpSender& sender() noexcept { return *sender_; }
+  [[nodiscard]] const TcpSender& sender() const noexcept { return *sender_; }
+  [[nodiscard]] TcpReceiver& receiver() noexcept { return *receiver_; }
+  [[nodiscard]] const TcpReceiver& receiver() const noexcept { return *receiver_; }
+  [[nodiscard]] net::FlowId flow() const noexcept { return sender_->flow(); }
+
+ private:
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+};
+
+}  // namespace incast::tcp
+
+#endif  // INCAST_TCP_TCP_CONNECTION_H_

@@ -1,0 +1,437 @@
+#include "tcp/tcp_sender.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace incast::tcp {
+
+namespace {
+constexpr int kMaxRtoBackoff = 10;  // cap 2^10 on the exponential backoff
+}
+
+TcpSender::TcpSender(sim::Simulator& sim, net::Host& local, net::NodeId remote,
+                     net::FlowId flow, const TcpConfig& config)
+    : sim_{sim},
+      local_{local},
+      remote_{remote},
+      flow_{flow},
+      config_{config},
+      cc_{make_congestion_control(config.cc, config.cc_config)},
+      rtt_{config.rtt} {
+  local_.register_flow(flow_, this);
+}
+
+TcpSender::~TcpSender() {
+  local_.unregister_flow(flow_);
+  cancel_rto();
+  cancel_tlp();
+  sim_.cancel(pace_timer_);
+}
+
+void TcpSender::add_app_data(std::int64_t bytes) {
+  assert(bytes >= 0);
+  if (bytes == 0) return;
+
+  if (config_.slow_start_after_idle && snd_una_ == snd_nxt_ &&
+      sim_.now() - last_activity_ > current_rto()) {
+    cc_->reset_to_initial_window();
+  }
+
+  app_limit_ += bytes;
+  try_send();
+}
+
+std::int64_t TcpSender::effective_cwnd() const noexcept {
+  const std::int64_t cwnd = cc_->cwnd_bytes();
+  if (config_.cwnd_cap_bytes.has_value()) {
+    return std::max(std::min(cwnd, *config_.cwnd_cap_bytes), config_.mss_bytes);
+  }
+  return cwnd;
+}
+
+void TcpSender::handle_packet(net::Packet p) {
+  if (!p.tcp.has_ack) return;
+
+  ++stats_.acks_received;
+  if (p.tcp.ece) ++stats_.ece_acks_received;
+
+  if (config_.sack_enabled && p.tcp.num_sack > 0) {
+    update_scoreboard(p.tcp);
+  }
+
+  const std::int64_t ack = p.tcp.ack;
+  if (ack > snd_una_) {
+    on_new_ack(ack, p.tcp.ece, p.int_stack);
+  } else if (ack == snd_una_ && snd_nxt_ > snd_una_) {
+    on_duplicate_ack(p.tcp.ece, p.int_stack);
+  }
+  // ACKs below snd_una_ are stale; ignore.
+}
+
+void TcpSender::update_scoreboard(const net::TcpHeader& tcp) {
+  for (int i = 0; i < tcp.num_sack; ++i) {
+    ++stats_.sack_blocks_processed;
+    std::int64_t start = std::max(tcp.sack[static_cast<std::size_t>(i)].start, snd_una_);
+    std::int64_t end = std::min(tcp.sack[static_cast<std::size_t>(i)].end, snd_nxt_);
+    if (start >= end) continue;
+
+    // Merge [start, end) into the disjoint scoreboard, counting only the
+    // bytes not already recorded.
+    auto it = sacked_.lower_bound(start);
+    if (it != sacked_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) {
+        start = prev->first;
+        end = std::max(end, prev->second);
+        sacked_bytes_ -= prev->second - prev->first;
+        it = sacked_.erase(prev);
+      }
+    }
+    while (it != sacked_.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      sacked_bytes_ -= it->second - it->first;
+      it = sacked_.erase(it);
+    }
+    sacked_.emplace(start, end);
+    sacked_bytes_ += end - start;
+  }
+}
+
+void TcpSender::drop_scoreboard_below(std::int64_t seq) {
+  while (!sacked_.empty()) {
+    auto it = sacked_.begin();
+    if (it->second <= seq) {
+      sacked_bytes_ -= it->second - it->first;
+      sacked_.erase(it);
+    } else if (it->first < seq) {
+      sacked_bytes_ -= seq - it->first;
+      const std::int64_t end = it->second;
+      sacked_.erase(it);
+      sacked_.emplace(seq, end);
+      break;
+    } else {
+      break;
+    }
+  }
+}
+
+std::pair<std::int64_t, std::int64_t> TcpSender::next_hole() const {
+  std::int64_t start = std::max(snd_una_, recovery_retx_cursor_);
+  // Skip past any sacked ranges covering `start`.
+  for (const auto& [s, e] : sacked_) {
+    if (e <= start) continue;
+    if (s > start) break;  // `start` sits in a gap
+    start = e;
+  }
+  const std::int64_t limit = std::min(recover_seq_, app_limit_);
+  if (start >= limit) return {0, 0};
+
+  std::int64_t end = std::min(start + config_.mss_bytes, limit);
+  // Do not run into the next sacked block.
+  const auto it = sacked_.upper_bound(start);
+  if (it != sacked_.end() && it->first < end) end = it->first;
+  return {start, end - start};
+}
+
+AckEvent TcpSender::make_ack_event(std::int64_t newly_acked, bool ece) const noexcept {
+  AckEvent ev;
+  ev.newly_acked_bytes = newly_acked;
+  ev.ece = ece;
+  ev.snd_una = snd_una_;
+  ev.snd_nxt = snd_nxt_;
+  ev.in_flight = in_flight_bytes();
+  ev.now = sim_.now();
+  ev.app_limited = snd_nxt_ >= app_limit_;
+  return ev;
+}
+
+void TcpSender::on_new_ack(std::int64_t ack, bool ece, const net::IntStack& int_stack) {
+  const std::int64_t newly_acked = ack - snd_una_;
+  snd_una_ = ack;
+  // After an RTO's go-back-N, data buffered out-of-order at the receiver
+  // can make the cumulative ACK jump past the collapsed send point; keep
+  // the snd_una <= snd_nxt invariant so pipe accounting stays sane.
+  snd_nxt_ = std::max(snd_nxt_, snd_una_);
+  drop_scoreboard_below(ack);
+  dup_acks_ = 0;
+  rto_backoff_ = 0;  // new progress resets the backoff
+
+  // RTT sample (Karn's rule: sample_end_seq_ was invalidated if the timed
+  // segment's range was retransmitted).
+  AckEvent ev = make_ack_event(newly_acked, ece);
+  ev.int_stack = int_stack;
+  if (sample_end_seq_ >= 0 && ack >= sample_end_seq_) {
+    ev.rtt_valid = true;
+    ev.rtt = sim_.now() - sample_sent_at_;
+    rtt_.add_sample(ev.rtt);
+    sample_end_seq_ = -1;
+  }
+
+  if (in_recovery_) {
+    if (ack >= recover_seq_) {
+      in_recovery_ = false;
+      cc_->on_recovery_exit();
+    } else {
+      // Partial ACK: the next hole was also lost; retransmit it
+      // immediately (RFC 6582 §3.2 / RFC 6675's NextSeg with the SACK
+      // scoreboard skipping already-delivered ranges).
+      retransmit_holes();
+    }
+  }
+
+  cc_->on_ack(ev);
+
+  // Forward progress: the quiet episode (if any) is over.
+  tlp_probe_outstanding_ = false;
+  if (snd_una_ == snd_nxt_) {
+    cancel_rto();
+    cancel_tlp();
+  } else {
+    rearm_rto();
+    if (config_.tail_loss_probe && !in_recovery_) arm_tlp();
+  }
+
+  try_send();
+
+  if (on_ack_advance_) on_ack_advance_(snd_una_);
+  if (all_acked() && on_all_acked_) {
+    on_all_acked_();
+  }
+}
+
+void TcpSender::on_duplicate_ack(bool ece, const net::IntStack& int_stack) {
+  ++dup_acks_;
+  AckEvent ev = make_ack_event(0, ece);
+  ev.int_stack = int_stack;
+  cc_->on_ack(ev);
+
+  // RFC 6675-style early entry: three duplicate ACKs, or SACK evidence of
+  // at least DupThresh segments having left the network.
+  const bool sack_loss = config_.sack_enabled &&
+                         sacked_bytes_ >= config_.dupack_threshold * config_.mss_bytes;
+  if (!in_recovery_ && (dup_acks_ >= config_.dupack_threshold || sack_loss)) {
+    enter_recovery();
+  } else if (in_recovery_) {
+    // Each duplicate ACK signals a departure; keep filling holes while the
+    // window allows.
+    retransmit_holes();
+  } else if (config_.limited_transmit && dup_acks_ <= 2 && snd_nxt_ < app_limit_ &&
+             pipe_bytes() <= effective_cwnd() + 2 * config_.mss_bytes) {
+    // Limited transmit (RFC 3042): the first two duplicate ACKs may each
+    // release one new segment, keeping the ACK clock alive at small
+    // windows.
+    const std::int64_t len = std::min(config_.mss_bytes, app_limit_ - snd_nxt_);
+    send_segment(snd_nxt_, len);
+    snd_nxt_ += len;
+    max_sent_ = std::max(max_sent_, snd_nxt_);
+    ++stats_.limited_transmits;
+  }
+  try_send();
+}
+
+void TcpSender::enter_recovery() {
+  in_recovery_ = true;
+  recover_seq_ = snd_nxt_;
+  recovery_retx_cursor_ = snd_una_;
+  cancel_tlp();  // loss recovery supersedes the probe
+  ++stats_.fast_retransmits;
+  cc_->on_loss(in_flight_bytes());
+  retransmit_head();
+}
+
+void TcpSender::retransmit_head() {
+  // The first retransmission of a recovery episode: always allowed, even
+  // if the post-loss window is already full.
+  auto [seq, len] = next_hole();
+  if (len <= 0) return;
+  send_segment(seq, len);
+  recovery_retx_cursor_ = seq + len;
+}
+
+void TcpSender::retransmit_holes() {
+  // One hole per ACK (packet conservation): each arriving ACK lets one
+  // retransmission out, provided the window has room.
+  auto [seq, len] = next_hole();
+  if (len <= 0) return;
+  if (pipe_bytes() + len > effective_cwnd() + config_.mss_bytes) return;
+  send_segment(seq, len);
+  recovery_retx_cursor_ = seq + len;
+}
+
+void TcpSender::try_send() {
+  const std::int64_t cwnd = effective_cwnd();
+  if (cwnd < config_.mss_bytes) {
+    paced_send(cwnd);
+    return;
+  }
+  while (snd_nxt_ < app_limit_) {
+    const std::int64_t len = std::min(config_.mss_bytes, app_limit_ - snd_nxt_);
+    // Window check on "pipe" (outstanding minus SACKed): outside recovery
+    // the scoreboard is empty and this is the classic in-flight check.
+    if (pipe_bytes() + len > cwnd) break;
+    send_segment(snd_nxt_, len);
+    snd_nxt_ += len;
+    max_sent_ = std::max(max_sent_, snd_nxt_);
+  }
+}
+
+void TcpSender::paced_send(std::int64_t cwnd) {
+  if (snd_nxt_ >= app_limit_ || pipe_bytes() > 0) return;
+
+  const sim::Time now = sim_.now();
+  if (now < pace_next_) {
+    // Too soon: wake up when the pacing gap has elapsed.
+    if (pace_timer_ == sim::kInvalidEventId) {
+      pace_timer_ = sim_.schedule_at(pace_next_, [this] {
+        pace_timer_ = sim::kInvalidEventId;
+        try_send();
+      });
+    }
+    return;
+  }
+
+  const std::int64_t len = std::min(config_.mss_bytes, app_limit_ - snd_nxt_);
+  send_segment(snd_nxt_, len);
+  snd_nxt_ += len;
+  max_sent_ = std::max(max_sent_, snd_nxt_);
+
+  // One packet per (mss / cwnd) base RTTs: with cwnd = 0.25 MSS, a packet
+  // every four RTTs. The base (min) RTT is used so queueing delay does not
+  // feed back into the pacing rate.
+  const sim::Time rtt =
+      rtt_.has_sample() ? rtt_.min_rtt() : sim::Time::microseconds(30);
+  const double packets_per_rtt =
+      static_cast<double>(std::max<std::int64_t>(cwnd, 1)) /
+      static_cast<double>(config_.mss_bytes);
+  pace_next_ = now + rtt * (1.0 / packets_per_rtt);
+}
+
+void TcpSender::send_segment(std::int64_t seq, std::int64_t len) {
+  assert(len > 0);
+  net::Packet p = net::make_data_packet(local_.id(), remote_, flow_, seq, len);
+  p.sent_at = sim_.now();
+  p.int_stack.enabled = config_.int_telemetry;
+
+  const bool is_retx = seq + len <= max_sent_;
+  p.is_retransmit = is_retx;
+
+  ++stats_.data_packets_sent;
+  stats_.data_bytes_sent += len;
+  if (is_retx) {
+    ++stats_.retransmitted_packets;
+    stats_.retransmitted_bytes += len;
+    // Karn's rule: a retransmission overlapping the timed segment
+    // invalidates the pending RTT sample.
+    if (sample_end_seq_ >= 0 && seq < sample_end_seq_) {
+      sample_end_seq_ = -1;
+    }
+  } else if (sample_end_seq_ < 0) {
+    sample_end_seq_ = seq + len;
+    sample_sent_at_ = sim_.now();
+  }
+
+  last_activity_ = sim_.now();
+  local_.send(std::move(p));
+  arm_rto();
+  if (config_.tail_loss_probe && !in_recovery_ && !tlp_probe_outstanding_) {
+    arm_tlp();
+  }
+}
+
+void TcpSender::arm_tlp() {
+  cancel_tlp();
+  const sim::Time srtt =
+      rtt_.has_sample() ? rtt_.srtt() : rtt_.config().initial_rto;
+  sim::Time pto = srtt * config_.pto_srtt_multiplier;
+  if (pto < config_.min_pto) pto = config_.min_pto;
+  tlp_timer_ = sim_.schedule_in(pto, [this] {
+    tlp_timer_ = sim::kInvalidEventId;
+    on_pto();
+  });
+}
+
+void TcpSender::cancel_tlp() {
+  sim_.cancel(tlp_timer_);
+  tlp_timer_ = sim::kInvalidEventId;
+}
+
+void TcpSender::on_pto() {
+  // A probe timeout: no ACK for ~2 SRTT with data outstanding. Retransmit
+  // the highest-sent segment (or send new data if available) to elicit a
+  // SACK/dupACK response; fast recovery then repairs the actual hole
+  // without waiting out the RTO (RFC 8985 §7.3, simplified).
+  if (snd_una_ >= snd_nxt_ || in_recovery_) return;
+
+  ++stats_.tlp_probes;
+  tlp_probe_outstanding_ = true;  // at most one probe per quiet episode
+
+  if (snd_nxt_ < app_limit_) {
+    const std::int64_t len = std::min(config_.mss_bytes, app_limit_ - snd_nxt_);
+    send_segment(snd_nxt_, len);
+    snd_nxt_ += len;
+    max_sent_ = std::max(max_sent_, snd_nxt_);
+  } else {
+    const std::int64_t len = std::min(config_.mss_bytes, snd_nxt_ - snd_una_);
+    send_segment(snd_nxt_ - len, len);
+  }
+  // The RTO (re-armed by send_segment if needed) remains the backstop.
+}
+
+sim::Time TcpSender::current_rto() const noexcept {
+  sim::Time rto = rtt_.rto();
+  for (int i = 0; i < rto_backoff_; ++i) {
+    rto = rto * 2;
+    if (rto > rtt_.config().max_rto) return rtt_.config().max_rto;
+  }
+  return rto;
+}
+
+void TcpSender::arm_rto() {
+  if (rto_timer_ != sim::kInvalidEventId) return;
+  rto_timer_ = sim_.schedule_in(current_rto(), [this] {
+    rto_timer_ = sim::kInvalidEventId;
+    on_rto();
+  });
+}
+
+void TcpSender::rearm_rto() {
+  cancel_rto();
+  arm_rto();
+}
+
+void TcpSender::cancel_rto() {
+  sim_.cancel(rto_timer_);
+  rto_timer_ = sim::kInvalidEventId;
+}
+
+void TcpSender::on_rto() {
+  if (snd_una_ >= snd_nxt_) {
+    // Stale timer: nothing is outstanding. If the application still has
+    // unsent data (e.g. a pacing gap was pending when the flow went
+    // idle), revive transmission rather than going silent.
+    try_send();
+    return;
+  }
+
+  ++stats_.timeouts;
+  rto_backoff_ = std::min(rto_backoff_ + 1, kMaxRtoBackoff);
+  cc_->on_timeout();
+
+  // Go-back-N: collapse the send point to the cumulative ACK. max_sent_
+  // keeps its value so the re-sent range is accounted as retransmission.
+  // The scoreboard is discarded with it (everything will be re-sent).
+  snd_nxt_ = snd_una_;
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  sample_end_seq_ = -1;
+  sacked_.clear();
+  sacked_bytes_ = 0;
+  cancel_tlp();
+  tlp_probe_outstanding_ = false;
+
+  try_send();
+  arm_rto();
+}
+
+}  // namespace incast::tcp

@@ -1,0 +1,37 @@
+#include "telemetry/inflight_sampler.h"
+
+#include <algorithm>
+
+namespace incast::telemetry {
+
+void InflightSampler::tick(sim::Time until) {
+  std::vector<std::int64_t> inflight;
+  inflight.reserve(senders_.size());
+  for (const tcp::TcpSender* s : senders_) {
+    if (!s->all_acked()) {
+      inflight.push_back(s->in_flight_bytes());
+    }
+  }
+
+  Snapshot snap;
+  snap.at = sim_.now();
+  snap.active_flows = static_cast<int>(inflight.size());
+  if (!inflight.empty()) {
+    std::sort(inflight.begin(), inflight.end());
+    const auto n = inflight.size();
+    std::int64_t total = 0;
+    for (const std::int64_t v : inflight) total += v;
+    snap.p50_bytes = inflight[n / 2];
+    snap.mean_bytes = total / static_cast<std::int64_t>(n);
+    snap.p95_bytes = inflight[std::min(n - 1, n * 95 / 100)];
+    snap.max_bytes = inflight[n - 1];
+  }
+  snapshots_.push_back(snap);
+
+  const sim::Time next = sim_.now() + period_;
+  if (next <= until) {
+    sim_.schedule_in(period_, [this, until] { tick(until); });
+  }
+}
+
+}  // namespace incast::telemetry

@@ -1,0 +1,57 @@
+// InflightSampler: periodic census of per-flow in-flight bytes.
+//
+// Figure 7 plots the distribution (median / mean / p95 / p100) of in-flight
+// data across the *active* flows of an incast over time, exposing the
+// straggler skew behind the paper's Section 4.3 divergence analysis. This
+// sampler polls a set of TcpSenders on a fixed period and records, per
+// tick, the summary statistics over flows with unfinished demand.
+#ifndef INCAST_TELEMETRY_INFLIGHT_SAMPLER_H_
+#define INCAST_TELEMETRY_INFLIGHT_SAMPLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "tcp/tcp_sender.h"
+
+namespace incast::telemetry {
+
+class InflightSampler {
+ public:
+  struct Snapshot {
+    sim::Time at;
+    int active_flows{0};
+    std::int64_t p50_bytes{0};
+    std::int64_t mean_bytes{0};
+    std::int64_t p95_bytes{0};
+    std::int64_t max_bytes{0};
+  };
+
+  // `senders` must outlive the sampler. A flow is active when it still has
+  // unacknowledged or unsent demand.
+  InflightSampler(sim::Simulator& sim, std::vector<tcp::TcpSender*> senders,
+                  sim::Time period)
+      : sim_{sim}, senders_{std::move(senders)}, period_{period} {}
+
+  InflightSampler(const InflightSampler&) = delete;
+  InflightSampler& operator=(const InflightSampler&) = delete;
+
+  void start(sim::Time until) { tick(until); }
+
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+
+ private:
+  void tick(sim::Time until);
+
+  sim::Simulator& sim_;
+  std::vector<tcp::TcpSender*> senders_;
+  sim::Time period_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace incast::telemetry
+
+#endif  // INCAST_TELEMETRY_INFLIGHT_SAMPLER_H_

@@ -1,0 +1,75 @@
+#include "telemetry/millisampler.h"
+
+#include <cassert>
+
+namespace incast::telemetry {
+
+void Millisampler::on_ingress(const net::Packet& p, sim::Time now) {
+  assert(now >= origin_);
+  const auto index =
+      static_cast<std::size_t>((now - origin_).ns() / config_.bin_duration.ns());
+  roll_to(index);
+
+  started_ = true;
+  current_.bytes += p.size_bytes;
+  if (p.ecn == net::Ecn::kCe) current_.marked_bytes += p.size_bytes;
+  if (p.is_retransmit) current_.retx_bytes += p.size_bytes;
+  if (p.is_data()) current_flows_.insert(p.tcp.flow_id);
+}
+
+void Millisampler::roll_to(std::size_t bin_index) {
+  assert(bin_index >= current_index_);
+  while (current_index_ < bin_index) {
+    current_.active_flows = static_cast<int>(current_flows_.size());
+    bins_.push_back(current_);
+    current_ = Bin{};
+    current_flows_.clear();
+    ++current_index_;
+  }
+}
+
+void Millisampler::finalize(sim::Time end) {
+  const auto last = static_cast<std::size_t>((end - origin_).ns() / config_.bin_duration.ns());
+  if (current_index_ < last) {
+    roll_to(last);
+  } else if (bins_.size() > last) {
+    // Packets arrived past `end` (e.g. the run drained in-flight bursts
+    // beyond the trace boundary); clip the trace at the boundary.
+    bins_.resize(last);
+  }
+}
+
+void Millisampler::restart(sim::Time origin) {
+  origin_ = origin;
+  bins_.clear();
+  current_index_ = 0;
+  current_ = Bin{};
+  current_flows_.clear();
+  started_ = false;
+}
+
+double Millisampler::utilization(std::size_t i) const {
+  return static_cast<double>(bins_.at(i).bytes) /
+         static_cast<double>(bytes_per_bin_at_line_rate());
+}
+
+double Millisampler::marked_utilization(std::size_t i) const {
+  return static_cast<double>(bins_.at(i).marked_bytes) /
+         static_cast<double>(bytes_per_bin_at_line_rate());
+}
+
+double Millisampler::retx_utilization(std::size_t i) const {
+  return static_cast<double>(bins_.at(i).retx_bytes) /
+         static_cast<double>(bytes_per_bin_at_line_rate());
+}
+
+double Millisampler::average_utilization() const {
+  if (bins_.empty()) return 0.0;
+  std::int64_t total = 0;
+  for (const Bin& b : bins_) total += b.bytes;
+  return static_cast<double>(total) /
+         (static_cast<double>(bytes_per_bin_at_line_rate()) *
+          static_cast<double>(bins_.size()));
+}
+
+}  // namespace incast::telemetry

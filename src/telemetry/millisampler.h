@@ -1,0 +1,80 @@
+// Millisampler: host-side ingress sampling at millisecond granularity.
+//
+// The production Millisampler [Ghabashneh et al., IMC 2022] runs as an eBPF
+// tc filter on the host NIC and bins ingress traffic at 1 ms. This class is
+// its simulator equivalent: it attaches to a Host as an IngressTap and
+// records, per 1 ms bin, the ingress bytes, ECN(CE)-marked bytes,
+// retransmitted bytes, and the number of distinct active flows — exactly
+// the four quantities behind the paper's Figures 1, 2, and 4.
+#ifndef INCAST_TELEMETRY_MILLISAMPLER_H_
+#define INCAST_TELEMETRY_MILLISAMPLER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/host.h"
+#include "sim/units.h"
+
+namespace incast::telemetry {
+
+class Millisampler final : public net::IngressTap {
+ public:
+  struct Config {
+    sim::Time bin_duration{sim::Time::milliseconds(1)};
+    // NIC line rate, used to express bins as utilization fractions.
+    sim::Bandwidth line_rate{sim::Bandwidth::gigabits_per_second(10)};
+  };
+
+  struct Bin {
+    std::int64_t bytes{0};         // all ingress bytes
+    std::int64_t marked_bytes{0};  // bytes in CE-marked packets
+    std::int64_t retx_bytes{0};    // bytes in retransmitted data packets
+    int active_flows{0};           // distinct flows with data in this bin
+  };
+
+  explicit Millisampler(const Config& config) : config_{config} {}
+
+  // IngressTap: called by the Host for every arriving packet.
+  void on_ingress(const net::Packet& p, sim::Time now) override;
+
+  // Closes the trace at `end`: flushes the in-progress bin and pads with
+  // empty bins so the trace covers [0, end). Call once, after the run.
+  void finalize(sim::Time end);
+
+  [[nodiscard]] const std::vector<Bin>& bins() const noexcept { return bins_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  // Fraction of line rate used in bin i.
+  [[nodiscard]] double utilization(std::size_t i) const;
+  // Fraction of line rate that was CE-marked in bin i.
+  [[nodiscard]] double marked_utilization(std::size_t i) const;
+  // Fraction of line rate that was retransmitted data in bin i.
+  [[nodiscard]] double retx_utilization(std::size_t i) const;
+
+  // Mean utilization across the whole trace.
+  [[nodiscard]] double average_utilization() const;
+
+  // Clears all bins, starting a fresh trace at the given origin. Lets one
+  // sampler collect multiple traces from the same host.
+  void restart(sim::Time origin);
+
+ private:
+  void roll_to(std::size_t bin_index);
+  [[nodiscard]] std::int64_t bytes_per_bin_at_line_rate() const noexcept {
+    return config_.line_rate.bytes_in(config_.bin_duration);
+  }
+
+  Config config_;
+  sim::Time origin_{sim::Time::zero()};
+  std::vector<Bin> bins_;
+  // The bin currently being filled.
+  std::size_t current_index_{0};
+  Bin current_{};
+  std::unordered_set<net::FlowId> current_flows_;
+  bool started_{false};
+};
+
+}  // namespace incast::telemetry
+
+#endif  // INCAST_TELEMETRY_MILLISAMPLER_H_

@@ -1,0 +1,31 @@
+#include "telemetry/packet_logger.h"
+
+#include <ostream>
+
+namespace incast::telemetry {
+
+void PacketLogger::on_ingress(const net::Packet& p, sim::Time now) {
+  ++total_;
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(Event{
+      .at = now,
+      .flow = p.tcp.flow_id,
+      .seq = p.tcp.seq,
+      .ack = p.tcp.ack,
+      .payload_bytes = p.payload_bytes,
+      .is_ack = p.tcp.has_ack,
+      .ce = p.ecn == net::Ecn::kCe,
+      .retransmit = p.is_retransmit,
+  });
+}
+
+void PacketLogger::write_csv(std::ostream& out) const {
+  out << "t_ns,flow,seq,ack,payload,is_ack,ce,retx\n";
+  for (const Event& e : events_) {
+    out << e.at.ns() << ',' << e.flow << ',' << e.seq << ',' << e.ack << ','
+        << e.payload_bytes << ',' << (e.is_ack ? 1 : 0) << ',' << (e.ce ? 1 : 0) << ','
+        << (e.retransmit ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace incast::telemetry

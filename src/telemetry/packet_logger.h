@@ -1,0 +1,61 @@
+// PacketLogger: a bounded per-packet event log at a host NIC.
+//
+// The heavyweight sibling of Millisampler: where the sampler aggregates
+// into 1 ms bins, the logger records individual packet arrivals (time,
+// flow, sequence, size, CE, retransmit flags) into a fixed-capacity ring —
+// the simulator equivalent of a truncated packet capture. Useful for
+// debugging protocol behaviour and for microscopic views of single bursts;
+// attach sparingly, it costs memory per packet.
+#ifndef INCAST_TELEMETRY_PACKET_LOGGER_H_
+#define INCAST_TELEMETRY_PACKET_LOGGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+
+#include "net/host.h"
+
+namespace incast::telemetry {
+
+class PacketLogger final : public net::IngressTap {
+ public:
+  struct Event {
+    sim::Time at{};
+    net::FlowId flow{0};
+    std::int64_t seq{0};
+    std::int64_t ack{0};
+    std::int64_t payload_bytes{0};
+    bool is_ack{false};
+    bool ce{false};
+    bool retransmit{false};
+  };
+
+  // Keeps the most recent `capacity` events; older ones are evicted.
+  explicit PacketLogger(std::size_t capacity = 65536) : capacity_{capacity} {}
+
+  void on_ingress(const net::Packet& p, sim::Time now) override;
+
+  [[nodiscard]] const std::deque<Event>& events() const noexcept { return events_; }
+  // Every packet observed, including those already evicted from the ring.
+  [[nodiscard]] std::uint64_t total_observed() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t evicted() const noexcept {
+    return total_ - static_cast<std::uint64_t>(events_.size());
+  }
+
+  void clear() noexcept {
+    events_.clear();
+    total_ = 0;
+  }
+
+  // One CSV row per event: t_ns,flow,seq,ack,payload,is_ack,ce,retx
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace incast::telemetry
+
+#endif  // INCAST_TELEMETRY_PACKET_LOGGER_H_

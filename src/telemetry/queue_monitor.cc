@@ -1,0 +1,33 @@
+#include "telemetry/queue_monitor.h"
+
+namespace incast::telemetry {
+
+void QueueMonitor::start(sim::Time until) {
+  if (config_.sample_every > sim::Time::zero()) {
+    sample_tick(until);
+  }
+  if (config_.watermark_window > sim::Time::zero()) {
+    // Reset the queue's watermark so the first window starts clean.
+    (void)queue_.take_watermark();
+    sim_.schedule_in(config_.watermark_window, [this, until] { watermark_tick(until); });
+  }
+}
+
+void QueueMonitor::sample_tick(sim::Time until) {
+  samples_.push_back(Sample{sim_.now(), queue_.packets()});
+  const sim::Time next = sim_.now() + config_.sample_every;
+  if (next <= until) {
+    sim_.schedule_in(config_.sample_every, [this, until] { sample_tick(until); });
+  }
+}
+
+void QueueMonitor::watermark_tick(sim::Time until) {
+  watermarks_.push_back(queue_.take_watermark());
+  drops_.push_back(queue_.stats().dropped_packets);
+  const sim::Time next = sim_.now() + config_.watermark_window;
+  if (next <= until) {
+    sim_.schedule_in(config_.watermark_window, [this, until] { watermark_tick(until); });
+  }
+}
+
+}  // namespace incast::telemetry

@@ -1,0 +1,70 @@
+// QueueMonitor: records switch queue occupancy two ways.
+//
+// 1. A periodic time series of instantaneous depth (for Figures 5 and 6,
+//    which plot ToR queue length over time during bursts).
+// 2. Windowed high watermarks — the per-interval peak occupancy. This is
+//    how production ToRs expose queue depth ("switches record queue
+//    utilization as a high watermark over the last minute", Section 3.4).
+//    We default to 1 ms windows so watermarks can be joined to Millisampler
+//    bins for per-burst peak-queue statistics (Figure 4a).
+#ifndef INCAST_TELEMETRY_QUEUE_MONITOR_H_
+#define INCAST_TELEMETRY_QUEUE_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace incast::telemetry {
+
+class QueueMonitor {
+ public:
+  struct Config {
+    // Instantaneous sampling period; zero disables the time series.
+    sim::Time sample_every{sim::Time::zero()};
+    // Watermark window; zero disables watermarks.
+    sim::Time watermark_window{sim::Time::milliseconds(1)};
+  };
+
+  struct Sample {
+    sim::Time at;
+    std::int64_t packets;
+  };
+
+  QueueMonitor(sim::Simulator& sim, net::DropTailQueue& queue, const Config& config)
+      : sim_{sim}, queue_{queue}, config_{config} {}
+
+  QueueMonitor(const QueueMonitor&) = delete;
+  QueueMonitor& operator=(const QueueMonitor&) = delete;
+
+  // Begins monitoring until `until` (exclusive of further events).
+  void start(sim::Time until);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+  // watermarks()[i] is the peak depth (packets) in window i.
+  [[nodiscard]] const std::vector<std::int64_t>& watermarks() const noexcept {
+    return watermarks_;
+  }
+  // Cumulative drops observed at the end of each watermark window.
+  [[nodiscard]] const std::vector<std::int64_t>& drops_at_window_end() const noexcept {
+    return drops_;
+  }
+
+  [[nodiscard]] net::DropTailQueue& queue() noexcept { return queue_; }
+
+ private:
+  void sample_tick(sim::Time until);
+  void watermark_tick(sim::Time until);
+
+  sim::Simulator& sim_;
+  net::DropTailQueue& queue_;
+  Config config_;
+  std::vector<Sample> samples_;
+  std::vector<std::int64_t> watermarks_;
+  std::vector<std::int64_t> drops_;
+};
+
+}  // namespace incast::telemetry
+
+#endif  // INCAST_TELEMETRY_QUEUE_MONITOR_H_

@@ -1,0 +1,96 @@
+#include "telemetry/trace_io.h"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <string_view>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace incast::telemetry {
+
+namespace {
+
+constexpr const char* kHeader = "bin,bytes,marked_bytes,retx_bytes,active_flows";
+
+std::int64_t parse_int(std::string_view field, std::size_t line_no) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error("trace csv: bad integer '" + std::string(field) +
+                             "' on line " + std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_bins_csv(const std::vector<Millisampler::Bin>& bins, std::ostream& out) {
+  out << kHeader << '\n';
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const auto& b = bins[i];
+    out << i << ',' << b.bytes << ',' << b.marked_bytes << ',' << b.retx_bytes << ','
+        << b.active_flows << '\n';
+  }
+}
+
+bool write_bins_csv_file(const std::vector<Millisampler::Bin>& bins,
+                         const std::string& path) {
+  std::ofstream out{path};
+  if (!out) return false;
+  write_bins_csv(bins, out);
+  return static_cast<bool>(out);
+}
+
+std::vector<Millisampler::Bin> read_bins_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("trace csv: missing or wrong header");
+  }
+
+  std::vector<Millisampler::Bin> bins;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::array<std::string_view, 5> fields;
+    std::size_t field_count = 0;
+    std::string_view rest{line};
+    bool more = true;
+    while (more && field_count < fields.size()) {
+      const std::size_t comma = rest.find(',');
+      fields[field_count++] = rest.substr(0, comma);
+      more = comma != std::string_view::npos;
+      if (more) rest.remove_prefix(comma + 1);
+    }
+    if (field_count != 5 || more) {
+      throw std::runtime_error("trace csv: expected 5 columns on line " +
+                               std::to_string(line_no));
+    }
+
+    const auto index = parse_int(fields[0], line_no);
+    if (index != static_cast<std::int64_t>(bins.size())) {
+      throw std::runtime_error("trace csv: non-contiguous bin index on line " +
+                               std::to_string(line_no));
+    }
+    Millisampler::Bin b;
+    b.bytes = parse_int(fields[1], line_no);
+    b.marked_bytes = parse_int(fields[2], line_no);
+    b.retx_bytes = parse_int(fields[3], line_no);
+    b.active_flows = static_cast<int>(parse_int(fields[4], line_no));
+    bins.push_back(b);
+  }
+  return bins;
+}
+
+std::vector<Millisampler::Bin> read_bins_csv_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error("trace csv: cannot open " + path);
+  }
+  return read_bins_csv(in);
+}
+
+}  // namespace incast::telemetry

@@ -1,0 +1,133 @@
+#include "workload/service_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace incast::workload {
+
+int sample_flow_count(const ServiceProfile& profile, sim::Rng& rng, bool alt_regime,
+                      double host_factor) {
+  if (profile.low_mode_probability > 0.0 && rng.bernoulli(profile.low_mode_probability)) {
+    return static_cast<int>(rng.uniform_int(profile.low_mode_min, profile.low_mode_max));
+  }
+  double median = profile.body_median_flows;
+  if (alt_regime && profile.alt_median_flows > 0.0) {
+    median = profile.alt_median_flows;
+  }
+  median *= host_factor;
+  const double v = rng.lognormal(std::log(median), profile.body_sigma);
+  const int flows = static_cast<int>(std::lround(v));
+  return std::clamp(flows, profile.min_flows, profile.max_flows);
+}
+
+sim::Time sample_burst_duration(const ServiceProfile& profile, sim::Rng& rng) {
+  // Truncated geometric by inversion: keep drawing until within range (the
+  // truncation point is far in the tail, so this terminates fast).
+  const double p = profile.duration_geometric_p;
+  for (;;) {
+    double u = rng.uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    const int k = 1 + static_cast<int>(std::floor(std::log(u) / std::log(1.0 - p)));
+    if (k <= profile.max_duration_ms) {
+      return sim::Time::milliseconds(static_cast<double>(k));
+    }
+  }
+}
+
+double sample_burst_utilization(const ServiceProfile& profile, sim::Rng& rng) {
+  return rng.uniform(profile.util_lo, profile.util_hi);
+}
+
+double host_factor(const ServiceProfile& profile, int host_index) {
+  if (profile.host_sigma <= 0.0) return 1.0;
+  // Deterministic per (profile, host): a dedicated generator seeded from
+  // the profile name and host index, so the factor is stable across
+  // snapshots and runs.
+  std::uint64_t seed = 0xcbf29ce484222325ULL;
+  for (const char c : profile.name) {
+    seed = (seed ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  }
+  seed ^= static_cast<std::uint64_t>(host_index) * 0x9E3779B97f4A7C15ULL;
+  sim::Rng rng{seed};
+  return rng.lognormal(0.0, profile.host_sigma);
+}
+
+const std::vector<ServiceProfile>& service_catalog() {
+  static const std::vector<ServiceProfile> kCatalog = [] {
+    std::vector<ServiceProfile> v;
+
+    // Table 1: "Distributed key-value store". Bimodal: a large aggregation
+    // mode plus a prominent low-flow mode (~45% of bursts below 20 flows —
+    // the Figure 2c cliff).
+    ServiceProfile storage;
+    storage.name = "storage";
+    storage.description = "Distributed key-value store";
+    storage.bursts_per_second = 120.0;
+    storage.body_median_flows = 60.0;
+    storage.body_sigma = 0.60;
+    storage.low_mode_probability = 0.45;
+    storage.duration_geometric_p = 0.45;
+    v.push_back(storage);
+
+    // "Collects content to display on a page". The paper's running example
+    // (Figure 1): frequent short bursts, high flow counts, heavy queuing
+    // and marking. Smaller low-flow mode (~10% cliff).
+    ServiceProfile aggregator;
+    aggregator.name = "aggregator";
+    aggregator.description = "Collects content to display on a page";
+    aggregator.bursts_per_second = 70.0;
+    aggregator.body_median_flows = 160.0;
+    aggregator.body_sigma = 0.30;
+    aggregator.low_mode_probability = 0.10;
+    aggregator.duration_geometric_p = 0.50;
+    aggregator.util_lo = 0.70;
+    v.push_back(aggregator);
+
+    // "Indexing service for recommendations".
+    ServiceProfile indexer;
+    indexer.name = "indexer";
+    indexer.description = "Indexing service for recommendations";
+    indexer.bursts_per_second = 45.0;
+    indexer.body_median_flows = 80.0;
+    indexer.body_sigma = 0.50;
+    indexer.duration_geometric_p = 0.35;
+    v.push_back(indexer);
+
+    // "Distributed real-time messaging system": the gentlest service —
+    // fewest bursts, lowest flow counts.
+    ServiceProfile messaging;
+    messaging.name = "messaging";
+    messaging.description = "Distributed real-time messaging system";
+    messaging.bursts_per_second = 18.0;
+    messaging.body_median_flows = 35.0;
+    messaging.body_sigma = 0.45;
+    messaging.duration_geometric_p = 0.55;
+    v.push_back(messaging);
+
+    // "Video analytics service": the highest flow counts (p99 at the
+    // 500-flow cap) and the regime switcher of Figure 3a (~225 vs ~275).
+    ServiceProfile video;
+    video.name = "video";
+    video.description = "Video analytics service";
+    video.bursts_per_second = 35.0;
+    video.body_median_flows = 225.0;
+    video.alt_median_flows = 275.0;
+    video.body_sigma = 0.35;
+    video.duration_geometric_p = 0.30;
+    video.util_lo = 0.70;
+    v.push_back(video);
+
+    return v;
+  }();
+  return kCatalog;
+}
+
+const ServiceProfile& service_by_name(const std::string& name) {
+  for (const ServiceProfile& p : service_catalog()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown service profile: " + name);
+}
+
+}  // namespace incast::workload

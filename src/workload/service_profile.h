@@ -1,0 +1,96 @@
+// ServiceProfile: generative traffic models for the five production
+// services of Table 1.
+//
+// Meta's raw traces are proprietary, so the Section 3 reproduction drives
+// the measurement pipeline with synthetic services instead. Each profile is
+// a small set of distributions fitted to the properties the paper reports:
+//
+//  * burst arrivals: Poisson-like renewal process, tens to ~200 bursts/s
+//    (Figure 2a);
+//  * burst durations: truncated-geometric over 1..20 ms with ~60% of mass
+//    at 1-2 ms (Figure 2b);
+//  * per-burst flow counts: a lognormal incast body (medians tens to ~225,
+//    p99 up to 500), an optional low-flow mode producing the bimodal cliff
+//    seen for "storage" and "aggregator", and for "video" a second
+//    operating regime (~225 vs ~275 mean flows) the service switches
+//    between over time (Figures 2c and 3a);
+//  * per-host variation: a stable multiplicative factor per host, small
+//    enough that hosts of one service look alike (Figure 3b).
+#ifndef INCAST_WORKLOAD_SERVICE_PROFILE_H_
+#define INCAST_WORKLOAD_SERVICE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace incast::workload {
+
+struct ServiceProfile {
+  std::string name;
+  std::string description;  // Table 1 wording
+
+  // Mean burst arrival rate (renewal process with exponential gaps).
+  double bursts_per_second{50.0};
+
+  // Incast body: flow count ~ round(lognormal(ln(median), sigma)),
+  // clamped to [min_flows, max_flows].
+  double body_median_flows{100.0};
+  double body_sigma{0.4};
+  int min_flows{2};
+  int max_flows{500};
+
+  // Low-flow mode (e.g. checkpointing): with this probability a burst uses
+  // uniform [low_mode_min, low_mode_max] flows instead of the body.
+  double low_mode_probability{0.0};
+  int low_mode_min{2};
+  int low_mode_max{20};
+
+  // Regime switching: if > 0, an alternate body median the service
+  // periodically shifts to ("video" switching between ~225 and ~275 as the
+  // scheduler spools workers up and down, Section 3.3).
+  double alt_median_flows{0.0};
+
+  // Burst duration: truncated geometric over 1..max_duration_ms, i.e.
+  // P(k ms) proportional to (1-p)^(k-1).
+  double duration_geometric_p{0.45};
+  int max_duration_ms{20};
+
+  // Burst intensity: aggregate demand = line_rate * duration * U with
+  // U ~ uniform[util_lo, util_hi]. Near 1.0 so burst bins sit at line rate
+  // (Figure 1a).
+  double util_lo{0.65};
+  double util_hi{1.0};
+
+  // Per-host multiplicative spread of the body median: factor =
+  // lognormal(0, host_sigma), fixed per host.
+  double host_sigma{0.05};
+};
+
+// Samples a burst's flow count. `alt_regime` selects the alternate
+// operating point (no-op for profiles without one); `host_factor` is the
+// host's stable multiplicative offset.
+[[nodiscard]] int sample_flow_count(const ServiceProfile& profile, sim::Rng& rng,
+                                    bool alt_regime, double host_factor);
+
+// Samples a burst duration (whole milliseconds, 1..max_duration_ms).
+[[nodiscard]] sim::Time sample_burst_duration(const ServiceProfile& profile, sim::Rng& rng);
+
+// Samples the burst's target utilization fraction of line rate.
+[[nodiscard]] double sample_burst_utilization(const ServiceProfile& profile, sim::Rng& rng);
+
+// The stable per-host factor for host `host_index` (deterministic in the
+// profile and index, independent of the per-trace seed — this is what makes
+// hosts look alike across snapshots).
+[[nodiscard]] double host_factor(const ServiceProfile& profile, int host_index);
+
+// The five services of Table 1.
+[[nodiscard]] const std::vector<ServiceProfile>& service_catalog();
+
+// Looks up a catalog profile by name; throws std::out_of_range if absent.
+[[nodiscard]] const ServiceProfile& service_by_name(const std::string& name);
+
+}  // namespace incast::workload
+
+#endif  // INCAST_WORKLOAD_SERVICE_PROFILE_H_

@@ -1,0 +1,82 @@
+#include "workload/staged_incast.h"
+
+#include <cassert>
+
+namespace incast::workload {
+
+StagedIncastDriver::StagedIncastDriver(sim::Simulator& sim, net::Dumbbell& dumbbell,
+                                       const tcp::TcpConfig& tcp_config,
+                                       const Config& config, std::uint64_t seed)
+    : sim_{sim}, config_{config}, rng_{seed} {
+  assert(config_.num_flows <= dumbbell.num_senders());
+  assert(config_.group_size >= 1);
+
+  const sim::Bandwidth bottleneck =
+      dumbbell.config().receiver_link.value_or(dumbbell.config().host_link);
+  const std::int64_t burst_bytes = static_cast<std::int64_t>(
+      static_cast<double>(bottleneck.bytes_in(config_.burst_duration)) *
+      config_.demand_scale);
+  demand_per_flow_ = std::max<std::int64_t>(burst_bytes / config_.num_flows, 1);
+
+  connections_.reserve(static_cast<std::size_t>(config_.num_flows));
+  for (int i = 0; i < config_.num_flows; ++i) {
+    auto conn = std::make_unique<tcp::TcpConnection>(
+        sim_, dumbbell.sender(i), dumbbell.receiver(0),
+        static_cast<net::FlowId>(i) + 1, tcp_config);
+    conn->sender().set_on_all_acked([this, i] { on_flow_done(i); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void StagedIncastDriver::start() { start_burst(); }
+
+void StagedIncastDriver::start_burst() {
+  ++current_burst_;
+  flows_done_in_burst_ = 0;
+  burst_started_ = sim_.now();
+
+  waiting_.clear();
+  for (int i = 0; i < config_.num_flows; ++i) waiting_.push_back(i);
+  // Open the initial group; subsequent admissions ride on completions.
+  for (int k = 0; k < config_.group_size && !waiting_.empty(); ++k) {
+    admit_next();
+  }
+}
+
+void StagedIncastDriver::admit_next() {
+  if (waiting_.empty()) return;
+  const int flow = waiting_.front();
+  waiting_.pop_front();
+  tcp::TcpSender* sender = &connections_[static_cast<std::size_t>(flow)]->sender();
+  const sim::Time jitter =
+      rng_.uniform_time(sim::Time::zero(), config_.admission_jitter_max);
+  sim_.schedule_in(jitter,
+                   [sender, demand = demand_per_flow_] { sender->add_app_data(demand); });
+}
+
+void StagedIncastDriver::on_flow_done(int /*flow_index*/) {
+  ++flows_done_in_burst_;
+  admit_next();
+
+  if (flows_done_in_burst_ < config_.num_flows) return;
+
+  BurstRecord rec;
+  rec.index = current_burst_;
+  rec.started = burst_started_;
+  rec.completed = sim_.now();
+  records_.push_back(rec);
+  ++completed_bursts_;
+
+  if (completed_bursts_ < config_.num_bursts) {
+    sim_.schedule_in(config_.inter_burst_gap, [this] { start_burst(); });
+  }
+}
+
+std::vector<tcp::TcpSender*> StagedIncastDriver::senders() {
+  std::vector<tcp::TcpSender*> out;
+  out.reserve(connections_.size());
+  for (auto& conn : connections_) out.push_back(&conn->sender());
+  return out;
+}
+
+}  // namespace incast::workload

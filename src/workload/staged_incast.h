@@ -1,0 +1,86 @@
+// StagedIncastDriver: the paper's Section 5.2 proposal, implemented.
+//
+// "Instead of chasing high flow counts, an alternative approach is to
+// divide, or schedule, a large incast into a series of smaller incasts
+// where only a manageable number of flows are active at once. With fewer
+// flows, each would operate in a healthier CWND regime."
+//
+// This driver runs the same cyclic equal-demand burst workload as
+// CyclicIncastDriver, but admits at most `group_size` flows concurrently:
+// the remaining flows wait in FIFO order, and each completion admits the
+// next waiting flow (a sliding window of active senders, the way a
+// receiver-driven scheduler would pull responses). TCP itself is
+// untouched — the point of the proposal is that scheduling "need only
+// serve as an enhancement rather than a replacement to TCP".
+#ifndef INCAST_WORKLOAD_STAGED_INCAST_H_
+#define INCAST_WORKLOAD_STAGED_INCAST_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/random.h"
+#include "tcp/tcp_connection.h"
+
+namespace incast::workload {
+
+class StagedIncastDriver {
+ public:
+  struct Config {
+    int num_flows{1500};
+    // Concurrently admitted flows. The healthy regime is below the
+    // degenerate point: group_size * 1 MSS < ECN threshold + BDP.
+    int group_size{60};
+    int num_bursts{4};
+    sim::Time burst_duration{sim::Time::milliseconds(15)};
+    sim::Time inter_burst_gap{sim::Time::milliseconds(10)};
+    sim::Time admission_jitter_max{sim::Time::microseconds(10)};
+    double demand_scale{1.0};
+  };
+
+  struct BurstRecord {
+    int index{0};
+    sim::Time started{};
+    sim::Time completed{};
+    [[nodiscard]] sim::Time completion_time() const noexcept { return completed - started; }
+  };
+
+  StagedIncastDriver(sim::Simulator& sim, net::Dumbbell& dumbbell,
+                     const tcp::TcpConfig& tcp_config, const Config& config,
+                     std::uint64_t seed);
+
+  void start();
+
+  [[nodiscard]] bool finished() const noexcept {
+    return completed_bursts_ == config_.num_bursts;
+  }
+  [[nodiscard]] const std::vector<BurstRecord>& bursts() const noexcept { return records_; }
+  [[nodiscard]] std::int64_t demand_per_flow_bytes() const noexcept {
+    return demand_per_flow_;
+  }
+  [[nodiscard]] std::vector<tcp::TcpSender*> senders();
+
+ private:
+  void start_burst();
+  void admit_next();
+  void on_flow_done(int flow_index);
+
+  sim::Simulator& sim_;
+  Config config_;
+  sim::Rng rng_;
+  std::int64_t demand_per_flow_{0};
+  std::vector<std::unique_ptr<tcp::TcpConnection>> connections_;
+
+  int current_burst_{-1};
+  int completed_bursts_{0};
+  int flows_done_in_burst_{0};
+  sim::Time burst_started_{};
+  std::deque<int> waiting_;  // flow indices not yet admitted this burst
+  std::vector<BurstRecord> records_;
+};
+
+}  // namespace incast::workload
+
+#endif  // INCAST_WORKLOAD_STAGED_INCAST_H_

@@ -1,0 +1,145 @@
+// Tests for the burst detector (the paper's Section 3.1 definition).
+#include "analysis/burst_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::analysis {
+namespace {
+
+using sim::Time;
+using namespace incast::sim::literals;
+
+constexpr std::int64_t kLineBytesPerMs = 1'250'000;  // 10 Gbps x 1 ms
+
+// Builds a sampler whose bins have the given utilization fractions.
+telemetry::Millisampler make_trace(const std::vector<double>& utils,
+                                   const std::vector<int>& flows = {}) {
+  telemetry::Millisampler s{
+      {.bin_duration = 1_ms, .line_rate = sim::Bandwidth::gigabits_per_second(10)}};
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    const auto bytes = static_cast<std::int64_t>(utils[i] * kLineBytesPerMs);
+    if (bytes <= 0) continue;
+    const int nflows = i < flows.size() ? flows[i] : 1;
+    const std::int64_t per_flow = std::max<std::int64_t>(bytes / std::max(nflows, 1), 1);
+    for (int f = 0; f < nflows; ++f) {
+      net::Packet p = net::make_data_packet(0, 1, static_cast<net::FlowId>(f + 1), 0,
+                                            per_flow - net::kHeaderBytes);
+      s.on_ingress(p, Time::milliseconds(static_cast<double>(i) + 0.1));
+    }
+  }
+  s.finalize(Time::milliseconds(static_cast<double>(utils.size())));
+  return s;
+}
+
+TEST(BurstDetector, FindsSingleBurst) {
+  const auto s = make_trace({0.1, 0.9, 0.95, 0.2});
+  const auto bursts = BurstDetector{}.detect(s);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].first_bin, 1u);
+  EXPECT_EQ(bursts[0].num_bins, 2u);
+}
+
+TEST(BurstDetector, ThresholdIsStrictlyGreaterThanHalf) {
+  // Exactly 50% does not qualify; just above does.
+  const auto s = make_trace({0.5, 0.51});
+  const auto bursts = BurstDetector{}.detect(s);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].first_bin, 1u);
+  EXPECT_EQ(bursts[0].num_bins, 1u);
+}
+
+TEST(BurstDetector, SeparatesBurstsAcrossQuietBins) {
+  const auto s = make_trace({0.9, 0.1, 0.9, 0.9, 0.0, 0.8});
+  const auto bursts = BurstDetector{}.detect(s);
+  ASSERT_EQ(bursts.size(), 3u);
+  EXPECT_EQ(bursts[0].num_bins, 1u);
+  EXPECT_EQ(bursts[1].num_bins, 2u);
+  EXPECT_EQ(bursts[2].num_bins, 1u);
+}
+
+TEST(BurstDetector, BurstTouchingTraceEndIsClosed) {
+  const auto s = make_trace({0.1, 0.9, 0.9});
+  const auto bursts = BurstDetector{}.detect(s);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].num_bins, 2u);
+}
+
+TEST(BurstDetector, EmptyTraceHasNoBursts) {
+  const auto s = make_trace({0.0, 0.0, 0.0});
+  EXPECT_TRUE(BurstDetector{}.detect(s).empty());
+}
+
+TEST(BurstDetector, AggregatesBytesAndFlows) {
+  const auto s = make_trace({0.9, 0.9, 0.1}, {30, 50, 2});
+  const auto bursts = BurstDetector{}.detect(s);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].max_active_flows, 50);  // peak per-bin count
+  EXPECT_GT(bursts[0].bytes, kLineBytesPerMs);
+}
+
+TEST(BurstDetector, IncastClassificationUsesFlowThreshold) {
+  BurstDetector det{{.utilization_threshold = 0.5, .incast_flow_threshold = 25}};
+  Burst small;
+  small.max_active_flows = 25;
+  Burst large;
+  large.max_active_flows = 26;
+  EXPECT_FALSE(det.is_incast(small));
+  EXPECT_TRUE(det.is_incast(large));
+}
+
+TEST(BurstDetector, JoinsQueueWatermarks) {
+  const auto s = make_trace({0.9, 0.9, 0.1, 0.9});
+  const std::vector<std::int64_t> watermarks{120, 300, 5, 80};
+  const auto bursts = BurstDetector{}.detect(s, watermarks);
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].peak_queue_packets, 300);
+  EXPECT_EQ(bursts[1].peak_queue_packets, 80);
+}
+
+TEST(BurstDetector, MissingWatermarksReportedAsMinusOne) {
+  const auto s = make_trace({0.9});
+  const auto bursts = BurstDetector{}.detect(s);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].peak_queue_packets, -1);
+}
+
+TEST(BurstDetector, MarkedAndRetxFractions) {
+  telemetry::Millisampler s{
+      {.bin_duration = 1_ms, .line_rate = sim::Bandwidth::gigabits_per_second(10)}};
+  // One hot bin: 1 MB total, 0.4 MB CE-marked, 0.1 MB retransmitted.
+  auto add = [&](std::int64_t bytes, bool ce, bool retx) {
+    net::Packet p = net::make_data_packet(0, 1, 1, 0, bytes - net::kHeaderBytes);
+    if (ce) p.ecn = net::Ecn::kCe;
+    p.is_retransmit = retx;
+    s.on_ingress(p, 100_us);
+  };
+  add(500'000, false, false);
+  add(400'000, true, false);
+  add(100'000, false, true);
+  s.finalize(1_ms);
+
+  const auto bursts = BurstDetector{}.detect(s);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_NEAR(bursts[0].marked_fraction(), 0.4, 0.01);
+  EXPECT_NEAR(bursts[0].retx_fraction(), 0.1, 0.01);
+}
+
+TEST(BurstDetector, CustomUtilizationThreshold) {
+  const auto s = make_trace({0.3, 0.4, 0.6});
+  BurstDetector det{{.utilization_threshold = 0.25, .incast_flow_threshold = 25}};
+  const auto bursts = det.detect(s);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].num_bins, 3u);
+}
+
+TEST(BurstDetector, TraceSummaryFrequency) {
+  TraceBurstSummary summary;
+  summary.trace_seconds = 2.0;
+  summary.bursts.resize(100);
+  EXPECT_DOUBLE_EQ(summary.bursts_per_second(), 50.0);
+  TraceBurstSummary empty;
+  EXPECT_DOUBLE_EQ(empty.bursts_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace incast::analysis

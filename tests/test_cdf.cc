@@ -1,0 +1,91 @@
+// Tests for the empirical CDF helper.
+#include "analysis/cdf.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::analysis {
+namespace {
+
+TEST(Cdf, EmptyReturnsZero) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.0);
+}
+
+TEST(Cdf, SingleSample) {
+  Cdf cdf;
+  cdf.add(42.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 42.0);
+}
+
+TEST(Cdf, PercentilesOfUniformSequence) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+  EXPECT_NEAR(cdf.median(), 50.5, 0.01);
+  EXPECT_NEAR(cdf.percentile(99), 99.01, 0.01);
+  EXPECT_NEAR(cdf.percentile(25), 25.75, 0.01);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 50.5);
+}
+
+TEST(Cdf, InterpolatesBetweenOrderStatistics) {
+  Cdf cdf;
+  cdf.add(0.0);
+  cdf.add(10.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(25), 2.5);
+}
+
+TEST(Cdf, UnsortedInsertionOrderIrrelevant) {
+  Cdf a;
+  Cdf b;
+  const std::vector<double> values{5, 1, 9, 3, 7};
+  for (const double v : values) a.add(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) b.add(*it);
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+  }
+}
+
+TEST(Cdf, AddAll) {
+  Cdf cdf;
+  cdf.add_all({1.0, 2.0, 3.0});
+  EXPECT_EQ(cdf.count(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+}
+
+TEST(Cdf, FractionBelow) {
+  Cdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(5.0), 0.5);   // 1..5 of 10
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(100.0), 1.0);
+}
+
+TEST(Cdf, OutOfRangePercentilesClamp) {
+  Cdf cdf;
+  cdf.add(1.0);
+  cdf.add(2.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(150), 2.0);
+}
+
+TEST(Cdf, MixingAddAndQuery) {
+  Cdf cdf;
+  cdf.add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 1.0);
+  cdf.add(3.0);  // re-sorts lazily on next query
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+  cdf.add(2.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+}
+
+}  // namespace
+}  // namespace incast::analysis

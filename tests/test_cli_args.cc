@@ -1,0 +1,86 @@
+// Tests for the CLI argument parser.
+#include "core/cli_args.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace incast::core {
+namespace {
+
+using namespace incast::sim::literals;
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return CliArgs{static_cast<int>(full.size()), full.data()};
+}
+
+TEST(CliArgs, KeyValueForms) {
+  auto args = make({"--flows", "500", "--duration=15ms", "--verbose"});
+  EXPECT_EQ(args.get("flows"), "500");
+  EXPECT_EQ(args.get("duration"), "15ms");
+  EXPECT_EQ(args.get("verbose"), "true");  // bare flag
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(CliArgs, PositionalArguments) {
+  auto args = make({"burst", "--flows", "10", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "burst");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(CliArgs, TypedGetters) {
+  auto args = make({"--n", "42", "--x", "2.5", "--on", "yes", "--t", "15ms", "--bw",
+                    "10Gbps"});
+  EXPECT_EQ(args.int_or("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.double_or("x", 0.0), 2.5);
+  EXPECT_TRUE(args.bool_or("on", false));
+  EXPECT_EQ(args.time_or("t", sim::Time::zero()), 15_ms);
+  EXPECT_EQ(args.bandwidth_or("bw", sim::Bandwidth::zero()),
+            sim::Bandwidth::gigabits_per_second(10));
+  EXPECT_TRUE(args.errors().empty());
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  auto args = make({});
+  EXPECT_EQ(args.int_or("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.double_or("x", 1.5), 1.5);
+  EXPECT_FALSE(args.bool_or("on", false));
+  EXPECT_EQ(args.time_or("t", 5_ms), 5_ms);
+  EXPECT_EQ(args.get_or("s", "dflt"), "dflt");
+  EXPECT_TRUE(args.errors().empty());
+}
+
+TEST(CliArgs, MalformedValuesCollectErrors) {
+  auto args = make({"--n", "abc", "--t", "fast", "--on", "maybe", "--bw", "much"});
+  EXPECT_EQ(args.int_or("n", 7), 7);
+  EXPECT_EQ(args.time_or("t", 5_ms), 5_ms);
+  EXPECT_FALSE(args.bool_or("on", false));
+  EXPECT_EQ(args.bandwidth_or("bw", sim::Bandwidth::zero()), sim::Bandwidth::zero());
+  EXPECT_EQ(args.errors().size(), 4u);
+}
+
+TEST(CliArgs, UnusedKeysDetected) {
+  auto args = make({"--used", "1", "--typo", "2"});
+  (void)args.int_or("used", 0);
+  const auto unused = args.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CliArgs, NegativeNumbersAreValuesNotFlags) {
+  // "--delta -5" : "-5" does not start with "--", so it is the value.
+  auto args = make({"--delta", "-5"});
+  EXPECT_EQ(args.int_or("delta", 0), -5);
+}
+
+TEST(CliArgs, FlagFollowedByFlagIsBare) {
+  auto args = make({"--a", "--b", "7"});
+  EXPECT_EQ(args.get("a"), "true");
+  EXPECT_EQ(args.int_or("b", 0), 7);
+}
+
+}  // namespace
+}  // namespace incast::core

@@ -1,0 +1,144 @@
+// Tests for the CyclicIncastDriver (Section 4 workload shape).
+#include "workload/cyclic_incast.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::workload {
+namespace {
+
+using sim::Simulator;
+using sim::Time;
+using namespace incast::sim::literals;
+
+tcp::TcpConfig tcp_config() {
+  tcp::TcpConfig c;
+  c.cc = tcp::CcAlgorithm::kDctcp;
+  c.rtt.min_rto = 200_ms;
+  return c;
+}
+
+CyclicIncastDriver::Config driver_config(int flows, int bursts, Time duration) {
+  CyclicIncastDriver::Config c;
+  c.num_flows = flows;
+  c.num_bursts = bursts;
+  c.burst_duration = duration;
+  c.inter_burst_gap = 5_ms;
+  return c;
+}
+
+TEST(CyclicIncast, DemandSplitsBurstEvenly) {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 10}};
+  CyclicIncastDriver driver{sim, topo, tcp_config(), driver_config(10, 1, 15_ms), 1};
+  // 10 Gbps x 15 ms = 18.75 MB over 10 flows = 1.875 MB each.
+  EXPECT_EQ(driver.demand_per_flow_bytes(), 1'875'000);
+}
+
+TEST(CyclicIncast, CompletesRequestedBursts) {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 8}};
+  CyclicIncastDriver driver{sim, topo, tcp_config(), driver_config(8, 3, 2_ms), 1};
+  driver.start();
+  sim.run_until(1_s);
+
+  EXPECT_TRUE(driver.finished());
+  ASSERT_EQ(driver.bursts().size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(driver.bursts()[static_cast<std::size_t>(i)].index, i);
+  }
+}
+
+TEST(CyclicIncast, BurstCompletionTimesNearOptimal) {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 20}};
+  CyclicIncastDriver driver{sim, topo, tcp_config(), driver_config(20, 3, 5_ms), 1};
+  driver.start();
+  sim.run_until(1_s);
+
+  ASSERT_TRUE(driver.finished());
+  // Skip burst 0 (slow start); the rest complete near the optimal 5 ms.
+  for (std::size_t i = 1; i < driver.bursts().size(); ++i) {
+    const double bct_ms = driver.bursts()[i].completion_time().ms();
+    EXPECT_GT(bct_ms, 4.5);
+    EXPECT_LT(bct_ms, 8.0);
+  }
+}
+
+TEST(CyclicIncast, AfterCompletionLeavesGapBetweenBursts) {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 4}};
+  auto cfg = driver_config(4, 2, 2_ms);
+  cfg.schedule = BurstSchedule::kAfterCompletion;
+  cfg.inter_burst_gap = 7_ms;
+  CyclicIncastDriver driver{sim, topo, tcp_config(), cfg, 1};
+  driver.start();
+  sim.run_until(1_s);
+
+  ASSERT_EQ(driver.bursts().size(), 2u);
+  const Time gap = driver.bursts()[1].started - driver.bursts()[0].completed;
+  EXPECT_EQ(gap, 7_ms);
+}
+
+TEST(CyclicIncast, FixedPeriodStartsOnSchedule) {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 4}};
+  auto cfg = driver_config(4, 3, 2_ms);
+  cfg.schedule = BurstSchedule::kFixedPeriod;
+  cfg.inter_burst_gap = 8_ms;  // period = 10 ms
+  CyclicIncastDriver driver{sim, topo, tcp_config(), cfg, 1};
+  driver.start();
+  sim.run_until(1_s);
+
+  ASSERT_EQ(driver.bursts().size(), 3u);
+  EXPECT_EQ(driver.bursts()[0].started, Time::zero());
+  EXPECT_EQ(driver.bursts()[1].started, 10_ms);
+  EXPECT_EQ(driver.bursts()[2].started, 20_ms);
+}
+
+TEST(CyclicIncast, PersistentConnectionsKeepCongestionState) {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 4}};
+  CyclicIncastDriver driver{sim, topo, tcp_config(), driver_config(4, 2, 2_ms), 1};
+  driver.start();
+  sim.run_until(1_s);
+
+  // After two bursts the connections have sent both bursts' bytes — no
+  // new connections were made (stats are cumulative on the same sender).
+  for (auto* s : driver.senders()) {
+    EXPECT_EQ(s->app_limit(), 2 * driver.demand_per_flow_bytes());
+    EXPECT_TRUE(s->all_acked());
+  }
+}
+
+TEST(CyclicIncast, StartJitterSpreadsFlowStarts) {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 50}};
+  auto cfg = driver_config(50, 1, 2_ms);
+  cfg.start_jitter_max = 100_us;
+  CyclicIncastDriver driver{sim, topo, tcp_config(), cfg, 99};
+  driver.start();
+  // Immediately after start, nothing has been handed to the senders yet;
+  // after 100 us of simulated time, every flow must have demand.
+  sim.run_until(100_us);
+  int with_demand = 0;
+  for (auto* s : driver.senders()) {
+    if (s->app_limit() > 0) ++with_demand;
+  }
+  EXPECT_EQ(with_demand, 50);
+  sim.run_until(1_s);
+  EXPECT_TRUE(driver.finished());
+}
+
+TEST(CyclicIncast, BurstCompleteCallbackFiresInOrder) {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 4}};
+  CyclicIncastDriver driver{sim, topo, tcp_config(), driver_config(4, 3, 1_ms), 1};
+  std::vector<int> completed;
+  driver.set_on_burst_complete([&](int index) { completed.push_back(index); });
+  driver.start();
+  sim.run_until(1_s);
+  EXPECT_EQ(completed, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace incast::workload

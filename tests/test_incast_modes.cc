@@ -1,0 +1,114 @@
+// Integration tests reproducing Section 4.1's DCTCP operating modes (in
+// abbreviated form; the full Figure 5 reproduction is bench/fig5_dctcp_modes).
+#include <gtest/gtest.h>
+
+#include "core/incast_experiment.h"
+
+namespace incast::core {
+namespace {
+
+using sim::Time;
+using namespace incast::sim::literals;
+
+IncastExperimentConfig base_config(int flows) {
+  IncastExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.burst_duration = 15_ms;
+  cfg.num_bursts = 4;  // abbreviated from the paper's 11 for test speed
+  cfg.discard_bursts = 1;
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(IncastModes, Mode1HealthyOscillationAroundEcnThreshold) {
+  // 100 flows: DCTCP converges; the queue oscillates around K = 65 packets
+  // and the burst finishes near the optimal 15 ms.
+  const auto result = run_incast_experiment(base_config(100));
+
+  ASSERT_EQ(result.bursts.size(), 4u);
+  EXPECT_EQ(result.timeouts, 0);
+  EXPECT_EQ(result.queue_drops, 0);
+  // Queue near the marking threshold, far below capacity (1333).
+  EXPECT_GT(result.avg_queue_packets, 20.0);
+  EXPECT_LT(result.avg_queue_packets, 250.0);
+  EXPECT_LT(result.peak_queue_packets, 1000.0);
+  // BCT near optimal.
+  EXPECT_GT(result.avg_bct_ms, 14.0);
+  EXPECT_LT(result.avg_bct_ms, 20.0);
+}
+
+TEST(IncastModes, Mode2DegeneratePointQueueFloor) {
+  // 500 flows: every flow is pinned at cwnd = 1 MSS, so the queue cannot
+  // drain below ~(flows - BDP) packets. BCT stays near optimal but the
+  // standing queue means ~480 us of added delay.
+  const auto result = run_incast_experiment(base_config(500));
+
+  EXPECT_EQ(result.queue_drops, 0);  // 1333-packet queue absorbs 500 flows
+  EXPECT_EQ(result.timeouts, 0);
+  // Standing queue close to flows - BDP (475); allow slack for stragglers
+  // and jitter.
+  EXPECT_GT(result.avg_queue_packets, 350.0);
+  EXPECT_LT(result.avg_queue_packets, 600.0);
+  EXPECT_GT(result.avg_bct_ms, 14.0);
+  EXPECT_LT(result.avg_bct_ms, 25.0);
+  // Essentially all traffic is ECN-marked: the queue sits far above K.
+  EXPECT_GT(result.marked_fraction(), 0.8);
+}
+
+TEST(IncastModes, Mode3TimeoutsAndOverflow) {
+  // Past the degenerate point, flows at cwnd = 1 MSS collectively overrun
+  // the 1333-packet queue; fast retransmit cannot engage at such tiny
+  // windows, so recovery requires RTOs and the BCT explodes toward
+  // min_rto. The paper sees this at 1000 flows (its stragglers inflate the
+  // start-of-burst spike); our more synchronized completions put the
+  // boundary at the paper's own steady-state formula, K > queue + BDP
+  // (~1330), so we exercise Mode 3 at 1500 flows.
+  const auto result = run_incast_experiment(base_config(1500));
+
+  EXPECT_GT(result.queue_drops, 0);
+  EXPECT_GT(result.timeouts, 0);
+  EXPECT_GT(result.max_bct_ms, 100.0);  // ~200 ms with the Linux min RTO
+  // Fast retransmit is essentially absent: windows are too small for three
+  // duplicate ACKs.
+  EXPECT_LT(result.fast_retransmits, result.timeouts / 10 + 5);
+}
+
+TEST(IncastModes, QueueNeverExceedsCapacity) {
+  const auto result = run_incast_experiment(base_config(1500));
+  for (const auto& s : result.queue_series) {
+    ASSERT_LE(s.packets, 1333);
+  }
+}
+
+TEST(IncastModes, BurstBoundaryDivergence) {
+  // Section 4.3: at the end of a burst, stragglers ramp up, so the maximum
+  // end-of-burst cwnd far exceeds the mean.
+  const auto result = run_incast_experiment(base_config(100));
+  EXPECT_GT(result.end_of_burst_cwnd_max_mss, 2.0 * result.end_of_burst_cwnd_mean_mss);
+}
+
+TEST(IncastModes, DeterministicAcrossRuns) {
+  const auto a = run_incast_experiment(base_config(100));
+  const auto b = run_incast_experiment(base_config(100));
+  ASSERT_EQ(a.bursts.size(), b.bursts.size());
+  for (std::size_t i = 0; i < a.bursts.size(); ++i) {
+    EXPECT_EQ(a.bursts[i].completed.ns(), b.bursts[i].completed.ns());
+  }
+  EXPECT_EQ(a.queue_ecn_marks, b.queue_ecn_marks);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+}
+
+TEST(IncastModes, ShortBurstsDominatedByInitialSpike) {
+  // Section 4.2: 2 ms bursts spend most of their life in the initial
+  // window spike; the average queue is high relative to the duration.
+  auto cfg = base_config(500);
+  cfg.burst_duration = 2_ms;
+  const auto result = run_incast_experiment(cfg);
+  EXPECT_GT(result.peak_queue_packets, 400.0);
+  EXPECT_GT(result.avg_bct_ms, 1.5);
+}
+
+}  // namespace
+}  // namespace incast::core

@@ -1,0 +1,133 @@
+// Tests for the Millisampler telemetry tap.
+#include "telemetry/millisampler.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::telemetry {
+namespace {
+
+using sim::Time;
+using namespace incast::sim::literals;
+
+Millisampler::Config config() {
+  return {.bin_duration = 1_ms,
+          .line_rate = sim::Bandwidth::gigabits_per_second(10)};
+}
+
+net::Packet data(net::FlowId flow, std::int64_t bytes, bool ce = false, bool retx = false) {
+  net::Packet p = net::make_data_packet(0, 1, flow, 0, bytes - net::kHeaderBytes);
+  if (ce) p.ecn = net::Ecn::kCe;
+  p.is_retransmit = retx;
+  return p;
+}
+
+TEST(Millisampler, BinsByArrivalTime) {
+  Millisampler s{config()};
+  s.on_ingress(data(1, 1000), Time::microseconds(100));
+  s.on_ingress(data(1, 1000), Time::microseconds(900));
+  s.on_ingress(data(1, 1000), Time::milliseconds(1.5));
+  s.finalize(3_ms);
+
+  ASSERT_EQ(s.bins().size(), 3u);
+  EXPECT_EQ(s.bins()[0].bytes, 2000);
+  EXPECT_EQ(s.bins()[1].bytes, 1000);
+  EXPECT_EQ(s.bins()[2].bytes, 0);
+}
+
+TEST(Millisampler, CountsDistinctActiveFlowsPerBin) {
+  Millisampler s{config()};
+  s.on_ingress(data(1, 1000), 100_us);
+  s.on_ingress(data(2, 1000), 200_us);
+  s.on_ingress(data(1, 1000), 300_us);  // repeat flow 1
+  s.on_ingress(data(3, 1000), Time::milliseconds(1.2));
+  s.finalize(2_ms);
+
+  ASSERT_EQ(s.bins().size(), 2u);
+  EXPECT_EQ(s.bins()[0].active_flows, 2);
+  EXPECT_EQ(s.bins()[1].active_flows, 1);
+}
+
+TEST(Millisampler, PureAcksDoNotCountAsActiveFlows) {
+  Millisampler s{config()};
+  s.on_ingress(net::make_ack_packet(0, 1, 7, 0, false), 100_us);
+  s.finalize(1_ms);
+  ASSERT_EQ(s.bins().size(), 1u);
+  EXPECT_EQ(s.bins()[0].active_flows, 0);
+  EXPECT_EQ(s.bins()[0].bytes, net::kHeaderBytes);  // bytes still counted
+}
+
+TEST(Millisampler, TracksMarkedAndRetransmittedBytes) {
+  Millisampler s{config()};
+  s.on_ingress(data(1, 1500, /*ce=*/true), 100_us);
+  s.on_ingress(data(1, 1500, /*ce=*/false, /*retx=*/true), 200_us);
+  s.on_ingress(data(1, 1500), 300_us);
+  s.finalize(1_ms);
+
+  const auto& b = s.bins()[0];
+  EXPECT_EQ(b.bytes, 4500);
+  EXPECT_EQ(b.marked_bytes, 1500);
+  EXPECT_EQ(b.retx_bytes, 1500);
+}
+
+TEST(Millisampler, UtilizationFractions) {
+  Millisampler s{config()};
+  // 10 Gbps x 1 ms = 1.25 MB per bin at line rate.
+  const std::int64_t half_line = 625'000;
+  for (int i = 0; i < 5; ++i) {
+    net::Packet p = data(1, half_line / 5, i < 2);
+    s.on_ingress(p, Time::microseconds(100 + i));
+  }
+  s.finalize(1_ms);
+  EXPECT_NEAR(s.utilization(0), 0.5, 0.01);
+  EXPECT_NEAR(s.marked_utilization(0), 0.2, 0.01);
+  EXPECT_NEAR(s.retx_utilization(0), 0.0, 1e-9);
+}
+
+TEST(Millisampler, AverageUtilization) {
+  Millisampler s{config()};
+  s.on_ingress(data(1, 1'250'000), 100_us);  // bin 0 at line rate
+  s.finalize(4_ms);                          // bins 1-3 empty
+  EXPECT_NEAR(s.average_utilization(), 0.25, 0.01);
+}
+
+TEST(Millisampler, FinalizePadsEmptyTrailingBins) {
+  Millisampler s{config()};
+  s.on_ingress(data(1, 1000), 100_us);
+  s.finalize(10_ms);
+  EXPECT_EQ(s.bins().size(), 10u);
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_EQ(s.bins()[i].bytes, 0);
+    EXPECT_EQ(s.bins()[i].active_flows, 0);
+  }
+}
+
+TEST(Millisampler, FinalizeClipsPacketsBeyondTraceEnd) {
+  Millisampler s{config()};
+  s.on_ingress(data(1, 1000), 500_us);
+  s.on_ingress(data(1, 1000), Time::milliseconds(5.5));  // past the end
+  s.finalize(2_ms);
+  EXPECT_EQ(s.bins().size(), 2u);
+  EXPECT_EQ(s.bins()[0].bytes, 1000);
+}
+
+TEST(Millisampler, RestartBeginsFreshTrace) {
+  Millisampler s{config()};
+  s.on_ingress(data(1, 1000), 100_us);
+  s.finalize(1_ms);
+  EXPECT_EQ(s.bins().size(), 1u);
+
+  s.restart(10_ms);
+  s.on_ingress(data(2, 2000), Time::milliseconds(10.2));
+  s.finalize(11_ms);
+  ASSERT_EQ(s.bins().size(), 1u);
+  EXPECT_EQ(s.bins()[0].bytes, 2000);
+  EXPECT_EQ(s.bins()[0].active_flows, 1);
+}
+
+TEST(Millisampler, EmptyTraceAverageIsZero) {
+  Millisampler s{config()};
+  EXPECT_DOUBLE_EQ(s.average_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace incast::telemetry

@@ -1,0 +1,93 @@
+// Tests for Packet construction helpers and field semantics.
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::net {
+namespace {
+
+TEST(Packet, DataPacketFields) {
+  const Packet p = make_data_packet(/*src=*/1, /*dst=*/2, /*flow=*/7, /*seq=*/1460,
+                                    /*payload_bytes=*/1460);
+  EXPECT_EQ(p.src, 1u);
+  EXPECT_EQ(p.dst, 2u);
+  EXPECT_EQ(p.tcp.flow_id, 7u);
+  EXPECT_EQ(p.tcp.seq, 1460);
+  EXPECT_EQ(p.payload_bytes, 1460);
+  EXPECT_EQ(p.size_bytes, 1460 + kHeaderBytes);
+  EXPECT_TRUE(p.is_data());
+  EXPECT_FALSE(p.tcp.has_ack);
+  EXPECT_FALSE(p.is_retransmit);
+}
+
+TEST(Packet, DataPacketsAreEcnCapable) {
+  const Packet p = make_data_packet(1, 2, 7, 0, 100);
+  EXPECT_EQ(p.ecn, Ecn::kEct0);
+  EXPECT_TRUE(is_ect(p.ecn));
+}
+
+TEST(Packet, MtuSizedSegment) {
+  // 1460 B MSS + 40 B headers = 1500 B MTU, the paper's configuration.
+  const Packet p = make_data_packet(0, 1, 1, 0, 1460);
+  EXPECT_EQ(p.size_bytes, 1500);
+}
+
+TEST(Packet, AckPacketFields) {
+  const Packet a = make_ack_packet(/*src=*/2, /*dst=*/1, /*flow=*/7, /*ack=*/2920,
+                                   /*ece=*/true);
+  EXPECT_EQ(a.src, 2u);
+  EXPECT_EQ(a.dst, 1u);
+  EXPECT_EQ(a.tcp.flow_id, 7u);
+  EXPECT_EQ(a.tcp.ack, 2920);
+  EXPECT_TRUE(a.tcp.has_ack);
+  EXPECT_TRUE(a.tcp.ece);
+  EXPECT_EQ(a.payload_bytes, 0);
+  EXPECT_EQ(a.size_bytes, kHeaderBytes);
+  EXPECT_FALSE(a.is_data());
+}
+
+TEST(Packet, PureAcksAreNotEcnCapable) {
+  const Packet a = make_ack_packet(2, 1, 7, 0, false);
+  EXPECT_EQ(a.ecn, Ecn::kNotEct);
+  EXPECT_FALSE(is_ect(a.ecn));
+}
+
+TEST(Packet, EcnPredicates) {
+  EXPECT_FALSE(is_ect(Ecn::kNotEct));
+  EXPECT_TRUE(is_ect(Ecn::kEct0));
+  EXPECT_TRUE(is_ect(Ecn::kEct1));
+  EXPECT_TRUE(is_ect(Ecn::kCe));
+}
+
+TEST(Packet, IntStackPushStopsAtCapacity) {
+  IntStack stack;
+  stack.enabled = true;
+  for (int i = 0; i < kMaxIntHops + 3; ++i) {
+    stack.push(IntHopRecord{.qlen_bytes = i, .tx_bytes = 0, .link_bps = 1, .timestamp_ns = 0});
+  }
+  EXPECT_EQ(stack.num_hops, kMaxIntHops);
+  // The first kMaxIntHops records survive; overflow is silently dropped
+  // (as a fixed-size INT header would).
+  EXPECT_EQ(stack.hops[0].qlen_bytes, 0);
+  EXPECT_EQ(stack.hops[kMaxIntHops - 1].qlen_bytes, kMaxIntHops - 1);
+}
+
+TEST(Packet, FreshPacketCarriesNoOptions) {
+  const Packet p = make_data_packet(0, 1, 1, 0, 100);
+  EXPECT_EQ(p.tcp.num_sack, 0);
+  EXPECT_FALSE(p.int_stack.enabled);
+  EXPECT_EQ(p.int_stack.num_hops, 0);
+  EXPECT_EQ(p.rdt.type, RdtType::kNone);
+}
+
+TEST(Packet, ToStringMentionsKeyFields) {
+  Packet p = make_data_packet(1, 2, 7, 1460, 1460);
+  p.ecn = Ecn::kCe;
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("flow=7"), std::string::npos);
+  EXPECT_NE(s.find("seq=1460"), std::string::npos);
+  EXPECT_NE(s.find("CE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incast::net

@@ -1,0 +1,58 @@
+// Tests for string -> Time / Bandwidth parsing.
+#include "sim/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::sim {
+namespace {
+
+using namespace incast::sim::literals;
+
+TEST(ParseTime, AllUnits) {
+  EXPECT_EQ(parse_time("5ns"), Time::nanoseconds(5));
+  EXPECT_EQ(parse_time("30us"), 30_us);
+  EXPECT_EQ(parse_time("15ms"), 15_ms);
+  EXPECT_EQ(parse_time("2s"), 2_s);
+}
+
+TEST(ParseTime, FractionalValues) {
+  EXPECT_EQ(parse_time("1.5ms"), Time::microseconds(1500));
+  EXPECT_EQ(parse_time("0.5s"), 500_ms);
+}
+
+TEST(ParseTime, WhitespaceAndCaseTolerated) {
+  EXPECT_EQ(parse_time(" 15 ms "), 15_ms);
+  EXPECT_EQ(parse_time("15MS"), 15_ms);
+  EXPECT_EQ(parse_time("2S"), 2_s);
+}
+
+TEST(ParseTime, Malformed) {
+  EXPECT_FALSE(parse_time("").has_value());
+  EXPECT_FALSE(parse_time("15").has_value());
+  EXPECT_FALSE(parse_time("ms").has_value());
+  EXPECT_FALSE(parse_time("15 lightyears").has_value());
+  EXPECT_FALSE(parse_time("abc ms").has_value());
+  EXPECT_FALSE(parse_time("1.2.3ms").has_value());
+}
+
+TEST(ParseBandwidth, AllUnits) {
+  EXPECT_EQ(parse_bandwidth("100bps"), Bandwidth::bits_per_second(100));
+  EXPECT_EQ(parse_bandwidth("5kbps"), Bandwidth::kilobits_per_second(5));
+  EXPECT_EQ(parse_bandwidth("250Mbps"), Bandwidth::megabits_per_second(250));
+  EXPECT_EQ(parse_bandwidth("10Gbps"), Bandwidth::gigabits_per_second(10));
+}
+
+TEST(ParseBandwidth, FractionalAndCase) {
+  EXPECT_EQ(parse_bandwidth("2.5gbps"), Bandwidth::gigabits_per_second(2.5));
+  EXPECT_EQ(parse_bandwidth("10GBPS"), Bandwidth::gigabits_per_second(10));
+}
+
+TEST(ParseBandwidth, Malformed) {
+  EXPECT_FALSE(parse_bandwidth("").has_value());
+  EXPECT_FALSE(parse_bandwidth("10").has_value());
+  EXPECT_FALSE(parse_bandwidth("Gbps").has_value());
+  EXPECT_FALSE(parse_bandwidth("10 Tbps").has_value());
+}
+
+}  // namespace
+}  // namespace incast::sim

@@ -1,0 +1,80 @@
+// Tests for the flow-count predictor and the guardrail cap rule.
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace incast::core {
+namespace {
+
+TEST(FlowCountPredictor, NotReadyWithoutHistory) {
+  FlowCountPredictor p{{.window_bursts = 100, .min_history = 10}};
+  EXPECT_FALSE(p.ready());
+  EXPECT_EQ(p.predict_p99(), 0);
+  EXPECT_DOUBLE_EQ(p.predict_mean(), 0.0);
+  for (int i = 0; i < 9; ++i) p.observe(50);
+  EXPECT_FALSE(p.ready());
+  p.observe(50);
+  EXPECT_TRUE(p.ready());
+}
+
+TEST(FlowCountPredictor, PredictsPercentilesOfHistory) {
+  FlowCountPredictor p{{.window_bursts = 1000, .min_history = 10}};
+  for (int i = 1; i <= 100; ++i) p.observe(i);
+  EXPECT_NEAR(p.predict_percentile(50), 50, 1);
+  EXPECT_NEAR(p.predict_p99(), 99, 1);
+  EXPECT_NEAR(p.predict_mean(), 50.5, 0.01);
+}
+
+TEST(FlowCountPredictor, SlidingWindowForgetsOldBursts) {
+  FlowCountPredictor p{{.window_bursts = 50, .min_history = 10}};
+  for (int i = 0; i < 50; ++i) p.observe(100);
+  EXPECT_EQ(p.predict_p99(), 100);
+  // A regime change: new observations displace the old within a window.
+  for (int i = 0; i < 50; ++i) p.observe(300);
+  EXPECT_EQ(p.predict_p99(), 300);
+  EXPECT_DOUBLE_EQ(p.predict_mean(), 300.0);
+  EXPECT_EQ(p.history_size(), 50u);
+}
+
+TEST(FlowCountPredictor, StablePredictionForStationaryService) {
+  // Section 3.3: stable distributions make the p99 forecast reliable.
+  sim::Rng rng{42};
+  FlowCountPredictor p;
+  for (int i = 0; i < 500; ++i) {
+    p.observe(static_cast<int>(rng.lognormal(std::log(150.0), 0.3)));
+  }
+  const int first = p.predict_p99();
+  for (int i = 0; i < 500; ++i) {
+    p.observe(static_cast<int>(rng.lognormal(std::log(150.0), 0.3)));
+  }
+  const int second = p.predict_p99();
+  EXPECT_NEAR(first, second, first * 0.15);
+}
+
+TEST(GuardrailCap, BudgetSplitAcrossPredictedFlows) {
+  // BDP 37.5 KB + threshold 65 pkts * 1500 B = 135 KB budget.
+  const std::int64_t bdp = 37'500;
+  const std::int64_t ecn = 65 * 1500;
+  const std::int64_t mss = 1460;
+  EXPECT_EQ(suggest_cwnd_cap_bytes(10, bdp, ecn, mss), (bdp + ecn) / 10);
+  EXPECT_EQ(suggest_cwnd_cap_bytes(50, bdp, ecn, mss), (bdp + ecn) / 50);
+}
+
+TEST(GuardrailCap, FloorsAtOneMss) {
+  const std::int64_t mss = 1460;
+  // 1000 predicted flows: budget/1000 is below one MSS -> floor.
+  EXPECT_EQ(suggest_cwnd_cap_bytes(1000, 37'500, 97'500, mss), mss);
+}
+
+TEST(GuardrailCap, DegenerateInputs) {
+  const std::int64_t mss = 1460;
+  EXPECT_EQ(suggest_cwnd_cap_bytes(0, 37'500, 97'500, mss), mss);
+  EXPECT_EQ(suggest_cwnd_cap_bytes(-5, 37'500, 97'500, mss), mss);
+}
+
+}  // namespace
+}  // namespace incast::core

@@ -1,0 +1,74 @@
+// Physics sweep: the paper's "queue law" for DCTCP incast, as a
+// parameterized property over the flow count N.
+//
+// With K = 65 packets and BDP = 25 packets on the Section 4 dumbbell:
+//   N <~ K + BDP      — healthy: the queue sits near K;
+//   K+BDP <~ N <~ ~800 — degenerate point: standing queue ~= N - BDP
+//                       (Section 4.1.2's closed form), lossless;
+//   N ~ 1000+         — overflow: drops appear (Mode 3). (For these short
+//                       5 ms bursts the start-of-burst spike moves the
+//                       overflow boundary below the steady-state queue +
+//                       BDP bound that holds for 15 ms bursts.)
+// Throughout the lossless range, completion time stays near the optimal
+// burst length.
+#include <gtest/gtest.h>
+
+#include "core/incast_experiment.h"
+
+namespace incast::core {
+namespace {
+
+using namespace incast::sim::literals;
+
+constexpr double kBdpPackets = 25.0;
+constexpr double kCapacity = 1333.0;
+
+class QueueLaw : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueLaw, StandingQueueFollowsTheClosedForm) {
+  const int flows = GetParam();
+
+  IncastExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.burst_duration = 5_ms;
+  cfg.num_bursts = 3;
+  cfg.discard_bursts = 1;
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  cfg.seed = 3;
+  const auto r = run_incast_experiment(cfg);
+
+  if (flows <= 80) {
+    // Healthy regime: near the marking threshold, give or take the
+    // oscillation amplitude; no drops; optimal completion.
+    EXPECT_GT(r.avg_queue_packets, 30.0) << flows;
+    EXPECT_LT(r.avg_queue_packets, 130.0) << flows;
+    EXPECT_EQ(r.queue_drops, 0) << flows;
+    EXPECT_LT(r.avg_bct_ms, 6.5) << flows;
+  } else if (flows <= 800) {
+    // Degenerate point: every flow pinned at 1 MSS, standing queue
+    // ~= flows - BDP (within 15%), still lossless and near-optimal BCT.
+    const double expected = static_cast<double>(flows) - kBdpPackets;
+    EXPECT_GT(r.avg_queue_packets, expected * 0.85) << flows;
+    EXPECT_LT(r.avg_queue_packets, expected * 1.15) << flows;
+    EXPECT_EQ(r.queue_drops, 0) << flows;
+    EXPECT_EQ(r.timeouts, 0) << flows;
+    EXPECT_LT(r.avg_bct_ms, 6.5) << flows;
+  } else {
+    // Past capacity + BDP: overflow and RTO-bound recovery.
+    EXPECT_GT(r.queue_drops, 0) << flows;
+    EXPECT_GT(r.timeouts, 0) << flows;
+    EXPECT_GT(r.max_bct_ms, 100.0) << flows;
+  }
+
+  // Universal invariants.
+  EXPECT_LE(r.peak_queue_packets, kCapacity);
+  EXPECT_GE(r.avg_queue_packets, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, QueueLaw,
+                         ::testing::Values(40, 60, 150, 300, 500, 800, 1000, 1500),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace incast::core

@@ -1,0 +1,175 @@
+// Tests for the deterministic Rng and its distributions.
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace incast::sim {
+namespace {
+
+using namespace incast::sim::literals;
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng rng{0};
+  // SplitMix64 seeding must avoid an all-zero state.
+  bool nonzero = false;
+  for (int i = 0; i < 10; ++i) {
+    if (rng.next_u64() != 0) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng{7};
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng{9};
+  std::vector<int> hits(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const std::int64_t v = rng.uniform_int(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++hits[static_cast<std::size_t>(v - 10)];
+  }
+  for (const int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformTimeWithinBounds) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = rng.uniform_time(10_us, 100_us);
+    ASSERT_GE(t, 10_us);
+    ASSERT_LT(t, 100_us);
+  }
+  // Empty range returns the lower bound.
+  EXPECT_EQ(rng.uniform_time(5_us, 5_us), 5_us);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng{13};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{17};
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(2.5);
+  EXPECT_NEAR(total / n, 2.5, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{19};
+  double total = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    total += v;
+    sq += v * v;
+  }
+  const double mean = total / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng{23};
+  std::vector<double> values;
+  const int n = 20001;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) values.push_back(rng.lognormal(std::log(100.0), 0.4));
+  std::sort(values.begin(), values.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(values[n / 2], 100.0, 5.0);
+}
+
+TEST(Rng, PoissonMeanSmall) {
+  Rng rng{29};
+  double total = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.poisson(4.0));
+  EXPECT_NEAR(total / n, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanLargeUsesNormalApprox) {
+  Rng rng{31};
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.poisson(1000.0));
+  EXPECT_NEAR(total / n, 1000.0, 5.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng{37};
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{41};
+  Rng child = parent.fork();
+  // The child differs from a same-seed copy of the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace incast::sim

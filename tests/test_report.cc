@@ -1,0 +1,93 @@
+// Tests for the table / CDF report printers.
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+namespace incast::core {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"service", "flows"}};
+  t.add_row({"storage", "60"});
+  t.add_row({"aggregator", "160"});
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("service"), std::string::npos);
+  EXPECT_NE(out.find("aggregator  160"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Four lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnWidthTracksWidestCell) {
+  Table t{{"a", "b"}};
+  t.add_row({"xxxxxxxxxx", "1"});
+  const std::string out = t.render();
+  // Header cell "a" must be padded out to the width of "xxxxxxxxxx".
+  EXPECT_NE(out.find("a           b"), std::string::npos);
+}
+
+TEST(Fmt, FormatsWithRequestedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(10.0, 1), "10.0");
+  EXPECT_EQ(fmt(-2.5, 2), "-2.50");
+}
+
+TEST(PrintCdf, WritesPercentileRows) {
+  analysis::Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  print_cdf("test distribution", cdf, {50, 99}, tmp);
+  std::rewind(tmp);
+  char buffer[4096] = {};
+  const std::size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, tmp);
+  std::fclose(tmp);
+  const std::string out{buffer, n};
+
+  EXPECT_NE(out.find("test distribution (n=100)"), std::string::npos);
+  EXPECT_NE(out.find("50"), std::string::npos);
+  EXPECT_NE(out.find("99"), std::string::npos);
+}
+
+TEST(PrintCdfComparison, OneColumnPerLabel) {
+  analysis::Cdf a;
+  analysis::Cdf b;
+  for (int i = 1; i <= 10; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(i * 100));
+  }
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  print_cdf_comparison("figure", {"alpha", "beta"}, {a, b}, {50}, tmp);
+  std::rewind(tmp);
+  char buffer[4096] = {};
+  const std::size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, tmp);
+  std::fclose(tmp);
+  const std::string out{buffer, n};
+
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("n: alpha=10 beta=10"), std::string::npos);
+}
+
+TEST(PrintHeader, ContainsIdAndCaption) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  print_header("Figure 5", "DCTCP operating modes", tmp);
+  std::rewind(tmp);
+  char buffer[1024] = {};
+  const std::size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, tmp);
+  std::fclose(tmp);
+  const std::string out{buffer, n};
+  EXPECT_NE(out.find("Figure 5 — DCTCP operating modes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incast::core

@@ -1,0 +1,77 @@
+// Tests for the RFC 6298 RTT estimator.
+#include "tcp/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::tcp {
+namespace {
+
+using sim::Time;
+using namespace incast::sim::literals;
+
+RttEstimator::Config loose() {
+  return {.initial_rto = 1_ms, .min_rto = Time::microseconds(1), .max_rto = 120_s};
+}
+
+TEST(RttEstimator, InitialRtoBeforeAnySample) {
+  RttEstimator est{{.initial_rto = 3_ms, .min_rto = 1_ms, .max_rto = 120_s}};
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), 3_ms);
+}
+
+TEST(RttEstimator, FirstSampleInitializesSrttAndRttvar) {
+  RttEstimator est{loose()};
+  est.add_sample(100_us);
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), 100_us);
+  EXPECT_EQ(est.rttvar(), 50_us);
+  // RTO = SRTT + 4 * RTTVAR = 100 + 200 = 300 us.
+  EXPECT_EQ(est.rto(), 300_us);
+}
+
+TEST(RttEstimator, EwmaConvergesToConstantRtt) {
+  RttEstimator est{loose()};
+  for (int i = 0; i < 100; ++i) est.add_sample(200_us);
+  EXPECT_NEAR(est.srtt().us(), 200.0, 1.0);
+  EXPECT_NEAR(est.rttvar().us(), 0.0, 2.0);
+  EXPECT_NEAR(est.rto().us(), 200.0, 10.0);
+}
+
+TEST(RttEstimator, SecondSampleFollowsRfcFormulas) {
+  RttEstimator est{loose()};
+  est.add_sample(100_us);
+  est.add_sample(200_us);
+  // RTTVAR = 0.75*50 + 0.25*|100-200| = 62.5 us
+  // SRTT   = 0.875*100 + 0.125*200 = 112.5 us
+  EXPECT_NEAR(est.rttvar().us(), 62.5, 0.01);
+  EXPECT_NEAR(est.srtt().us(), 112.5, 0.01);
+}
+
+TEST(RttEstimator, MinRtoClampsUpward) {
+  // The Linux-style 200 ms floor: with datacenter RTTs of tens of us, the
+  // RTO is dominated by min_rto — the Mode 3 effect.
+  RttEstimator est{{.initial_rto = 1_ms, .min_rto = 200_ms, .max_rto = 120_s}};
+  for (int i = 0; i < 50; ++i) est.add_sample(30_us);
+  EXPECT_EQ(est.rto(), 200_ms);
+}
+
+TEST(RttEstimator, MaxRtoClampsDownward) {
+  RttEstimator est{{.initial_rto = 1_ms, .min_rto = 1_ms, .max_rto = 2_s}};
+  for (int i = 0; i < 5; ++i) est.add_sample(10_s);
+  EXPECT_EQ(est.rto(), 2_s);
+}
+
+TEST(RttEstimator, VariableSamplesInflateRto) {
+  RttEstimator est{loose()};
+  for (int i = 0; i < 50; ++i) est.add_sample(i % 2 == 0 ? 100_us : 300_us);
+  // High variance keeps RTO well above the mean RTT.
+  EXPECT_GT(est.rto(), 400_us);
+}
+
+TEST(RttEstimator, InitialRtoRespectsClamps) {
+  RttEstimator est{{.initial_rto = 1_ms, .min_rto = 5_ms, .max_rto = 120_s}};
+  EXPECT_EQ(est.rto(), 5_ms);
+}
+
+}  // namespace
+}  // namespace incast::tcp

@@ -1,0 +1,97 @@
+// Tests for wrap-safe 32-bit sequence arithmetic.
+#include "tcp/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace incast::tcp {
+namespace {
+
+TEST(SeqNum32, BasicOrdering) {
+  const SeqNum32 a{100};
+  const SeqNum32 b{200};
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, b);
+  EXPECT_EQ(a, SeqNum32{100});
+}
+
+TEST(SeqNum32, OrderingAcrossWrap) {
+  const SeqNum32 before_wrap{0xFFFFFFF0u};
+  const SeqNum32 after_wrap{0x10u};
+  // 0x10 is "ahead of" 0xFFFFFFF0 in serial-number arithmetic.
+  EXPECT_LT(before_wrap, after_wrap);
+  EXPECT_GT(after_wrap, before_wrap);
+}
+
+TEST(SeqNum32, AdditionWraps) {
+  const SeqNum32 s{0xFFFFFFFEu};
+  EXPECT_EQ((s + 4u).raw(), 2u);
+}
+
+TEST(SeqNum32, DifferenceIsSigned) {
+  const SeqNum32 a{100};
+  const SeqNum32 b{200};
+  EXPECT_EQ(b - a, 100);
+  EXPECT_EQ(a - b, -100);
+  // Across the wrap point.
+  const SeqNum32 hi{0xFFFFFFFFu};
+  const SeqNum32 lo{0x0u};
+  EXPECT_EQ(lo - hi, 1);
+  EXPECT_EQ(hi - lo, -1);
+}
+
+TEST(SeqNum32, InWindow) {
+  const SeqNum32 lo{1000};
+  EXPECT_TRUE(SeqNum32{1000}.in_window(lo, 10));
+  EXPECT_TRUE(SeqNum32{1009}.in_window(lo, 10));
+  EXPECT_FALSE(SeqNum32{1010}.in_window(lo, 10));
+  EXPECT_FALSE(SeqNum32{999}.in_window(lo, 10));
+}
+
+TEST(SeqNum32, InWindowAcrossWrap) {
+  const SeqNum32 lo{0xFFFFFFFCu};
+  EXPECT_TRUE(SeqNum32{0xFFFFFFFDu}.in_window(lo, 16));
+  EXPECT_TRUE(SeqNum32{0x5u}.in_window(lo, 16));
+  EXPECT_FALSE(SeqNum32{0x20u}.in_window(lo, 16));
+}
+
+TEST(SeqNum32, WireConversionRoundTrip) {
+  const std::int64_t offset = 123'456'789;
+  const SeqNum32 wire = to_wire_seq(offset, /*isn=*/777);
+  EXPECT_EQ(from_wire_seq(wire, /*reference=*/offset - 1000, 777), offset);
+}
+
+TEST(SeqNum32, WireConversionRoundTripBeyond32Bits) {
+  // Stream offsets past 4 GiB still unwrap correctly given a nearby
+  // reference.
+  const std::int64_t offset = (1LL << 33) + 98'765;
+  const SeqNum32 wire = to_wire_seq(offset);
+  EXPECT_EQ(from_wire_seq(wire, offset - 12'345), offset);
+  EXPECT_EQ(from_wire_seq(wire, offset + 12'345), offset);
+}
+
+// Property sweep: for many (offset, delta) pairs, unwrapping recovers the
+// original offset as long as the reference is within 2^31.
+class SeqRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SeqRoundTrip, RecoversOffsetNearReference) {
+  const std::int64_t offset = GetParam();
+  for (const std::int64_t drift :
+       {-2'000'000'000LL, -1'000'000LL, -1LL, 0LL, 1LL, 1'000'000LL, 2'000'000'000LL}) {
+    const std::int64_t reference = offset + drift;
+    if (reference < 0) continue;
+    const SeqNum32 wire = to_wire_seq(offset, 42);
+    ASSERT_EQ(from_wire_seq(wire, reference, 42), offset)
+        << "offset=" << offset << " drift=" << drift;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, SeqRoundTrip,
+                         ::testing::Values(0LL, 1LL, 1460LL, 0x7FFFFFFFLL, 0x80000000LL,
+                                           0xFFFFFFFFLL, 0x100000000LL, 0x123456789ALL));
+
+}  // namespace
+}  // namespace incast::tcp

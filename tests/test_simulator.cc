@@ -1,0 +1,123 @@
+// Tests for the Simulator event loop.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace incast::sim {
+namespace {
+
+using namespace incast::sim::literals;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, RunAdvancesTimeToEachEvent) {
+  Simulator sim;
+  std::vector<Time> seen;
+  sim.schedule_at(10_us, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(5_us, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 5_us);
+  EXPECT_EQ(seen[1], 10_us);
+  EXPECT_EQ(sim.now(), 10_us);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time fired_at;
+  sim.schedule_at(5_us, [&] {
+    sim.schedule_in(3_us, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 8_us);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(1_us, recurse);
+  };
+  sim.schedule_in(1_us, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), Time::microseconds(100));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndSetsNow) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1_ms, [&] { ++fired; });
+  sim.schedule_at(3_ms, [&] { ++fired; });
+  sim.run_until(2_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 2_ms);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  // Resume picks up the remaining event.
+  sim.run_until(5_ms);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 5_ms);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(2_ms, [&] { fired = true; });
+  sim.run_until(2_ms);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1_us, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2_us, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  // A subsequent run resumes.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1_us, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, SameTimeEventsFifoAcrossNesting) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1_us, [&] {
+    order.push_back(1);
+    // Scheduled at the *current* time: runs after already-queued events at
+    // the same timestamp.
+    sim.schedule_at(1_us, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(1_us, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(7_ms);
+  EXPECT_EQ(sim.now(), 7_ms);
+}
+
+}  // namespace
+}  // namespace incast::sim

@@ -1,0 +1,94 @@
+// Tests for the flow-count stability analysis (Section 3.3 / Figure 3).
+#include "analysis/stability.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::analysis {
+namespace {
+
+FlowCountGroup group(std::size_t index, const std::vector<double>& samples) {
+  FlowCountGroup g;
+  g.index = index;
+  for (const double s : samples) g.flow_counts.add(s);
+  return g;
+}
+
+TEST(Stability, EmptyInput) {
+  const auto report = analyze_stability({});
+  EXPECT_TRUE(report.groups.empty());
+  EXPECT_DOUBLE_EQ(report.grand_mean, 0.0);
+}
+
+TEST(Stability, SingleGroupHasZeroSpread) {
+  const auto report = analyze_stability({group(0, {100, 110, 90})});
+  ASSERT_EQ(report.groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.groups[0].mean, 100.0);
+  EXPECT_DOUBLE_EQ(report.mean_relative_spread, 0.0);
+  EXPECT_DOUBLE_EQ(report.grand_mean, 100.0);
+}
+
+TEST(Stability, IdenticalGroupsAreStable) {
+  std::vector<FlowCountGroup> groups;
+  for (std::size_t i = 0; i < 5; ++i) {
+    groups.push_back(group(i, {100, 200, 150, 120, 180}));
+  }
+  const auto report = analyze_stability(groups);
+  EXPECT_DOUBLE_EQ(report.mean_relative_spread, 0.0);
+  EXPECT_DOUBLE_EQ(report.p99_relative_spread, 0.0);
+  EXPECT_NEAR(report.grand_mean, 150.0, 1e-9);
+}
+
+TEST(Stability, DivergentGroupsShowSpread) {
+  const auto report = analyze_stability({
+      group(0, {100, 100, 100}),
+      group(1, {300, 300, 300}),
+  });
+  // means 100 and 300; grand mean 200; spread = 200/200 = 1.
+  EXPECT_NEAR(report.mean_relative_spread, 1.0, 1e-9);
+  EXPECT_NEAR(report.grand_mean, 200.0, 1e-9);
+}
+
+TEST(Stability, GrandMeanWeightsByBurstCount) {
+  const auto report = analyze_stability({
+      group(0, {100}),
+      group(1, {200, 200, 200}),
+  });
+  // (100*1 + 200*3) / 4 = 175.
+  EXPECT_NEAR(report.grand_mean, 175.0, 1e-9);
+}
+
+TEST(Stability, EmptyGroupsIgnoredInSpread) {
+  const auto report = analyze_stability({
+      group(0, {100, 100}),
+      group(1, {}),
+      group(2, {100, 100}),
+  });
+  ASSERT_EQ(report.groups.size(), 3u);
+  EXPECT_EQ(report.groups[1].bursts, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_relative_spread, 0.0);
+}
+
+TEST(Stability, ReportsP99PerGroup) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const auto report = analyze_stability({group(0, samples)});
+  EXPECT_NEAR(report.groups[0].p99, 99.0, 0.1);
+}
+
+TEST(CoefficientOfVariation, ZeroForConstantSeries) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({5, 5, 5, 5}), 0.0);
+}
+
+TEST(CoefficientOfVariation, KnownValue) {
+  // Values {8, 12}: mean 10, sample stddev = sqrt(8) ~= 2.828 -> CoV 0.283.
+  EXPECT_NEAR(coefficient_of_variation({8, 12}), 0.2828, 0.001);
+}
+
+TEST(CoefficientOfVariation, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({}), 0.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({7}), 0.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({0, 0}), 0.0);  // zero mean
+}
+
+}  // namespace
+}  // namespace incast::analysis

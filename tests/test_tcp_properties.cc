@@ -1,0 +1,171 @@
+// Property-style integration tests: invariants that must hold across
+// randomized scenarios (seeds, queue sizes, CCAs, loss regimes).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/random.h"
+#include "tcp/tcp_connection.h"
+
+namespace incast::tcp {
+namespace {
+
+using sim::Simulator;
+using sim::Time;
+using namespace incast::sim::literals;
+
+struct Scenario {
+  std::uint64_t seed;
+  int flows;
+  std::int64_t queue_packets;
+  std::int64_t ecn_threshold;
+  CcAlgorithm cc;
+};
+
+std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
+  const Scenario& s = info.param;
+  std::string cc{to_string(s.cc)};
+  // gtest parameter names must be alphanumeric.
+  std::erase(cc, '-');
+  return cc + "_f" + std::to_string(s.flows) + "_q" + std::to_string(s.queue_packets) +
+         "_s" + std::to_string(s.seed);
+}
+
+class TcpInvariants : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(TcpInvariants, EveryByteDeliveredExactlyOnceDespiteLoss) {
+  const Scenario& sc = GetParam();
+
+  Simulator sim;
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_senders = sc.flows;
+  topo_cfg.switch_queue.capacity_packets = sc.queue_packets;
+  topo_cfg.switch_queue.ecn_threshold_packets = sc.ecn_threshold;
+  net::Dumbbell topo{sim, topo_cfg};
+
+  TcpConfig cfg;
+  cfg.cc = sc.cc;
+  cfg.rtt.min_rto = 5_ms;
+  cfg.rtt.initial_rto = 5_ms;
+
+  sim::Rng rng{sc.seed};
+  std::vector<std::unique_ptr<TcpConnection>> conns;
+  std::vector<std::int64_t> demands;
+  for (int i = 0; i < sc.flows; ++i) {
+    conns.push_back(std::make_unique<TcpConnection>(sim, topo.sender(i), topo.receiver(0),
+                                                    static_cast<net::FlowId>(i + 1), cfg));
+    // Odd-sized demands supplied in 1-3 randomly timed application writes.
+    const std::int64_t demand = rng.uniform_int(10'000, 400'000);
+    demands.push_back(demand);
+    const int writes = static_cast<int>(rng.uniform_int(1, 3));
+    std::int64_t remaining = demand;
+    for (int w = 0; w < writes; ++w) {
+      const std::int64_t chunk = w + 1 == writes ? remaining : remaining / 2;
+      remaining -= chunk;
+      TcpSender* s = &conns.back()->sender();
+      sim.schedule_in(rng.uniform_time(Time::zero(), 2_ms),
+                      [s, chunk] { s->add_app_data(chunk); });
+    }
+  }
+
+  // In-run invariants, polled throughout the transfer.
+  bool invariants_ok = true;
+  std::function<void()> poll = [&] {
+    for (const auto& c : conns) {
+      const auto& s = c->sender();
+      if (s.snd_una() > s.snd_nxt() || s.pipe_bytes() < 0 ||
+          s.in_flight_bytes() < 0 || s.sacked_bytes() < 0 ||
+          s.congestion_control().cwnd_bytes() < 1) {
+        invariants_ok = false;
+      }
+      // The receiver can never hold bytes that were never transmitted.
+      // (rcv_nxt may exceed snd_nxt after an RTO's go-back-N, because the
+      // receiver keeps pre-RTO out-of-order data.)
+      if (c->receiver().rcv_nxt() > s.max_sent()) invariants_ok = false;
+    }
+    if (sim.events_pending() > 0) sim.schedule_in(500_us, poll);
+  };
+  sim.schedule_in(500_us, poll);
+
+  sim.run_until(60_s);
+
+  EXPECT_TRUE(invariants_ok);
+  for (int i = 0; i < sc.flows; ++i) {
+    const auto& c = *conns[static_cast<std::size_t>(i)];
+    // Exactly-once, in-order delivery of the full demand.
+    ASSERT_EQ(c.receiver().rcv_nxt(), demands[static_cast<std::size_t>(i)])
+        << "flow " << i;
+    EXPECT_TRUE(c.sender().all_acked());
+    // Conservation: what was sent is at least the demand (retransmissions
+    // may add to it, never subtract).
+    EXPECT_GE(c.sender().stats().data_bytes_sent, demands[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, TcpInvariants,
+    ::testing::Values(
+        // Clean network, various CCAs.
+        Scenario{1, 4, 1333, 65, CcAlgorithm::kDctcp},
+        Scenario{2, 4, 1333, 0, CcAlgorithm::kCubic},
+        Scenario{3, 4, 1333, 65, CcAlgorithm::kRenoEcn},
+        Scenario{4, 2, 1333, 65, CcAlgorithm::kSwift},
+        // Brutal queues: heavy loss, recovery via every mechanism.
+        Scenario{5, 4, 8, 0, CcAlgorithm::kReno},
+        Scenario{6, 4, 8, 0, CcAlgorithm::kDctcp},
+        Scenario{7, 8, 3, 0, CcAlgorithm::kReno},
+        Scenario{8, 8, 3, 0, CcAlgorithm::kCubic},
+        Scenario{9, 16, 20, 5, CcAlgorithm::kDctcp},
+        Scenario{10, 2, 1, 0, CcAlgorithm::kReno},
+        // Same chaos, different seeds (different loss patterns).
+        Scenario{11, 8, 5, 0, CcAlgorithm::kDctcp},
+        Scenario{12, 8, 5, 0, CcAlgorithm::kDctcp},
+        Scenario{13, 8, 5, 0, CcAlgorithm::kSwift}),
+    scenario_name);
+
+class DeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismProperty, IdenticalSeedsProduceIdenticalRuns) {
+  const std::uint64_t seed = GetParam();
+
+  auto run = [&]() {
+    Simulator sim;
+    net::DumbbellConfig topo_cfg;
+    topo_cfg.num_senders = 6;
+    topo_cfg.switch_queue.capacity_packets = 30;
+    net::Dumbbell topo{sim, topo_cfg};
+    TcpConfig cfg;
+    cfg.cc = CcAlgorithm::kDctcp;
+    cfg.rtt.min_rto = 5_ms;
+    sim::Rng rng{seed};
+    std::vector<std::unique_ptr<TcpConnection>> conns;
+    for (int i = 0; i < 6; ++i) {
+      conns.push_back(std::make_unique<TcpConnection>(
+          sim, topo.sender(i), topo.receiver(0), static_cast<net::FlowId>(i + 1), cfg));
+      TcpSender* s = &conns.back()->sender();
+      sim.schedule_in(rng.uniform_time(Time::zero(), 1_ms),
+                      [s] { s->add_app_data(200'000); });
+    }
+    sim.run_until(30_s);
+    // Fingerprint the run: final clock, event count, per-flow stats.
+    std::vector<std::int64_t> fp{sim.now().ns(),
+                                 static_cast<std::int64_t>(sim.events_processed()),
+                                 topo.bottleneck_queue().stats().ecn_marked_packets,
+                                 topo.bottleneck_queue().stats().dropped_packets};
+    for (const auto& c : conns) {
+      fp.push_back(c->sender().stats().data_packets_sent);
+      fp.push_back(c->sender().stats().retransmitted_packets);
+      fp.push_back(c->sender().stats().timeouts);
+    }
+    return fp;
+  };
+
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty, ::testing::Values(1u, 42u, 777u));
+
+}  // namespace
+}  // namespace incast::tcp

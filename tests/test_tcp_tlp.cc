@@ -1,0 +1,159 @@
+// Tests for tail loss probe (RFC 8985-lite).
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "tcp/tcp_connection.h"
+
+namespace incast::tcp {
+namespace {
+
+using sim::Simulator;
+using sim::Time;
+using namespace incast::sim::literals;
+
+constexpr std::int64_t kMss = 1460;
+
+TcpConfig tlp_config() {
+  TcpConfig c;
+  c.cc = CcAlgorithm::kReno;
+  c.tail_loss_probe = true;
+  c.min_pto = 1_ms;
+  c.rtt.min_rto = 200_ms;  // the RTO TLP is supposed to save us from
+  c.rtt.initial_rto = 200_ms;
+  return c;
+}
+
+// A sender whose ACKs we fabricate by hand (nothing real is connected for
+// the flow, so the network stays silent unless we speak).
+struct Fixture {
+  Simulator sim;
+  net::Dumbbell topo{sim, net::DumbbellConfig{.num_senders = 1}};
+  TcpSender sender;
+
+  explicit Fixture(const TcpConfig& cfg = tlp_config())
+      : sender{sim, topo.sender(0), topo.receiver(0).id(), 1, cfg} {}
+
+  void ack(std::int64_t cum) {
+    sender.handle_packet(
+        net::make_ack_packet(topo.receiver(0).id(), topo.sender(0).id(), 1, cum, false));
+  }
+
+  // Establishes an SRTT (~30 us) so the PTO is min_pto-bound rather than
+  // falling back to 2x the initial RTO.
+  void prime_srtt() {
+    sender.add_app_data(kMss);
+    sim.run_until(sim.now() + 30_us);
+    ack(sender.snd_una() + kMss);
+    ASSERT_TRUE(sender.rtt_estimator().has_sample());
+  }
+};
+
+TEST(TailLossProbe, ProbeFiresBeforeRto) {
+  Fixture f;
+  f.prime_srtt();
+  f.sender.add_app_data(5 * kMss);
+  // Silence: no further ACKs. The PTO (min_pto = 1 ms with a ~30 us SRTT)
+  // must fire long before the 200 ms RTO.
+  f.sim.run_until(150_ms);
+  EXPECT_GE(f.sender.stats().tlp_probes, 1);
+  EXPECT_EQ(f.sender.stats().timeouts, 0);
+}
+
+TEST(TailLossProbe, OneProbePerQuietEpisode) {
+  Fixture f;
+  f.prime_srtt();
+  f.sender.add_app_data(5 * kMss);
+  f.sim.run_until(150_ms);
+  // Without any forward progress, exactly one probe is sent; the RTO
+  // remains the backstop.
+  EXPECT_EQ(f.sender.stats().tlp_probes, 1);
+}
+
+TEST(TailLossProbe, NewAckReopensProbeBudget) {
+  Fixture f;
+  f.prime_srtt();
+  f.sender.add_app_data(20 * kMss);
+  f.sim.run_until(f.sim.now() + 5_ms);
+  EXPECT_EQ(f.sender.stats().tlp_probes, 1);
+  f.ack(f.sender.snd_una() + 2 * kMss);  // progress: probe budget resets, PTO re-arms
+  f.sim.run_until(100_ms);
+  EXPECT_EQ(f.sender.stats().tlp_probes, 2);
+}
+
+TEST(TailLossProbe, DisabledByDefault) {
+  TcpConfig cfg;
+  EXPECT_FALSE(cfg.tail_loss_probe);
+  cfg.cc = CcAlgorithm::kReno;
+  cfg.rtt.min_rto = 50_ms;
+  cfg.rtt.initial_rto = 50_ms;
+  Fixture f{cfg};
+  f.sender.add_app_data(5 * kMss);
+  f.sim.run_until(40_ms);
+  EXPECT_EQ(f.sender.stats().tlp_probes, 0);
+}
+
+TEST(TailLossProbe, ProbeRetransmitsLastSegmentWhenNoNewData) {
+  Fixture f;
+  f.prime_srtt();
+  f.sender.add_app_data(3 * kMss);  // IW10 covers it: everything sent at once
+  f.sim.run_until(f.sim.now() + 10_ms);
+  ASSERT_GE(f.sender.stats().tlp_probes, 1);
+  // No new data existed, so the probe was a retransmission.
+  EXPECT_GE(f.sender.stats().retransmitted_packets, 1);
+}
+
+TEST(TailLossProbe, ProbeSendsNewDataWhenAvailable) {
+  TcpConfig cfg = tlp_config();
+  cfg.cc_config.initial_window_segments = 2;  // leave unsent data behind
+  Fixture f{cfg};
+  f.prime_srtt();
+  f.sender.add_app_data(10 * kMss);
+  const std::int64_t nxt_before = f.sender.snd_nxt();
+  f.sim.run_until(f.sim.now() + 10_ms);
+  ASSERT_GE(f.sender.stats().tlp_probes, 1);
+  // The probe advanced snd_nxt (new data) instead of retransmitting.
+  EXPECT_GT(f.sender.snd_nxt(), nxt_before);
+  EXPECT_EQ(f.sender.stats().retransmitted_packets, 0);
+}
+
+TEST(TailLossProbe, ConvertsTailLossIntoFastRecovery) {
+  // End-to-end: a shallow queue drops the tail of a window. With TLP the
+  // probe elicits SACK feedback and fast recovery repairs the hole; the
+  // 200 ms RTO never fires. Without TLP the same scenario needs the RTO.
+  auto run = [](bool tlp) {
+    Simulator sim;
+    net::DumbbellConfig topo_cfg;
+    topo_cfg.num_senders = 1;
+    topo_cfg.switch_queue.capacity_packets = 6;
+    topo_cfg.switch_queue.ecn_threshold_packets = 0;
+    topo_cfg.receiver_link = sim::Bandwidth::gigabits_per_second(1);
+    net::Dumbbell topo{sim, topo_cfg};
+    TcpConfig cfg;
+    cfg.cc = CcAlgorithm::kReno;
+    cfg.tail_loss_probe = tlp;
+    cfg.min_pto = 1_ms;
+    cfg.rtt.min_rto = 200_ms;
+    cfg.rtt.initial_rto = 200_ms;
+    TcpConnection conn{sim, topo.sender(0), topo.receiver(0), 1, cfg};
+
+    conn.sender().add_app_data(500'000);
+    Time done;
+    conn.sender().set_on_all_acked([&] { done = sim.now(); });
+    sim.run_until(10_s);
+    EXPECT_TRUE(conn.sender().all_acked());
+    return std::tuple{done, conn.sender().stats().timeouts,
+                      conn.sender().stats().tlp_probes};
+  };
+
+  const auto [done_tlp, rtos_tlp, probes_tlp] = run(true);
+  const auto [done_rto, rtos_rto, probes_rto] = run(false);
+
+  EXPECT_GT(probes_tlp, 0);
+  EXPECT_EQ(probes_rto, 0);
+  EXPECT_LT(rtos_tlp, rtos_rto);
+  // TLP completes the transfer dramatically sooner than RTO-based recovery.
+  EXPECT_LT(done_tlp + 100_ms, done_rto);
+}
+
+}  // namespace
+}  // namespace incast::tcp

@@ -1,0 +1,88 @@
+// Tests for sim::Time arithmetic and formatting.
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::sim {
+namespace {
+
+using namespace incast::sim::literals;
+
+TEST(Time, NamedConstructorsAgree) {
+  EXPECT_EQ(Time::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Time::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Time::microseconds(1).ns(), 1'000);
+  EXPECT_EQ(Time::nanoseconds(1).ns(), 1);
+  EXPECT_EQ(Time::seconds(1), Time::milliseconds(1000));
+  EXPECT_EQ(Time::milliseconds(0.5), Time::microseconds(500));
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ(1_s, Time::seconds(1));
+  EXPECT_EQ(15_ms, Time::milliseconds(15));
+  EXPECT_EQ(30_us, Time::microseconds(30));
+  EXPECT_EQ(7_ns, Time::nanoseconds(7));
+}
+
+TEST(Time, DefaultIsZero) {
+  const Time t;
+  EXPECT_EQ(t, Time::zero());
+  EXPECT_EQ(t.ns(), 0);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(5_ms, 5_ms);
+  EXPECT_NE(1_ns, 2_ns);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(1_ms + 500_us, Time::microseconds(1500));
+  EXPECT_EQ(1_ms - 1_us, Time::microseconds(999));
+  EXPECT_EQ((10_us) * 3.0, 30_us);
+  EXPECT_EQ(3.0 * (10_us), 30_us);
+  EXPECT_EQ((30_us) / 3.0, 10_us);
+  EXPECT_DOUBLE_EQ((2_ms) / (1_ms), 2.0);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = 1_ms;
+  t += 1_ms;
+  EXPECT_EQ(t, 2_ms);
+  t -= 500_us;
+  EXPECT_EQ(t, Time::microseconds(1500));
+}
+
+TEST(Time, UnitAccessors) {
+  const Time t = Time::milliseconds(1.5);
+  EXPECT_DOUBLE_EQ(t.ms(), 1.5);
+  EXPECT_DOUBLE_EQ(t.us(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.sec(), 0.0015);
+}
+
+TEST(Time, Infinity) {
+  EXPECT_TRUE(Time::infinity().is_infinite());
+  EXPECT_FALSE(Time::zero().is_infinite());
+  EXPECT_GT(Time::infinity(), Time::seconds(1e9));
+}
+
+TEST(Time, ToStringSelectsUnit) {
+  EXPECT_EQ(Time::zero().to_string(), "0s");
+  EXPECT_EQ((2_s).to_string(), "2s");
+  EXPECT_EQ((15_ms).to_string(), "15ms");
+  EXPECT_EQ((30_us).to_string(), "30us");
+  EXPECT_EQ((7_ns).to_string(), "7ns");
+  EXPECT_EQ(Time::infinity().to_string(), "inf");
+  // Non-round values fall back to the finest unit.
+  EXPECT_EQ(Time::nanoseconds(1001).to_string(), "1001ns");
+}
+
+TEST(Time, NegativeDurationsBehave) {
+  const Time d = 1_us - 2_us;
+  EXPECT_LT(d, Time::zero());
+  EXPECT_EQ(d + 2_us, 1_us);
+}
+
+}  // namespace
+}  // namespace incast::sim

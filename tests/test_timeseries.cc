@@ -1,0 +1,110 @@
+// Tests for the TimeSeries reductions.
+#include "analysis/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::analysis {
+namespace {
+
+using sim::Time;
+using namespace incast::sim::literals;
+
+TimeSeries ramp() {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.add(Time::microseconds(static_cast<double>(i) * 10), static_cast<double>(i));
+  }
+  return ts;
+}
+
+TEST(TimeSeries, EmptyDefaults) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.min(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 0.0);
+}
+
+TEST(TimeSeries, BasicStats) {
+  const TimeSeries ts = ramp();
+  EXPECT_EQ(ts.size(), 10u);
+  EXPECT_DOUBLE_EQ(ts.min(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 9.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 4.5);
+  EXPECT_EQ(ts.argmax(), 90_us);
+}
+
+TEST(TimeSeries, TimeWeightedMeanHonorsHoldTimes) {
+  // Value 0 held for 90 us, then 10 held for 10 us:
+  // area = 0*90 + 10*10 = 100 over 100 us -> 1.0.
+  TimeSeries ts;
+  ts.add(Time::zero(), 0.0);
+  ts.add(90_us, 10.0);
+  ts.add(100_us, 0.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 1.0);
+  // Unweighted mean would say 3.33 — the difference is the point.
+  EXPECT_NEAR(ts.mean(), 3.33, 0.01);
+}
+
+TEST(TimeSeries, ResampleMean) {
+  const TimeSeries ts = ramp();  // samples at 0,10,...,90 us
+  // 20 us bins: {0,1}, {2,3}, {4,5}, {6,7}, {8,9} -> means.
+  const auto bins = ts.resample(Time::zero(), 20_us, 5, TimeSeries::Reduce::kMean);
+  ASSERT_EQ(bins.size(), 5u);
+  EXPECT_DOUBLE_EQ(bins[0], 0.5);
+  EXPECT_DOUBLE_EQ(bins[2], 4.5);
+  EXPECT_DOUBLE_EQ(bins[4], 8.5);
+}
+
+TEST(TimeSeries, ResampleMaxAndLast) {
+  const TimeSeries ts = ramp();
+  const auto mx = ts.resample(Time::zero(), 20_us, 5, TimeSeries::Reduce::kMax);
+  EXPECT_DOUBLE_EQ(mx[0], 1.0);
+  EXPECT_DOUBLE_EQ(mx[4], 9.0);
+  const auto last = ts.resample(Time::zero(), 20_us, 5, TimeSeries::Reduce::kLast);
+  EXPECT_DOUBLE_EQ(last[0], 1.0);
+  EXPECT_DOUBLE_EQ(last[4], 9.0);
+}
+
+TEST(TimeSeries, ResampleHoldsThroughEmptyBins) {
+  TimeSeries ts;
+  ts.add(5_us, 7.0);
+  // Bins of 10 us: bin 0 has the sample; bins 1-3 are empty -> hold 7.
+  const auto bins = ts.resample(Time::zero(), 10_us, 4);
+  EXPECT_DOUBLE_EQ(bins[0], 7.0);
+  EXPECT_DOUBLE_EQ(bins[1], 7.0);
+  EXPECT_DOUBLE_EQ(bins[3], 7.0);
+}
+
+TEST(TimeSeries, ResampleIgnoresOutOfRangeSamples) {
+  TimeSeries ts;
+  ts.add(Time::zero(), 1.0);
+  ts.add(100_us, 50.0);  // beyond the window
+  const auto bins = ts.resample(Time::zero(), 10_us, 3);
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+  EXPECT_DOUBLE_EQ(bins[2], 1.0);  // held, not 50
+}
+
+TEST(TimeSeries, EwmaSmoothing) {
+  TimeSeries ts;
+  ts.add(Time::zero(), 10.0);
+  ts.add(1_us, 0.0);
+  ts.add(2_us, 0.0);
+  const TimeSeries smooth = ts.ewma(0.5);
+  ASSERT_EQ(smooth.size(), 3u);
+  EXPECT_DOUBLE_EQ(smooth.points()[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(smooth.points()[1].value, 5.0);
+  EXPECT_DOUBLE_EQ(smooth.points()[2].value, 2.5);
+}
+
+TEST(TimeSeries, EwmaWeightOneIsIdentity) {
+  const TimeSeries ts = ramp();
+  const TimeSeries same = ts.ewma(1.0);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(same.points()[i].value, ts.points()[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace incast::analysis

@@ -1,0 +1,63 @@
+// Tests for sim::Bandwidth and the bandwidth-delay product helper.
+#include "sim/units.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::sim {
+namespace {
+
+using namespace incast::sim::literals;
+
+TEST(Bandwidth, NamedConstructorsAgree) {
+  EXPECT_EQ(Bandwidth::gigabits_per_second(1).bps(), 1'000'000'000);
+  EXPECT_EQ(Bandwidth::megabits_per_second(1000), Bandwidth::gigabits_per_second(1));
+  EXPECT_EQ(Bandwidth::kilobits_per_second(1000), Bandwidth::megabits_per_second(1));
+}
+
+TEST(Bandwidth, SerializationTime) {
+  const auto g10 = Bandwidth::gigabits_per_second(10);
+  // 1500 B at 10 Gbps = 1.2 us.
+  EXPECT_EQ(g10.serialization_time(1500), Time::nanoseconds(1200));
+  // 40 B ACK at 10 Gbps = 32 ns.
+  EXPECT_EQ(g10.serialization_time(40), Time::nanoseconds(32));
+  // 1500 B at 100 Gbps = 120 ns.
+  EXPECT_EQ(Bandwidth::gigabits_per_second(100).serialization_time(1500),
+            Time::nanoseconds(120));
+}
+
+TEST(Bandwidth, BytesIn) {
+  const auto g10 = Bandwidth::gigabits_per_second(10);
+  // 10 Gbps for 1 ms = 1.25 MB.
+  EXPECT_EQ(g10.bytes_in(1_ms), 1'250'000);
+  EXPECT_EQ(g10.bytes_in(Time::zero()), 0);
+}
+
+TEST(Bandwidth, PaperBdpIs37500Bytes) {
+  // Section 4: "BDP ... is 10 Gbps x 30 us = 37.5 KB".
+  const auto bdp =
+      bandwidth_delay_product_bytes(Bandwidth::gigabits_per_second(10), 30_us);
+  EXPECT_EQ(bdp, 37'500);
+}
+
+TEST(Bandwidth, ScalingAndRatios) {
+  const auto g10 = Bandwidth::gigabits_per_second(10);
+  EXPECT_EQ(g10 * 0.5, Bandwidth::gigabits_per_second(5));
+  EXPECT_DOUBLE_EQ(Bandwidth::gigabits_per_second(100) / g10, 10.0);
+}
+
+TEST(Bandwidth, ToString) {
+  EXPECT_EQ(Bandwidth::gigabits_per_second(10).to_string(), "10Gbps");
+  EXPECT_EQ(Bandwidth::megabits_per_second(250).to_string(), "250Mbps");
+  EXPECT_EQ(Bandwidth::bits_per_second(999).to_string(), "999bps");
+}
+
+TEST(Bandwidth, SerializationTimeRoundTripsWithBytesIn) {
+  const auto g25 = Bandwidth::gigabits_per_second(25);
+  const std::int64_t bytes = 123'456;
+  const Time t = g25.serialization_time(bytes);
+  // bytes_in(serialization_time(b)) == b up to integer truncation.
+  EXPECT_NEAR(static_cast<double>(g25.bytes_in(t)), static_cast<double>(bytes), 4.0);
+}
+
+}  // namespace
+}  // namespace incast::sim

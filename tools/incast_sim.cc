@@ -1,0 +1,232 @@
+// incast_sim — command-line driver for custom experiments.
+//
+// Subcommands:
+//
+//   incast_sim burst [--flows 500] [--duration 15ms] [--bursts 11]
+//                    [--cc dctcp|reno|reno-ecn|cubic|swift|hpcc]
+//                    [--ecn-threshold 65] [--queue 1333] [--gap 10ms]
+//                    [--min-rto 200ms] [--cwnd-cap-mss 0] [--tlp]
+//                    [--schedule completion|period] [--seed 1]
+//       Runs the Section 4 cyclic-incast experiment and prints the result.
+//
+//   incast_sim fleet [--service aggregator] [--hosts 2] [--snapshots 1]
+//                    [--trace 1s] [--contention none|modeled|neighbor]
+//                    [--export-csv trace.csv] [--seed 42]
+//       Runs Section 3 production-like traces and prints per-burst
+//       statistics; optionally exports the first host's Millisampler bins.
+//
+//   incast_sim trace --input trace.csv [--line-rate 10Gbps]
+//       Runs the burst detector on a previously exported trace.
+#include <cstdio>
+#include <string>
+
+#include "analysis/burst_detector.h"
+#include "core/cli_args.h"
+#include "core/fleet_experiment.h"
+#include "core/incast_experiment.h"
+#include "core/report.h"
+#include "telemetry/trace_io.h"
+
+namespace {
+
+using namespace incast;
+using namespace incast::sim::literals;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: incast_sim <burst|fleet|trace> [--key value ...]\n"
+               "       see the header of tools/incast_sim.cc for all flags\n");
+  return 2;
+}
+
+std::optional<tcp::CcAlgorithm> parse_cc(const std::string& name) {
+  if (name == "dctcp") return tcp::CcAlgorithm::kDctcp;
+  if (name == "reno") return tcp::CcAlgorithm::kReno;
+  if (name == "reno-ecn") return tcp::CcAlgorithm::kRenoEcn;
+  if (name == "cubic") return tcp::CcAlgorithm::kCubic;
+  if (name == "swift") return tcp::CcAlgorithm::kSwift;
+  if (name == "hpcc") return tcp::CcAlgorithm::kHpcc;
+  return std::nullopt;
+}
+
+int finish(core::CliArgs& args) {
+  for (const auto& err : args.errors()) std::fprintf(stderr, "error: %s\n", err.c_str());
+  for (const auto& key : args.unused_keys()) {
+    std::fprintf(stderr, "warning: unknown flag --%s ignored\n", key.c_str());
+  }
+  return args.errors().empty() ? 0 : 2;
+}
+
+int run_burst(core::CliArgs& args) {
+  core::IncastExperimentConfig cfg;
+  cfg.num_flows = static_cast<int>(args.int_or("flows", 500));
+  cfg.burst_duration = args.time_or("duration", 15_ms);
+  cfg.num_bursts = static_cast<int>(args.int_or("bursts", 11));
+  cfg.discard_bursts = static_cast<int>(args.int_or("discard", 1));
+  cfg.inter_burst_gap = args.time_or("gap", 10_ms);
+  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+  cfg.max_sim_time = args.time_or("max-sim-time", sim::Time::seconds(60));
+
+  const std::string cc_name = args.get_or("cc", "dctcp");
+  const auto cc = parse_cc(cc_name);
+  if (!cc) {
+    std::fprintf(stderr, "error: unknown --cc '%s'\n", cc_name.c_str());
+    return 2;
+  }
+  cfg.tcp.cc = *cc;
+  cfg.tcp.int_telemetry = *cc == tcp::CcAlgorithm::kHpcc;
+  cfg.tcp.rtt.min_rto = args.time_or("min-rto", 200_ms);
+  cfg.tcp.tail_loss_probe = args.bool_or("tlp", false);
+  cfg.topology.switch_queue.capacity_packets = args.int_or("queue", 1333);
+  cfg.topology.switch_queue.ecn_threshold_packets = args.int_or("ecn-threshold", 65);
+  const std::int64_t cap_mss = args.int_or("cwnd-cap-mss", 0);
+  if (cap_mss > 0) cfg.tcp.cwnd_cap_bytes = cap_mss * cfg.tcp.mss_bytes;
+  const std::string schedule = args.get_or("schedule", "completion");
+  cfg.schedule = schedule == "period" ? workload::BurstSchedule::kFixedPeriod
+                                      : workload::BurstSchedule::kAfterCompletion;
+  if (const int rc = finish(args); rc != 0) return rc;
+
+  std::printf("burst: %d x %s bursts of a %d-flow %s incast (seed %llu)\n",
+              cfg.num_bursts, cfg.burst_duration.to_string().c_str(), cfg.num_flows,
+              cc_name.c_str(), static_cast<unsigned long long>(cfg.seed));
+  const auto r = core::run_incast_experiment(cfg);
+
+  core::Table t{{"metric", "value"}};
+  t.add_row({"bursts completed", std::to_string(r.bursts.size())});
+  t.add_row({"avg BCT (measured bursts)", core::fmt(r.avg_bct_ms, 2) + " ms"});
+  t.add_row({"max BCT", core::fmt(r.max_bct_ms, 2) + " ms"});
+  t.add_row({"avg queue during bursts", core::fmt(r.avg_queue_packets, 1) + " pkts"});
+  t.add_row({"peak queue", core::fmt(r.peak_queue_packets, 0) + " pkts"});
+  t.add_row({"ECN-marked packets", core::fmt(r.marked_fraction() * 100, 1) + " %"});
+  t.add_row({"drops", std::to_string(r.queue_drops)});
+  t.add_row({"timeouts", std::to_string(r.timeouts)});
+  t.add_row({"fast retransmits", std::to_string(r.fast_retransmits)});
+  t.add_row({"retransmitted packets", std::to_string(r.retransmitted_packets)});
+  t.add_row({"end-of-burst cwnd mean", core::fmt(r.end_of_burst_cwnd_mean_mss, 2) + " MSS"});
+  t.add_row({"end-of-burst cwnd max", core::fmt(r.end_of_burst_cwnd_max_mss, 2) + " MSS"});
+  t.print();
+  return 0;
+}
+
+int run_fleet(core::CliArgs& args) {
+  core::FleetConfig cfg;
+  const std::string service = args.get_or("service", "aggregator");
+  try {
+    cfg.profile = workload::service_by_name(service);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "error: unknown --service '%s' (see table1_services)\n",
+                 service.c_str());
+    return 2;
+  }
+  cfg.num_hosts = static_cast<int>(args.int_or("hosts", 2));
+  cfg.num_snapshots = static_cast<int>(args.int_or("snapshots", 1));
+  cfg.trace_duration = args.time_or("trace", 1_s);
+  cfg.base_seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  const std::string contention = args.get_or("contention", "modeled");
+  if (contention == "none") {
+    cfg.contention_mode = core::FleetConfig::ContentionMode::kNone;
+  } else if (contention == "neighbor") {
+    cfg.contention_mode = core::FleetConfig::ContentionMode::kNeighbor;
+  } else if (contention != "modeled") {
+    std::fprintf(stderr, "error: unknown --contention '%s'\n", contention.c_str());
+    return 2;
+  }
+  const std::string csv_path = args.get_or("export-csv", "");
+  if (const int rc = finish(args); rc != 0) return rc;
+
+  std::printf("fleet: %d host(s) x %d snapshot(s) of '%s', %s traces\n", cfg.num_hosts,
+              cfg.num_snapshots, service.c_str(), cfg.trace_duration.to_string().c_str());
+
+  core::FleetExperiment exp{cfg};
+  exp.set_keep_bins(!csv_path.empty());
+
+  analysis::Cdf freq, dur, flows, marked, retx;
+  double util = 0.0;
+  std::int64_t drops = 0;
+  bool exported = false;
+  for (int s = 0; s < cfg.num_snapshots; ++s) {
+    for (int h = 0; h < cfg.num_hosts; ++h) {
+      const auto r = exp.run_host_trace(h, s);
+      util += r.avg_utilization;
+      drops += r.queue_drops;
+      freq.add(r.summary.bursts_per_second());
+      for (const auto& b : r.summary.bursts) {
+        dur.add(static_cast<double>(b.num_bins));
+        flows.add(static_cast<double>(b.max_active_flows));
+        marked.add(b.marked_fraction() * 100);
+        retx.add(b.retx_fraction() * 100);
+      }
+      if (!exported && !csv_path.empty()) {
+        if (telemetry::write_bins_csv_file(r.bins, csv_path)) {
+          std::printf("exported host 0 trace to %s\n", csv_path.c_str());
+        } else {
+          std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+        }
+        exported = true;
+      }
+    }
+  }
+
+  core::Table t{{"metric", "value"}};
+  t.add_row({"avg utilization",
+             core::fmt(util / (cfg.num_hosts * cfg.num_snapshots) * 100, 1) + " %"});
+  t.add_row({"bursts/second (mean)", core::fmt(freq.mean(), 1)});
+  t.add_row({"burst duration p50/p99",
+             core::fmt(dur.percentile(50), 0) + " / " + core::fmt(dur.percentile(99), 0) +
+                 " ms"});
+  t.add_row({"flows p50/p99",
+             core::fmt(flows.percentile(50), 0) + " / " + core::fmt(flows.percentile(99), 0)});
+  t.add_row({"bursts with no marking", core::fmt(100 * marked.fraction_below(0.5), 0) + " %"});
+  t.add_row({"bursts with no retx", core::fmt(100 * retx.fraction_below(0.01), 0) + " %"});
+  t.add_row({"worst retx fraction", core::fmt(retx.max(), 2) + " %"});
+  t.add_row({"ToR drops", std::to_string(drops)});
+  t.print();
+  return 0;
+}
+
+int run_trace(core::CliArgs& args) {
+  const auto input = args.get("input");
+  if (!input) {
+    std::fprintf(stderr, "error: trace requires --input <csv>\n");
+    return 2;
+  }
+  const sim::Bandwidth line_rate =
+      args.bandwidth_or("line-rate", sim::Bandwidth::gigabits_per_second(10));
+  if (const int rc = finish(args); rc != 0) return rc;
+
+  std::vector<telemetry::Millisampler::Bin> bins;
+  try {
+    bins = telemetry::read_bins_csv_file(*input);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const analysis::BurstDetector detector;
+  const auto bursts = detector.detect(bins, line_rate.bytes_in(1_ms));
+  std::printf("%zu bins, %zu bursts detected\n", bins.size(), bursts.size());
+  core::Table t{{"t (ms)", "dur (ms)", "flows", "incast?", "marked%", "retx%"}};
+  for (const auto& b : bursts) {
+    t.add_row({std::to_string(b.first_bin), std::to_string(b.num_bins),
+               std::to_string(b.max_active_flows), detector.is_incast(b) ? "yes" : "no",
+               core::fmt(b.marked_fraction() * 100, 1),
+               core::fmt(b.retx_fraction() * 100, 2)});
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  core::CliArgs args{argc - 1, argv + 1};
+
+  if (command == "burst") return run_burst(args);
+  if (command == "fleet") return run_fleet(args);
+  if (command == "trace") return run_trace(args);
+  return usage();
+}
