@@ -90,6 +90,45 @@ sim::Bandwidth CliArgs::bandwidth_or(const std::string& key, sim::Bandwidth fall
   return *parsed;
 }
 
+std::int64_t CliArgs::int_or(const std::string& key, std::int64_t fallback,
+                             std::int64_t min_value, std::int64_t max_value) {
+  const std::int64_t value = int_or(key, fallback);
+  if (value < min_value || value > max_value) {
+    errors_.push_back("--" + key + ": " + std::to_string(value) + " is out of range [" +
+                      std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+    return fallback;
+  }
+  return value;
+}
+
+double CliArgs::double_or(const std::string& key, double fallback, double min_value,
+                          double max_value) {
+  const double value = double_or(key, fallback);
+  if (value < min_value || value > max_value) {
+    errors_.push_back("--" + key + ": " + std::to_string(value) + " is out of range [" +
+                      std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+    return fallback;
+  }
+  return value;
+}
+
+sim::Time CliArgs::time_or(const std::string& key, sim::Time fallback,
+                           sim::Time min_value) {
+  const sim::Time value = time_or(key, fallback);
+  if (value < min_value) {
+    errors_.push_back("--" + key + ": " + value.to_string() + " is below the minimum " +
+                      min_value.to_string());
+    return fallback;
+  }
+  return value;
+}
+
+void CliArgs::reject_unknown() {
+  for (const auto& key : unused_keys()) {
+    errors_.push_back("--" + key + ": unknown flag");
+  }
+}
+
 std::vector<std::string> CliArgs::unused_keys() const {
   std::vector<std::string> out;
   for (const auto& [key, used] : consumed_) {

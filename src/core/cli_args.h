@@ -32,6 +32,16 @@ class CliArgs {
   [[nodiscard]] sim::Bandwidth bandwidth_or(const std::string& key,
                                             sim::Bandwidth fallback);
 
+  // Range-checked variants: a well-formed but out-of-range value (negative
+  // duration, zero flows, probability above 1, ...) is rejected with a
+  // clear error instead of being silently accepted.
+  [[nodiscard]] std::int64_t int_or(const std::string& key, std::int64_t fallback,
+                                    std::int64_t min_value, std::int64_t max_value);
+  [[nodiscard]] double double_or(const std::string& key, double fallback,
+                                 double min_value, double max_value);
+  [[nodiscard]] sim::Time time_or(const std::string& key, sim::Time fallback,
+                                  sim::Time min_value);
+
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
@@ -39,6 +49,11 @@ class CliArgs {
 
   // Keys that were supplied but never read by any getter — typo detection.
   [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+  // Turns every unused key into an error. Strict CLIs call this after
+  // reading all their flags, so an unknown --flag fails the invocation
+  // instead of being silently ignored.
+  void reject_unknown();
 
  private:
   std::map<std::string, std::string> values_;

@@ -54,10 +54,31 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   driver_cfg.schedule = config.schedule;
   workload::CyclicIncastDriver driver{sim, dumbbell, config.tcp, driver_cfg, config.seed};
 
+  // Fault layer: constructed only when something is enabled, so a disabled
+  // profile is a strict no-op (no hooks installed, no RNG stream created,
+  // identical event sequence).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.faults.enabled()) {
+    // Salted so the fault stream is independent of the workload's jitter
+    // stream even though both derive from config.seed.
+    injector = std::make_unique<fault::FaultInjector>(
+        sim, config.seed ^ 0x9E3779B97F4A7C15ULL);
+    fault::LinkFault& fwd = injector->install(dumbbell.core_link_tx(), config.faults.forward);
+    fault::LinkFault& rev = injector->install(dumbbell.core_link_rx(), config.faults.reverse);
+    for (const fault::FlapWindow& w : config.faults.flaps) {
+      injector->schedule_flap(fwd, w.down_at, w.duration);
+      injector->schedule_flap(rev, w.down_at, w.duration);
+    }
+  }
+
   telemetry::QueueMonitor::Config qcfg;
   qcfg.sample_every = config.queue_sample_every;
-  qcfg.watermark_window = sim::Time::zero();
+  qcfg.watermark_window = sim::Time::milliseconds(1);
   telemetry::QueueMonitor qmon{sim, dumbbell.bottleneck_queue(), qcfg};
+  if (injector) {
+    qmon.set_injected_drop_source(
+        [inj = injector.get()] { return inj->total().injected_drops(); });
+  }
   qmon.start(config.max_sim_time);
 
   auto senders = driver.senders();
@@ -105,6 +126,24 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   result.bursts = driver.bursts();
   result.queue_series = qmon.samples();
   result.queue_offset_step = config.queue_sample_every;
+  result.congestion_drops_by_window = qmon.drops_at_window_end();
+  result.injected_drops_by_window = qmon.injected_drops_at_window_end();
+  result.events_processed = sim.events_processed();
+
+  if (injector) {
+    const fault::FaultCounters faults = injector->total();
+    result.injected_drops = faults.injected_drops();
+    result.injected_flap_drops = faults.flap_drops;
+    result.injected_corruptions = faults.corrupted;
+    result.injected_duplicates = faults.duplicated;
+    result.injected_reorders = faults.reordered;
+    for (int i = 0; i < dumbbell.num_receivers(); ++i) {
+      result.corrupt_nic_drops += dumbbell.receiver(i).corrupt_dropped_packets();
+    }
+    for (int i = 0; i < dumbbell.num_senders(); ++i) {
+      result.corrupt_nic_drops += dumbbell.sender(i).corrupt_dropped_packets();
+    }
+  }
 
   const TcpCounters tcp_end = sum_counters(senders);
   const QueueCounters q_end = queue_counters(dumbbell.bottleneck_queue());

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "net/topology.h"
 #include "tcp/tcp_config.h"
 #include "telemetry/inflight_sampler.h"
@@ -19,6 +20,21 @@
 #include "workload/cyclic_incast.h"
 
 namespace incast::core {
+
+// Fault injection applied to the inter-ToR link for the whole run.
+// Probabilistic faults go on each direction independently; flaps blackhole
+// both directions (a real link flap kills the full duplex pair). When
+// nothing is enabled the fault layer is never constructed and the run is
+// bit-for-bit identical to one without it.
+struct FaultProfile {
+  fault::LinkFaultConfig forward{};  // data direction (sender ToR -> receiver ToR)
+  fault::LinkFaultConfig reverse{};  // ACK direction
+  std::vector<fault::FlapWindow> flaps{};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return forward.any_enabled() || reverse.any_enabled() || !flaps.empty();
+  }
+};
 
 struct IncastExperimentConfig {
   int num_flows{100};
@@ -41,6 +57,9 @@ struct IncastExperimentConfig {
 
   // Hard wall for the simulation; generous enough for Mode 3 timeouts.
   sim::Time max_sim_time{sim::Time::seconds(30)};
+
+  // Link faults on the inter-ToR link; disabled by default (strict no-op).
+  FaultProfile faults{};
 
   std::uint64_t seed{1};
 };
@@ -80,6 +99,26 @@ struct IncastExperimentResult {
   // 4.3: stragglers ramping up between bursts).
   double end_of_burst_cwnd_mean_mss{0.0};
   double end_of_burst_cwnd_max_mss{0.0};
+
+  // Fault-layer counters, whole-run totals (all zero when faults are
+  // disabled). Injected drops and congestion drops (queue_drops above) are
+  // disjoint by construction: an injected drop never entered a queue's
+  // accounting, so loss stays attributable.
+  std::int64_t injected_drops{0};        // random + burst + flap drops on links
+  std::int64_t injected_flap_drops{0};   // subset of injected_drops from flaps
+  std::int64_t injected_corruptions{0};  // frames mangled in flight
+  std::int64_t injected_duplicates{0};
+  std::int64_t injected_reorders{0};
+  std::int64_t corrupt_nic_drops{0};     // mangled frames discarded at host NICs
+
+  // Injected-vs-congestion drop series per watermark window (from
+  // QueueMonitor), for offline attribution.
+  std::vector<std::int64_t> congestion_drops_by_window;
+  std::vector<std::int64_t> injected_drops_by_window;
+
+  // Total events the simulator dispatched — the determinism fingerprint
+  // (two runs with the same seed must agree exactly).
+  std::uint64_t events_processed{0};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

@@ -1,0 +1,92 @@
+#include "core/resilience_experiment.h"
+
+#include <algorithm>
+
+namespace incast::core {
+
+const char* to_string(DctcpMode m) noexcept {
+  switch (m) {
+    case DctcpMode::kSafe: return "safe";
+    case DctcpMode::kDegenerate: return "degenerate";
+    case DctcpMode::kCollapse: return "collapse";
+  }
+  return "unknown";
+}
+
+DctcpMode classify_mode(const IncastExperimentResult& result) {
+  // Collapse is defined by its recovery mechanism, not its cause: once RTOs
+  // carry recovery, completion time is governed by min_rto regardless of
+  // whether the loss was congestion or injected.
+  if (result.timeouts > 0) return DctcpMode::kCollapse;
+  // The degenerate point's signature is a standing queue above the marking
+  // threshold: essentially every packet is CE-marked.
+  if (result.marked_fraction() > 0.8) return DctcpMode::kDegenerate;
+  return DctcpMode::kSafe;
+}
+
+namespace {
+
+double relative_goodput(const IncastExperimentResult& baseline,
+                        const IncastExperimentResult& point) {
+  if (baseline.avg_bct_ms <= 0.0 || point.avg_bct_ms <= 0.0) return 0.0;
+  return baseline.avg_bct_ms / point.avg_bct_ms;
+}
+
+double recovery_after_flap_ms(const IncastExperimentResult& result, sim::Time flap_end) {
+  // The burst in flight when the link came back: its remaining completion
+  // time is the recovery cost of the flap.
+  for (const auto& b : result.bursts) {
+    if (b.started <= flap_end && b.completed >= flap_end) {
+      return (b.completed - flap_end).ms();
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ResilienceReport run_resilience_experiment(const ResilienceConfig& config) {
+  ResilienceReport report;
+
+  IncastExperimentConfig baseline_cfg = config.base;
+  baseline_cfg.faults = FaultProfile{};
+  report.baseline = run_incast_experiment(baseline_cfg);
+  report.baseline_mode = classify_mode(report.baseline);
+
+  for (const double drop_rate : config.drop_rates) {
+    IncastExperimentConfig cfg = config.base;
+    cfg.faults = FaultProfile{};
+    cfg.faults.forward = config.fault_template;
+    cfg.faults.forward.drop_rate = drop_rate;
+
+    ResiliencePoint point;
+    point.drop_rate = drop_rate;
+    point.result = run_incast_experiment(cfg);
+    point.goodput_rel = relative_goodput(report.baseline, point.result);
+    point.mode = classify_mode(point.result);
+    report.points.push_back(std::move(point));
+  }
+
+  for (const sim::Time duration : config.flap_durations) {
+    IncastExperimentConfig cfg = config.base;
+    cfg.faults = FaultProfile{};
+    if (duration > sim::Time::zero()) {
+      cfg.faults.flaps.push_back(fault::FlapWindow{config.flap_at, duration});
+    }
+
+    ResiliencePoint point;
+    point.flap_duration = duration;
+    point.result = run_incast_experiment(cfg);
+    point.goodput_rel = relative_goodput(report.baseline, point.result);
+    point.recovery_after_flap_ms =
+        duration > sim::Time::zero()
+            ? recovery_after_flap_ms(point.result, config.flap_at + duration)
+            : 0.0;
+    point.mode = classify_mode(point.result);
+    report.points.push_back(std::move(point));
+  }
+
+  return report;
+}
+
+}  // namespace incast::core

@@ -29,6 +29,10 @@ void Host::receive(Packet p, std::size_t /*in_port*/) {
   for (IngressTap* tap : taps_) {
     tap->on_ingress(p, sim_.now());
   }
+  if (p.corrupted) {
+    ++corrupt_dropped_packets_;
+    return;
+  }
   const auto it = flows_.find(p.tcp.flow_id);
   if (it == flows_.end()) {
     ++unclaimed_packets_;

@@ -55,12 +55,21 @@ class Host : public Node {
   // Packets that arrived for a flow with no registered handler.
   [[nodiscard]] std::int64_t unclaimed_packets() const noexcept { return unclaimed_packets_; }
 
+  // Checksum-failed frames discarded by the NIC — the simulator equivalent
+  // of the rx_crc_errors counter real NICs expose. Ingress taps still see
+  // these frames (host telemetry can count them); flow handlers never do,
+  // so the transport observes pure silent loss.
+  [[nodiscard]] std::int64_t corrupt_dropped_packets() const noexcept {
+    return corrupt_dropped_packets_;
+  }
+
  private:
   std::size_t nic_port_{0};
   bool has_nic_{false};
   std::unordered_map<FlowId, PacketHandler*> flows_;
   std::vector<IngressTap*> taps_;
   std::int64_t unclaimed_packets_{0};
+  std::int64_t corrupt_dropped_packets_{0};
 };
 
 }  // namespace incast::net

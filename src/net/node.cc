@@ -33,10 +33,35 @@ void Port::maybe_transmit() {
   // the wire are "in flight" inside the event queue, not in any buffer.
   sim_.schedule_in(serialization, [this, p = std::move(*next)]() mutable {
     busy_ = false;
-    sim_.schedule_in(propagation_delay_, [this, p = std::move(p)]() mutable {
+    deliver(std::move(p));
+    maybe_transmit();
+  });
+}
+
+void Port::deliver(Packet p) {
+  sim::Time delay = propagation_delay_;
+  bool duplicate = false;
+  if (hook_ != nullptr) {
+    const LinkHook::Verdict v = hook_->on_transmit(p, sim_.now());
+    if (v.drop) return;  // lost on the wire; no buffer ever held it
+    if (v.corrupt) p.corrupted = true;
+    delay += v.extra_delay;
+    duplicate = v.duplicate;
+  }
+  if (duplicate) {
+    // Scheduled after the original at the same timestamp, so FIFO
+    // tie-breaking delivers original-then-copy.
+    Packet copy = p;
+    sim_.schedule_in(delay, [this, p = std::move(p)]() mutable {
       peer_->receive(std::move(p), peer_in_port_);
     });
-    maybe_transmit();
+    sim_.schedule_in(delay, [this, p = std::move(copy)]() mutable {
+      peer_->receive(std::move(p), peer_in_port_);
+    });
+    return;
+  }
+  sim_.schedule_in(delay, [this, p = std::move(p)]() mutable {
+    peer_->receive(std::move(p), peer_in_port_);
   });
 }
 

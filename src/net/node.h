@@ -22,6 +22,26 @@ namespace incast::net {
 
 class Node;
 
+// Intercepts packets at the moment they leave a Port for the wire. The
+// fault-injection layer (src/fault) installs these; with no hook installed a
+// Port delivers every packet unchanged, on exactly the code path it always
+// had. The hook is consulted once per transmitted packet, after
+// serialization completes and before propagation is scheduled, so a dropped
+// packet still consumed its serialization time (as a real lossy link would).
+class LinkHook {
+ public:
+  virtual ~LinkHook() = default;
+
+  struct Verdict {
+    bool drop{false};       // packet vanishes on the wire
+    bool corrupt{false};    // delivered, but with a failed checksum
+    bool duplicate{false};  // a second copy arrives right after the original
+    sim::Time extra_delay{sim::Time::zero()};  // added propagation (reordering)
+  };
+
+  virtual Verdict on_transmit(const Packet& p, sim::Time now) = 0;
+};
+
 class Port {
  public:
   Port(sim::Simulator& sim, sim::Bandwidth bandwidth, sim::Time propagation_delay,
@@ -59,8 +79,16 @@ class Port {
   void set_int_stamping(bool enabled) noexcept { int_stamping_ = enabled; }
   [[nodiscard]] bool int_stamping() const noexcept { return int_stamping_; }
 
+  // Installs (or clears, with nullptr) the link-fault hook for this port's
+  // outgoing direction. The hook must outlive the port or be cleared first.
+  void set_link_hook(LinkHook* hook) noexcept { hook_ = hook; }
+  [[nodiscard]] LinkHook* link_hook() const noexcept { return hook_; }
+
  private:
   void maybe_transmit();
+  // Consults the hook (if any) and schedules the packet's arrival at the
+  // peer after propagation.
+  void deliver(Packet p);
 
   sim::Simulator& sim_;
   sim::Bandwidth bandwidth_;
@@ -70,6 +98,7 @@ class Port {
   std::size_t peer_in_port_{0};
   bool busy_{false};
   bool int_stamping_{false};
+  LinkHook* hook_{nullptr};
 };
 
 class Node {

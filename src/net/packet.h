@@ -114,6 +114,10 @@ struct Packet {
   RdtHeader rdt{};
   IntStack int_stack{};
   bool is_retransmit{false};  // set by the sender on retransmitted data
+  // Payload mangled in flight (fault injection): the frame arrives but its
+  // checksum fails, so the receiving NIC discards it without any protocol
+  // reaction — the sender learns about it only through SACK holes or RTO.
+  bool corrupted{false};
   sim::Time sent_at{};        // when the sender emitted it (diagnostics)
   std::uint64_t uid{0};       // unique per packet (diagnostics)
 

@@ -59,6 +59,11 @@ class Dumbbell {
   // The incast bottleneck: receiver ToR's egress queue toward receiver i.
   [[nodiscard]] DropTailQueue& bottleneck_queue(int i = 0);
 
+  // The inter-ToR link's two directions, for fault installation: tx carries
+  // sender->receiver data, rx carries the returning ACKs.
+  [[nodiscard]] Port& core_link_tx() { return tor_s_->port(s_uplink_port_); }
+  [[nodiscard]] Port& core_link_rx() { return tor_r_->port(r_uplink_port_); }
+
   [[nodiscard]] int num_senders() const noexcept { return config_.num_senders; }
   [[nodiscard]] int num_receivers() const noexcept { return config_.num_receivers; }
   [[nodiscard]] const DumbbellConfig& config() const noexcept { return config_; }
@@ -75,6 +80,9 @@ class Dumbbell {
   std::unique_ptr<Switch> tor_r_;
   // Port index on tor_r_ of the downlink to receiver i.
   std::vector<std::size_t> receiver_downlink_port_;
+  // Inter-ToR uplink port indices on each ToR.
+  std::size_t s_uplink_port_{0};
+  std::size_t r_uplink_port_{0};
 };
 
 }  // namespace incast::net

@@ -48,7 +48,11 @@ bool split_value_unit(std::string_view text, double& value, std::string& unit) {
 std::optional<Time> parse_time(std::string_view text) {
   double value = 0.0;
   std::string unit;
-  if (!split_value_unit(text, value, unit)) return std::nullopt;
+  if (!split_value_unit(text, value, unit)) {
+    // A bare zero needs no unit: "--flap-duration 0" means none.
+    if (text == "0") return Time::zero();
+    return std::nullopt;
+  }
 
   if (unit == "ns") return Time::nanoseconds(static_cast<std::int64_t>(value));
   if (unit == "us") return Time::microseconds(value);

@@ -12,6 +12,12 @@ void Millisampler::on_ingress(const net::Packet& p, sim::Time now) {
 
   started_ = true;
   current_.bytes += p.size_bytes;
+  if (p.corrupted) {
+    // A mangled frame still burned wire bandwidth, but its header fields
+    // are not trustworthy, so it contributes nothing beyond byte counts.
+    current_.corrupt_bytes += p.size_bytes;
+    return;
+  }
   if (p.ecn == net::Ecn::kCe) current_.marked_bytes += p.size_bytes;
   if (p.is_retransmit) current_.retx_bytes += p.size_bytes;
   if (p.is_data()) current_flows_.insert(p.tcp.flow_id);

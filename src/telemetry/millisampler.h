@@ -30,6 +30,11 @@ class Millisampler final : public net::IngressTap {
     std::int64_t bytes{0};         // all ingress bytes
     std::int64_t marked_bytes{0};  // bytes in CE-marked packets
     std::int64_t retx_bytes{0};    // bytes in retransmitted data packets
+    // Bytes in checksum-failed frames the NIC discarded (fault injection).
+    // The simulator analogue of rx_crc_errors: visible to host telemetry,
+    // invisible to the transport — this is how injected corruption loss is
+    // told apart from congestion loss in a trace.
+    std::int64_t corrupt_bytes{0};
     int active_flows{0};           // distinct flows with data in this bin
   };
 

@@ -24,6 +24,7 @@ void QueueMonitor::sample_tick(sim::Time until) {
 void QueueMonitor::watermark_tick(sim::Time until) {
   watermarks_.push_back(queue_.take_watermark());
   drops_.push_back(queue_.stats().dropped_packets);
+  injected_drops_.push_back(injected_drop_source_ ? injected_drop_source_() : 0);
   const sim::Time next = sim_.now() + config_.watermark_window;
   if (next <= until) {
     sim_.schedule_in(config_.watermark_window, [this, until] { watermark_tick(until); });

@@ -11,6 +11,8 @@
 #define INCAST_TELEMETRY_QUEUE_MONITOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "net/queue.h"
@@ -41,14 +43,29 @@ class QueueMonitor {
   // Begins monitoring until `until` (exclusive of further events).
   void start(sim::Time until);
 
+  // Optional source of cumulative fault-injected drops on the monitored
+  // path (e.g. fault::FaultInjector counters). When set, each watermark
+  // window also records the injected total, so analysis can attribute loss
+  // correctly: the queue's own dropped_packets are congestion drops only —
+  // injected drops never enter the queue's accounting.
+  void set_injected_drop_source(std::function<std::int64_t()> source) {
+    injected_drop_source_ = std::move(source);
+  }
+
   [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
   // watermarks()[i] is the peak depth (packets) in window i.
   [[nodiscard]] const std::vector<std::int64_t>& watermarks() const noexcept {
     return watermarks_;
   }
-  // Cumulative drops observed at the end of each watermark window.
+  // Cumulative congestion drops observed at the end of each watermark window.
   [[nodiscard]] const std::vector<std::int64_t>& drops_at_window_end() const noexcept {
     return drops_;
+  }
+  // Cumulative injected (fault-layer) drops at each window end; all zeros
+  // unless an injected-drop source is attached.
+  [[nodiscard]] const std::vector<std::int64_t>& injected_drops_at_window_end()
+      const noexcept {
+    return injected_drops_;
   }
 
   [[nodiscard]] net::DropTailQueue& queue() noexcept { return queue_; }
@@ -63,6 +80,8 @@ class QueueMonitor {
   std::vector<Sample> samples_;
   std::vector<std::int64_t> watermarks_;
   std::vector<std::int64_t> drops_;
+  std::vector<std::int64_t> injected_drops_;
+  std::function<std::int64_t()> injected_drop_source_;
 };
 
 }  // namespace incast::telemetry

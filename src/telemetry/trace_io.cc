@@ -12,7 +12,9 @@ namespace incast::telemetry {
 
 namespace {
 
-constexpr const char* kHeader = "bin,bytes,marked_bytes,retx_bytes,active_flows";
+constexpr const char* kHeader = "bin,bytes,marked_bytes,retx_bytes,corrupt_bytes,active_flows";
+// Pre-fault-injection traces lack the corrupt_bytes column; still readable.
+constexpr const char* kLegacyHeader = "bin,bytes,marked_bytes,retx_bytes,active_flows";
 
 std::int64_t parse_int(std::string_view field, std::size_t line_no) {
   std::int64_t value = 0;
@@ -31,7 +33,7 @@ void write_bins_csv(const std::vector<Millisampler::Bin>& bins, std::ostream& ou
   for (std::size_t i = 0; i < bins.size(); ++i) {
     const auto& b = bins[i];
     out << i << ',' << b.bytes << ',' << b.marked_bytes << ',' << b.retx_bytes << ','
-        << b.active_flows << '\n';
+        << b.corrupt_bytes << ',' << b.active_flows << '\n';
   }
 }
 
@@ -45,7 +47,15 @@ bool write_bins_csv_file(const std::vector<Millisampler::Bin>& bins,
 
 std::vector<Millisampler::Bin> read_bins_csv(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("trace csv: missing or wrong header");
+  }
+  std::size_t columns = 0;
+  if (line == kHeader) {
+    columns = 6;
+  } else if (line == kLegacyHeader) {
+    columns = 5;
+  } else {
     throw std::runtime_error("trace csv: missing or wrong header");
   }
 
@@ -55,19 +65,19 @@ std::vector<Millisampler::Bin> read_bins_csv(std::istream& in) {
     ++line_no;
     if (line.empty()) continue;
 
-    std::array<std::string_view, 5> fields;
+    std::array<std::string_view, 6> fields;
     std::size_t field_count = 0;
     std::string_view rest{line};
     bool more = true;
-    while (more && field_count < fields.size()) {
+    while (more && field_count < columns) {
       const std::size_t comma = rest.find(',');
       fields[field_count++] = rest.substr(0, comma);
       more = comma != std::string_view::npos;
       if (more) rest.remove_prefix(comma + 1);
     }
-    if (field_count != 5 || more) {
-      throw std::runtime_error("trace csv: expected 5 columns on line " +
-                               std::to_string(line_no));
+    if (field_count != columns || more) {
+      throw std::runtime_error("trace csv: expected " + std::to_string(columns) +
+                               " columns on line " + std::to_string(line_no));
     }
 
     const auto index = parse_int(fields[0], line_no);
@@ -79,7 +89,8 @@ std::vector<Millisampler::Bin> read_bins_csv(std::istream& in) {
     b.bytes = parse_int(fields[1], line_no);
     b.marked_bytes = parse_int(fields[2], line_no);
     b.retx_bytes = parse_int(fields[3], line_no);
-    b.active_flows = static_cast<int>(parse_int(fields[4], line_no));
+    if (columns == 6) b.corrupt_bytes = parse_int(fields[4], line_no);
+    b.active_flows = static_cast<int>(parse_int(fields[columns - 1], line_no));
     bins.push_back(b);
   }
   return bins;

@@ -5,7 +5,10 @@
 // archived, diffed, or analyzed by external tooling (pandas, gnuplot). One
 // row per 1 ms bin:
 //
-//   bin,bytes,marked_bytes,retx_bytes,active_flows
+//   bin,bytes,marked_bytes,retx_bytes,corrupt_bytes,active_flows
+//
+// (corrupt_bytes counts checksum-failed frames injected by the fault layer;
+// traces written before that column existed are still readable.)
 #ifndef INCAST_TELEMETRY_TRACE_IO_H_
 #define INCAST_TELEMETRY_TRACE_IO_H_
 

@@ -70,6 +70,44 @@ TEST(CliArgs, UnusedKeysDetected) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(CliArgs, RangeCheckedGettersAcceptInRangeValues) {
+  auto args = make({"--flows", "500", "--rate", "0.25", "--gap", "10ms"});
+  EXPECT_EQ(args.int_or("flows", 1, 1, 100'000), 500);
+  EXPECT_DOUBLE_EQ(args.double_or("rate", 0.0, 0.0, 1.0), 0.25);
+  EXPECT_EQ(args.time_or("gap", sim::Time::zero(), sim::Time::zero()), 10_ms);
+  // Boundary values are in range.
+  auto edge = make({"--flows", "1", "--rate", "1"});
+  EXPECT_EQ(edge.int_or("flows", 5, 1, 100'000), 1);
+  EXPECT_DOUBLE_EQ(edge.double_or("rate", 0.0, 0.0, 1.0), 1.0);
+  EXPECT_TRUE(args.errors().empty());
+  EXPECT_TRUE(edge.errors().empty());
+}
+
+TEST(CliArgs, RangeCheckedGettersRejectOutOfRangeValues) {
+  auto args = make({"--flows", "0", "--rate", "1.5", "--gap", "-3ms"});
+  EXPECT_EQ(args.int_or("flows", 10, 1, 100'000), 10);      // fallback returned
+  EXPECT_DOUBLE_EQ(args.double_or("rate", 0.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(args.time_or("gap", 5_ms, sim::Time::zero()), 5_ms);
+  EXPECT_EQ(args.errors().size(), 3u);
+}
+
+TEST(CliArgs, RejectUnknownTurnsTyposIntoErrors) {
+  auto args = make({"--flows", "10", "--flws", "20"});
+  (void)args.int_or("flows", 0);
+  EXPECT_TRUE(args.errors().empty());
+  args.reject_unknown();
+  ASSERT_EQ(args.errors().size(), 1u);
+  EXPECT_NE(args.errors()[0].find("flws"), std::string::npos);
+  EXPECT_NE(args.errors()[0].find("unknown"), std::string::npos);
+}
+
+TEST(CliArgs, RejectUnknownIsQuietWhenEverythingWasRead) {
+  auto args = make({"--flows", "10"});
+  (void)args.int_or("flows", 0);
+  args.reject_unknown();
+  EXPECT_TRUE(args.errors().empty());
+}
+
 TEST(CliArgs, NegativeNumbersAreValuesNotFlags) {
   // "--delta -5" : "-5" does not start with "--", so it is the value.
   auto args = make({"--delta", "-5"});

@@ -26,6 +26,11 @@ TEST(ParseTime, WhitespaceAndCaseTolerated) {
   EXPECT_EQ(parse_time("2S"), 2_s);
 }
 
+TEST(ParseTime, BareZeroNeedsNoUnit) {
+  EXPECT_EQ(parse_time("0"), Time::zero());
+  EXPECT_EQ(parse_time("0ms"), Time::zero());
+}
+
 TEST(ParseTime, Malformed) {
   EXPECT_FALSE(parse_time("").has_value());
   EXPECT_FALSE(parse_time("15").has_value());

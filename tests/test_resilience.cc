@@ -1,0 +1,144 @@
+// Tests for the resilience experiment: strict no-op when faults are
+// disabled, goodput degradation and loss attribution under injected loss,
+// and flap recovery accounting.
+#include "core/resilience_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace incast::core {
+namespace {
+
+using sim::Time;
+using namespace incast::sim::literals;
+
+// Small but congested enough to mark packets; fast enough for CI.
+IncastExperimentConfig small_incast() {
+  IncastExperimentConfig cfg;
+  cfg.num_flows = 40;
+  cfg.num_bursts = 3;
+  cfg.discard_bursts = 1;
+  cfg.burst_duration = 5_ms;
+  cfg.inter_burst_gap = 5_ms;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Resilience, DisabledFaultLayerIsAStrictNoOp) {
+  // The same config with an all-zero fault profile must be bit-for-bit
+  // identical to a run that never heard of faults: same event count, same
+  // burst timings, same queue counters.
+  IncastExperimentConfig plain = small_incast();
+  const auto base = run_incast_experiment(plain);
+
+  IncastExperimentConfig with_profile = small_incast();
+  with_profile.faults = FaultProfile{};  // present but everything disabled
+  const auto gated = run_incast_experiment(with_profile);
+
+  EXPECT_EQ(base.events_processed, gated.events_processed);
+  EXPECT_EQ(base.avg_bct_ms, gated.avg_bct_ms);
+  EXPECT_EQ(base.queue_enqueues, gated.queue_enqueues);
+  EXPECT_EQ(base.queue_ecn_marks, gated.queue_ecn_marks);
+  EXPECT_EQ(base.injected_drops, 0);
+  EXPECT_EQ(gated.injected_drops, 0);
+  ASSERT_EQ(base.bursts.size(), gated.bursts.size());
+  for (std::size_t i = 0; i < base.bursts.size(); ++i) {
+    EXPECT_EQ(base.bursts[i].completed, gated.bursts[i].completed);
+  }
+}
+
+TEST(Resilience, ZeroRateSweepPointReproducesBaseline) {
+  ResilienceConfig cfg;
+  cfg.base = small_incast();
+  cfg.drop_rates = {0.0};
+  const auto report = run_resilience_experiment(cfg);
+
+  ASSERT_EQ(report.points.size(), 1u);
+  const auto& p = report.points[0];
+  EXPECT_EQ(p.result.events_processed, report.baseline.events_processed);
+  EXPECT_EQ(p.result.avg_bct_ms, report.baseline.avg_bct_ms);
+  EXPECT_DOUBLE_EQ(p.goodput_rel, 1.0);
+  EXPECT_EQ(p.mode, report.baseline_mode);
+}
+
+TEST(Resilience, InjectedLossDegradesGoodputAndStaysAttributable) {
+  ResilienceConfig cfg;
+  cfg.base = small_incast();
+  // Shallow queue so congestion loss happens too: both drop classes must
+  // appear, separately counted.
+  cfg.base.topology.switch_queue.capacity_packets = 30;
+  cfg.base.topology.switch_queue.ecn_threshold_packets = 0;
+  cfg.base.tcp.rtt.min_rto = 10_ms;
+  cfg.drop_rates = {2e-3};
+  const auto report = run_resilience_experiment(cfg);
+
+  ASSERT_EQ(report.points.size(), 1u);
+  const auto& p = report.points[0];
+  EXPECT_GT(p.result.injected_drops, 0);
+  EXPECT_GT(p.result.queue_drops, 0);  // congestion loss, counted apart
+  EXPECT_LT(p.goodput_rel, 1.0);
+
+  // The per-window attribution series exist and sum consistently.
+  ASSERT_FALSE(p.result.injected_drops_by_window.empty());
+  ASSERT_EQ(p.result.injected_drops_by_window.size(),
+            p.result.congestion_drops_by_window.size());
+  // Each series is a cumulative count sampled at window ends: monotone, and
+  // never exceeding the whole-run totals.
+  EXPECT_GT(p.result.injected_drops_by_window.back(), 0);
+  EXPECT_LE(p.result.injected_drops_by_window.back(), p.result.injected_drops);
+  for (std::size_t i = 1; i < p.result.injected_drops_by_window.size(); ++i) {
+    EXPECT_GE(p.result.injected_drops_by_window[i],
+              p.result.injected_drops_by_window[i - 1]);
+  }
+}
+
+TEST(Resilience, FlapPointReportsRecoveryAndShiftsMode) {
+  ResilienceConfig cfg;
+  cfg.base = small_incast();
+  cfg.base.tcp.rtt.min_rto = 10_ms;
+  cfg.base.tcp.rtt.initial_rto = 10_ms;
+  // Flap in the middle of the measured bursts, long enough to force RTOs.
+  cfg.flap_at = 12_ms;
+  cfg.flap_durations = {20_ms};
+  const auto report = run_resilience_experiment(cfg);
+
+  EXPECT_EQ(report.baseline_mode, DctcpMode::kSafe);
+  ASSERT_EQ(report.points.size(), 1u);
+  const auto& p = report.points[0];
+  EXPECT_GT(p.result.injected_flap_drops, 0);
+  EXPECT_GT(p.result.timeouts, 0);
+  EXPECT_EQ(p.mode, DctcpMode::kCollapse);  // RTO-bound recovery
+  EXPECT_GT(p.recovery_after_flap_ms, 0.0);
+  EXPECT_LT(p.goodput_rel, 1.0);
+}
+
+TEST(Resilience, ReportIsDeterministic) {
+  ResilienceConfig cfg;
+  cfg.base = small_incast();
+  cfg.drop_rates = {1e-3};
+  cfg.flap_durations = {10_ms};
+  cfg.flap_at = 12_ms;
+
+  const auto a = run_resilience_experiment(cfg);
+  const auto b = run_resilience_experiment(cfg);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.baseline.events_processed, b.baseline.events_processed);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].result.events_processed, b.points[i].result.events_processed);
+    EXPECT_EQ(a.points[i].result.injected_drops, b.points[i].result.injected_drops);
+    EXPECT_EQ(a.points[i].result.avg_bct_ms, b.points[i].result.avg_bct_ms);
+  }
+}
+
+TEST(Resilience, ClassifyModeMatchesPaperSignatures) {
+  IncastExperimentResult r;
+  r.queue_enqueues = 100;
+  r.queue_ecn_marks = 10;
+  EXPECT_EQ(classify_mode(r), DctcpMode::kSafe);
+  r.queue_ecn_marks = 90;
+  EXPECT_EQ(classify_mode(r), DctcpMode::kDegenerate);
+  r.timeouts = 1;
+  EXPECT_EQ(classify_mode(r), DctcpMode::kCollapse);
+}
+
+}  // namespace
+}  // namespace incast::core

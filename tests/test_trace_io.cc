@@ -12,7 +12,8 @@ std::vector<Millisampler::Bin> sample_bins() {
   std::vector<Millisampler::Bin> bins(3);
   bins[0] = {.bytes = 1'250'000, .marked_bytes = 600'000, .retx_bytes = 0, .active_flows = 212};
   bins[1] = {.bytes = 0, .marked_bytes = 0, .retx_bytes = 0, .active_flows = 0};
-  bins[2] = {.bytes = 90'000, .marked_bytes = 0, .retx_bytes = 1'500, .active_flows = 7};
+  bins[2] = {.bytes = 90'000, .marked_bytes = 0, .retx_bytes = 1'500, .corrupt_bytes = 3'000,
+             .active_flows = 7};
   return bins;
 }
 
@@ -26,6 +27,7 @@ TEST(TraceIo, RoundTripPreservesEveryField) {
     EXPECT_EQ(parsed[i].bytes, bins[i].bytes);
     EXPECT_EQ(parsed[i].marked_bytes, bins[i].marked_bytes);
     EXPECT_EQ(parsed[i].retx_bytes, bins[i].retx_bytes);
+    EXPECT_EQ(parsed[i].corrupt_bytes, bins[i].corrupt_bytes);
     EXPECT_EQ(parsed[i].active_flows, bins[i].active_flows);
   }
 }
@@ -35,9 +37,24 @@ TEST(TraceIo, WritesExpectedFormat) {
   write_bins_csv(sample_bins(), ss);
   std::string line;
   std::getline(ss, line);
-  EXPECT_EQ(line, "bin,bytes,marked_bytes,retx_bytes,active_flows");
+  EXPECT_EQ(line, "bin,bytes,marked_bytes,retx_bytes,corrupt_bytes,active_flows");
   std::getline(ss, line);
-  EXPECT_EQ(line, "0,1250000,600000,0,212");
+  EXPECT_EQ(line, "0,1250000,600000,0,0,212");
+}
+
+TEST(TraceIo, ReadsLegacyHeaderWithoutCorruptColumn) {
+  // Traces exported before corrupt_bytes existed stay loadable; the missing
+  // column reads back as zero.
+  std::stringstream ss{
+      "bin,bytes,marked_bytes,retx_bytes,active_flows\n"
+      "0,1250000,600000,0,212\n"
+      "1,90000,0,1500,7\n"};
+  const auto parsed = read_bins_csv(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].bytes, 1'250'000);
+  EXPECT_EQ(parsed[0].corrupt_bytes, 0);
+  EXPECT_EQ(parsed[1].retx_bytes, 1'500);
+  EXPECT_EQ(parsed[1].active_flows, 7);
 }
 
 TEST(TraceIo, EmptyTraceRoundTrips) {

@@ -9,6 +9,18 @@
 //                    [--schedule completion|period] [--seed 1]
 //       Runs the Section 4 cyclic-incast experiment and prints the result.
 //
+//   incast_sim faults [all burst flags] [--drop-rate 1e-3 | --drop-rates 0,1e-4,1e-3]
+//                     [--flap-duration 50ms | --flap-durations 10ms,50ms]
+//                     [--flap-at 30ms] [--corrupt-rate 0] [--dup-rate 0]
+//                     [--reorder-rate 0] [--reorder-delay 50us]
+//                     [--ge-p 0] [--ge-r 0.1] [--ge-loss-bad 1] [--ge-loss-good 0]
+//       Runs the cyclic incast under injected link faults: a fault-free
+//       baseline plus one run per sweep point, reporting goodput
+//       degradation, loss attribution (injected vs congestion), recovery
+//       time after flaps, and the behavioral DCTCP mode of every point.
+//       With every fault knob at zero the fault layer is a strict no-op and
+//       the baseline equals the `burst` subcommand's result exactly.
+//
 //   incast_sim fleet [--service aggregator] [--hosts 2] [--snapshots 1]
 //                    [--trace 1s] [--contention none|modeled|neighbor]
 //                    [--export-csv trace.csv] [--seed 42]
@@ -18,13 +30,17 @@
 //   incast_sim trace --input trace.csv [--line-rate 10Gbps]
 //       Runs the burst detector on a previously exported trace.
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <string>
+#include <vector>
 
 #include "analysis/burst_detector.h"
 #include "core/cli_args.h"
 #include "core/fleet_experiment.h"
 #include "core/incast_experiment.h"
 #include "core/report.h"
+#include "core/resilience_experiment.h"
 #include "telemetry/trace_io.h"
 
 namespace {
@@ -34,7 +50,7 @@ using namespace incast::sim::literals;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: incast_sim <burst|fleet|trace> [--key value ...]\n"
+               "usage: incast_sim <burst|faults|fleet|trace> [--key value ...]\n"
                "       see the header of tools/incast_sim.cc for all flags\n");
   return 2;
 }
@@ -49,48 +65,66 @@ std::optional<tcp::CcAlgorithm> parse_cc(const std::string& name) {
   return std::nullopt;
 }
 
+// Validates strictly: unknown flags and out-of-range values are errors, not
+// warnings, so a typo'd or nonsensical invocation fails loudly.
 int finish(core::CliArgs& args) {
+  args.reject_unknown();
   for (const auto& err : args.errors()) std::fprintf(stderr, "error: %s\n", err.c_str());
-  for (const auto& key : args.unused_keys()) {
-    std::fprintf(stderr, "warning: unknown flag --%s ignored\n", key.c_str());
-  }
   return args.errors().empty() ? 0 : 2;
 }
 
-int run_burst(core::CliArgs& args) {
-  core::IncastExperimentConfig cfg;
-  cfg.num_flows = static_cast<int>(args.int_or("flows", 500));
-  cfg.burst_duration = args.time_or("duration", 15_ms);
-  cfg.num_bursts = static_cast<int>(args.int_or("bursts", 11));
-  cfg.discard_bursts = static_cast<int>(args.int_or("discard", 1));
-  cfg.inter_burst_gap = args.time_or("gap", 10_ms);
-  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
-  cfg.max_sim_time = args.time_or("max-sim-time", sim::Time::seconds(60));
+// Splits "a,b,c" into fields; empty input yields an empty list.
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size() && !csv.empty()) {
+    const std::size_t comma = csv.find(',', start);
+    out.push_back(csv.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
-  const std::string cc_name = args.get_or("cc", "dctcp");
+// Shared between `burst` and `faults` so the two subcommands agree on every
+// default — `faults` with all fault knobs at zero must reproduce `burst`.
+bool parse_incast_config(core::CliArgs& args, core::IncastExperimentConfig& cfg,
+                         std::string& cc_name) {
+  cfg.num_flows = static_cast<int>(args.int_or("flows", 500, 1, 100'000));
+  cfg.burst_duration = args.time_or("duration", 15_ms, 1_ns);
+  cfg.num_bursts = static_cast<int>(args.int_or("bursts", 11, 1, 10'000));
+  cfg.discard_bursts =
+      static_cast<int>(args.int_or("discard", 1, 0, cfg.num_bursts - 1));
+  cfg.inter_burst_gap = args.time_or("gap", 10_ms, sim::Time::zero());
+  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+  cfg.max_sim_time = args.time_or("max-sim-time", sim::Time::seconds(60), 1_ns);
+
+  cc_name = args.get_or("cc", "dctcp");
   const auto cc = parse_cc(cc_name);
   if (!cc) {
     std::fprintf(stderr, "error: unknown --cc '%s'\n", cc_name.c_str());
-    return 2;
+    return false;
   }
   cfg.tcp.cc = *cc;
   cfg.tcp.int_telemetry = *cc == tcp::CcAlgorithm::kHpcc;
-  cfg.tcp.rtt.min_rto = args.time_or("min-rto", 200_ms);
+  cfg.tcp.rtt.min_rto = args.time_or("min-rto", 200_ms, 1_ns);
   cfg.tcp.tail_loss_probe = args.bool_or("tlp", false);
-  cfg.topology.switch_queue.capacity_packets = args.int_or("queue", 1333);
-  cfg.topology.switch_queue.ecn_threshold_packets = args.int_or("ecn-threshold", 65);
-  const std::int64_t cap_mss = args.int_or("cwnd-cap-mss", 0);
+  cfg.topology.switch_queue.capacity_packets = args.int_or("queue", 1333, 1, 10'000'000);
+  cfg.topology.switch_queue.ecn_threshold_packets =
+      args.int_or("ecn-threshold", 65, 0, 10'000'000);
+  const std::int64_t cap_mss = args.int_or("cwnd-cap-mss", 0, 0, 1'000'000);
   if (cap_mss > 0) cfg.tcp.cwnd_cap_bytes = cap_mss * cfg.tcp.mss_bytes;
   const std::string schedule = args.get_or("schedule", "completion");
+  if (schedule != "completion" && schedule != "period") {
+    std::fprintf(stderr, "error: unknown --schedule '%s'\n", schedule.c_str());
+    return false;
+  }
   cfg.schedule = schedule == "period" ? workload::BurstSchedule::kFixedPeriod
                                       : workload::BurstSchedule::kAfterCompletion;
-  if (const int rc = finish(args); rc != 0) return rc;
+  return true;
+}
 
-  std::printf("burst: %d x %s bursts of a %d-flow %s incast (seed %llu)\n",
-              cfg.num_bursts, cfg.burst_duration.to_string().c_str(), cfg.num_flows,
-              cc_name.c_str(), static_cast<unsigned long long>(cfg.seed));
-  const auto r = core::run_incast_experiment(cfg);
-
+void print_burst_table(const core::IncastExperimentResult& r) {
   core::Table t{{"metric", "value"}};
   t.add_row({"bursts completed", std::to_string(r.bursts.size())});
   t.add_row({"avg BCT (measured bursts)", core::fmt(r.avg_bct_ms, 2) + " ms"});
@@ -105,6 +139,110 @@ int run_burst(core::CliArgs& args) {
   t.add_row({"end-of-burst cwnd mean", core::fmt(r.end_of_burst_cwnd_mean_mss, 2) + " MSS"});
   t.add_row({"end-of-burst cwnd max", core::fmt(r.end_of_burst_cwnd_max_mss, 2) + " MSS"});
   t.print();
+}
+
+int run_burst(core::CliArgs& args) {
+  core::IncastExperimentConfig cfg;
+  std::string cc_name;
+  if (!parse_incast_config(args, cfg, cc_name)) return 2;
+  if (const int rc = finish(args); rc != 0) return rc;
+
+  std::printf("burst: %d x %s bursts of a %d-flow %s incast (seed %llu)\n",
+              cfg.num_bursts, cfg.burst_duration.to_string().c_str(), cfg.num_flows,
+              cc_name.c_str(), static_cast<unsigned long long>(cfg.seed));
+  const auto r = core::run_incast_experiment(cfg);
+  print_burst_table(r);
+  return 0;
+}
+
+int run_faults(core::CliArgs& args) {
+  core::ResilienceConfig cfg;
+  std::string cc_name;
+  if (!parse_incast_config(args, cfg.base, cc_name)) return 2;
+
+  // Sweep axes: --drop-rates / --flap-durations (comma lists) override the
+  // singular forms.
+  const std::string drop_list = args.get_or("drop-rates", "");
+  if (!drop_list.empty()) {
+    for (const auto& field : split_list(drop_list)) {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end != field.c_str() + field.size() || v < 0.0 || v > 1.0) {
+        std::fprintf(stderr, "error: --drop-rates: bad rate '%s'\n", field.c_str());
+        return 2;
+      }
+      cfg.drop_rates.push_back(v);
+    }
+  } else {
+    cfg.drop_rates.push_back(args.double_or("drop-rate", 0.0, 0.0, 1.0));
+  }
+
+  const std::string flap_list = args.get_or("flap-durations", "");
+  if (!flap_list.empty()) {
+    for (const auto& field : split_list(flap_list)) {
+      const auto parsed = sim::parse_time(field);
+      if (!parsed || *parsed < sim::Time::zero()) {
+        std::fprintf(stderr, "error: --flap-durations: bad duration '%s'\n",
+                     field.c_str());
+        return 2;
+      }
+      cfg.flap_durations.push_back(*parsed);
+    }
+  } else {
+    const sim::Time d = args.time_or("flap-duration", sim::Time::zero(), sim::Time::zero());
+    if (d > sim::Time::zero()) cfg.flap_durations.push_back(d);
+  }
+  cfg.flap_at = args.time_or("flap-at", 30_ms, sim::Time::zero());
+
+  cfg.fault_template.corrupt_rate = args.double_or("corrupt-rate", 0.0, 0.0, 1.0);
+  cfg.fault_template.duplicate_rate = args.double_or("dup-rate", 0.0, 0.0, 1.0);
+  cfg.fault_template.reorder_rate = args.double_or("reorder-rate", 0.0, 0.0, 1.0);
+  cfg.fault_template.reorder_max_delay = args.time_or("reorder-delay", 50_us, 1_ns);
+  cfg.fault_template.ge_good_to_bad = args.double_or("ge-p", 0.0, 0.0, 1.0);
+  cfg.fault_template.ge_bad_to_good = args.double_or("ge-r", 0.1, 0.0, 1.0);
+  cfg.fault_template.ge_drop_bad = args.double_or("ge-loss-bad", 1.0, 0.0, 1.0);
+  cfg.fault_template.ge_drop_good = args.double_or("ge-loss-good", 0.0, 0.0, 1.0);
+  if (const int rc = finish(args); rc != 0) return rc;
+
+  std::printf("faults: %d-flow %s incast, baseline + %zu fault point(s) (seed %llu)\n",
+              cfg.base.num_flows, cc_name.c_str(),
+              cfg.drop_rates.size() + cfg.flap_durations.size(),
+              static_cast<unsigned long long>(cfg.base.seed));
+
+  const auto report = core::run_resilience_experiment(cfg);
+
+  std::printf("\nbaseline (no faults), mode: %s\n", core::to_string(report.baseline_mode));
+  print_burst_table(report.baseline);
+  std::printf("events processed (baseline): %llu\n\n",
+              static_cast<unsigned long long>(report.baseline.events_processed));
+
+  core::Table t{{"drop-rate", "flap", "avg BCT", "max BCT", "goodput", "timeouts",
+                 "fast-rtx", "cong-drops", "inj-drops", "corrupt", "recovery", "mode"}};
+  for (const auto& p : report.points) {
+    const auto& r = p.result;
+    t.add_row({core::fmt(p.drop_rate, 6),
+               p.flap_duration > sim::Time::zero() ? p.flap_duration.to_string() : "-",
+               core::fmt(r.avg_bct_ms, 2) + " ms", core::fmt(r.max_bct_ms, 2) + " ms",
+               core::fmt(p.goodput_rel * 100, 1) + " %", std::to_string(r.timeouts),
+               std::to_string(r.fast_retransmits), std::to_string(r.queue_drops),
+               std::to_string(r.injected_drops), std::to_string(r.injected_corruptions),
+               p.recovery_after_flap_ms > 0.0 ? core::fmt(p.recovery_after_flap_ms, 2) + " ms"
+                                              : "-",
+               core::to_string(p.mode)});
+  }
+  t.print();
+
+  for (const auto& p : report.points) {
+    if (p.mode != report.baseline_mode) {
+      std::printf("\nmode boundary shifted: baseline %s -> %s at drop-rate %s%s\n",
+                  core::to_string(report.baseline_mode), core::to_string(p.mode),
+                  core::fmt(p.drop_rate, 6).c_str(),
+                  p.flap_duration > sim::Time::zero()
+                      ? (" / flap " + p.flap_duration.to_string()).c_str()
+                      : "");
+      break;
+    }
+  }
   return 0;
 }
 
@@ -118,9 +256,9 @@ int run_fleet(core::CliArgs& args) {
                  service.c_str());
     return 2;
   }
-  cfg.num_hosts = static_cast<int>(args.int_or("hosts", 2));
-  cfg.num_snapshots = static_cast<int>(args.int_or("snapshots", 1));
-  cfg.trace_duration = args.time_or("trace", 1_s);
+  cfg.num_hosts = static_cast<int>(args.int_or("hosts", 2, 1, 10'000));
+  cfg.num_snapshots = static_cast<int>(args.int_or("snapshots", 1, 1, 10'000));
+  cfg.trace_duration = args.time_or("trace", 1_s, 1_ns);
   cfg.base_seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
   cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
   cfg.tcp.rtt.min_rto = 200_ms;
@@ -196,13 +334,10 @@ int run_trace(core::CliArgs& args) {
       args.bandwidth_or("line-rate", sim::Bandwidth::gigabits_per_second(10));
   if (const int rc = finish(args); rc != 0) return rc;
 
-  std::vector<telemetry::Millisampler::Bin> bins;
-  try {
-    bins = telemetry::read_bins_csv_file(*input);
-  } catch (const std::runtime_error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+  // read_bins_csv_file throws on malformed input; the top-level handler in
+  // main turns that into an error message and exit 1.
+  const std::vector<telemetry::Millisampler::Bin> bins =
+      telemetry::read_bins_csv_file(*input);
 
   const analysis::BurstDetector detector;
   const auto bursts = detector.detect(bins, line_rate.bytes_in(1_ms));
@@ -218,15 +353,27 @@ int run_trace(core::CliArgs& args) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   core::CliArgs args{argc - 1, argv + 1};
 
   if (command == "burst") return run_burst(args);
+  if (command == "faults") return run_faults(args);
   if (command == "fleet") return run_fleet(args);
   if (command == "trace") return run_trace(args);
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Anything the subcommands throw (a malformed --input CSV, an allocation
+  // failure) becomes a clean diagnostic instead of std::terminate.
+  try {
+    return dispatch(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
