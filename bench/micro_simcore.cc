@@ -6,6 +6,7 @@
 // dumbbell with a real TCP flow.
 #include <benchmark/benchmark.h>
 
+#include "core/fabric_experiment.h"
 #include "core/incast_experiment.h"
 #include "net/topology.h"
 #include "sim/event_queue.h"
@@ -100,6 +101,31 @@ void BM_IncastBurst100Flows(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncastBurst100Flows)->Unit(benchmark::kMillisecond);
+
+void BM_FatTreeIncast(benchmark::State& state) {
+  // Events/second through a small two-tier fat-tree (2x2 leaves x 8 hosts,
+  // 2 spines) running a cross-rack incast — the fabric substrate's
+  // end-to-end cost including ECMP hashing and per-tier telemetry.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::FabricIncastExperimentConfig cfg;
+    cfg.num_flows = 24;
+    cfg.fabric.num_pods = 2;
+    cfg.fabric.leaves_per_pod = 2;
+    cfg.fabric.hosts_per_leaf = 8;
+    cfg.fabric.num_spines = 2;
+    cfg.burst_duration = 2_ms;
+    cfg.num_bursts = 2;
+    cfg.discard_bursts = 1;
+    cfg.queue_sample_every = 100_us;
+    cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+    const auto r = core::run_fabric_incast_experiment(cfg);
+    events += r.events_processed;
+    benchmark::DoNotOptimize(r.avg_bct_ms);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_FatTreeIncast)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,148 @@
+// FabricIncastExperiment: the cyclic incast run across a multi-tier Clos
+// fabric instead of the Section 4 dumbbell.
+//
+// Senders are placed across racks (round-robin over every leaf except the
+// receiver's) or on a single rack (the dumbbell's shape), and the same
+// cyclic burst workload drives them toward one receiver. Beyond the
+// dumbbell's receiver-NIC view, the run samples Millisampler-style 1 ms
+// byte counters at three vantage points — the receiver host NIC, every
+// leaf's uplinks, and the spine ports descending toward the receiver — so
+// burst visibility can be compared across tiers, and it reports each leaf's
+// ECMP flow spread so uplink collisions are measurable.
+//
+// With 1 pod, 2 leaves, 1 spine and the leaf uplink at the dumbbell's core
+// rate (see dumbbell_equivalent_config), the fabric degenerates to the
+// dumbbell and must reproduce its safe/degenerate/collapse mode
+// classification — the equivalence tests pin that down.
+#ifndef INCAST_CORE_FABRIC_EXPERIMENT_H_
+#define INCAST_CORE_FABRIC_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/incast_experiment.h"
+#include "core/resilience_experiment.h"
+#include "fabric/fat_tree.h"
+#include "tcp/tcp_config.h"
+#include "telemetry/millisampler.h"
+#include "telemetry/queue_monitor.h"
+#include "workload/cyclic_incast.h"
+
+namespace incast::core {
+
+struct FabricIncastExperimentConfig {
+  int num_flows{96};
+
+  // kCrossRack spreads senders round-robin over every leaf except the
+  // receiver's; kSingleRack packs them onto one leaf (the dumbbell shape).
+  enum class Placement { kCrossRack, kSingleRack };
+  Placement placement{Placement::kCrossRack};
+
+  fabric::FatTreeConfig fabric{};
+  tcp::TcpConfig tcp{};
+
+  sim::Time burst_duration{sim::Time::milliseconds(15)};
+  int num_bursts{4};
+  int discard_bursts{1};
+  sim::Time inter_burst_gap{sim::Time::milliseconds(10)};
+  workload::BurstSchedule schedule{workload::BurstSchedule::kAfterCompletion};
+
+  // Bottleneck (receiver downlink) queue time-series sampling period.
+  sim::Time queue_sample_every{sim::Time::microseconds(10)};
+  // Bin width for every Millisampler-style vantage trace.
+  sim::Time telemetry_bin{sim::Time::milliseconds(1)};
+  sim::Time max_sim_time{sim::Time::seconds(30)};
+
+  // Faults on arbitrary named fabric links (LinkDirectory names).
+  std::vector<NamedLinkFault> link_faults{};
+
+  std::uint64_t seed{1};
+};
+
+// One Millisampler-format trace collected at a vantage point.
+struct VantageTrace {
+  std::string tier;  // "host" | "leaf" | "agg-spine" (per fabric tier)
+  std::string name;  // host node name or LinkDirectory link name
+  sim::Bandwidth line_rate{};
+  std::vector<telemetry::Millisampler::Bin> bins;
+  // Windowed (1 ms) high watermarks of the egress queue feeding this
+  // vantage — production-style per-hop queue depth. For the host vantage
+  // this is the receiver's leaf downlink (the bottleneck) queue.
+  std::vector<std::int64_t> queue_watermarks;
+
+  // Peak single-bin utilization — the burst's visibility at this vantage.
+  [[nodiscard]] double peak_utilization() const;
+  // Peak queue depth over the whole run at this hop.
+  [[nodiscard]] std::int64_t peak_queue_packets() const;
+};
+
+struct FabricIncastExperimentResult {
+  std::vector<workload::CyclicIncastDriver::BurstRecord> bursts;
+
+  // Placement actually used (global host indices).
+  std::vector<int> sender_hosts;
+  int receiver_host{0};
+
+  // Aggregates over measured (non-discarded) bursts.
+  double avg_bct_ms{0.0};
+  double max_bct_ms{0.0};
+  double avg_queue_packets{0.0};
+  double peak_queue_packets{0.0};
+
+  // Bottleneck-queue and TCP counters, measured-window deltas.
+  std::int64_t queue_drops{0};
+  std::int64_t queue_ecn_marks{0};
+  std::int64_t queue_enqueues{0};
+  std::int64_t timeouts{0};
+  std::int64_t fast_retransmits{0};
+  std::int64_t retransmitted_packets{0};
+  std::int64_t data_packets_sent{0};
+
+  // Whole-run fault counters (zero when no fault is configured).
+  std::int64_t injected_drops{0};
+
+  DctcpMode mode{DctcpMode::kSafe};
+
+  // Bottleneck (receiver downlink) queue time series.
+  std::vector<telemetry::QueueMonitor::Sample> queue_series;
+
+  // Host, leaf and spine vantage traces, in that tier order.
+  std::vector<VantageTrace> vantages;
+
+  // ECMP spread: distinct flow keys per uplink of each leaf (uplink order =
+  // ECMP member order), plus the fabric-wide path-change count (always zero
+  // for a fixed seed — the stability invariant).
+  struct LeafEcmpSpread {
+    int global_leaf{0};
+    std::vector<std::int64_t> flows_by_uplink;
+  };
+  std::vector<LeafEcmpSpread> leaf_ecmp;
+  std::int64_t ecmp_path_changes{0};
+
+  std::uint64_t events_processed{0};
+
+  [[nodiscard]] double marked_fraction() const noexcept {
+    return queue_enqueues > 0
+               ? static_cast<double>(queue_ecn_marks) / static_cast<double>(queue_enqueues)
+               : 0.0;
+  }
+};
+
+// Runs one fabric experiment to completion (or max_sim_time). Throws
+// std::invalid_argument if the fabric cannot seat num_flows senders plus
+// the receiver under the requested placement, and std::runtime_error if any
+// switch blackholed a packet (a routing bug).
+[[nodiscard]] FabricIncastExperimentResult run_fabric_incast_experiment(
+    const FabricIncastExperimentConfig& config);
+
+// The fat-tree that degenerates to the Section 4 dumbbell: 1 pod, 2 leaves
+// (senders on one, receiver on the other), 1 spine, no aggs, leaf uplinks
+// at the dumbbell's core rate. Copies the workload, TCP and queue settings
+// from `base` so mode classification is directly comparable.
+[[nodiscard]] FabricIncastExperimentConfig dumbbell_equivalent_config(
+    const IncastExperimentConfig& base);
+
+}  // namespace incast::core
+
+#endif  // INCAST_CORE_FABRIC_EXPERIMENT_H_

@@ -87,6 +87,7 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   // trace boundary as the production tool does.
   sim.run_until(until + sim::Time::milliseconds(50));
   sampler.finalize(until);
+  net::check_no_unrouted(dumbbell.switches());
 
   HostTraceResult result;
   result.host = host;

@@ -63,8 +63,15 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
     // stream even though both derive from config.seed.
     injector = std::make_unique<fault::FaultInjector>(
         sim, config.seed ^ 0x9E3779B97F4A7C15ULL);
-    fault::LinkFault& fwd = injector->install(dumbbell.core_link_tx(), config.faults.forward);
-    fault::LinkFault& rev = injector->install(dumbbell.core_link_rx(), config.faults.reverse);
+    // The core link's two directions, addressed through the uniform
+    // LinkDirectory names (the old core_link_tx/rx accessors are deprecated).
+    fault::LinkFault& fwd =
+        injector->install(dumbbell.link("tor_s->tor_r"), config.faults.forward);
+    fault::LinkFault& rev =
+        injector->install(dumbbell.link("tor_r->tor_s"), config.faults.reverse);
+    for (const NamedLinkFault& nf : config.faults.links) {
+      if (nf.config.any_enabled()) injector->install(dumbbell.link(nf.link), nf.config);
+    }
     for (const fault::FlapWindow& w : config.faults.flaps) {
       injector->schedule_flap(fwd, w.down_at, w.duration);
       injector->schedule_flap(rev, w.down_at, w.duration);
@@ -121,6 +128,11 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
 
   driver.start();
   sim.run_until(config.max_sim_time);
+
+  // A switch with no route for a destination silently blackholes traffic —
+  // always a topology bug, never a legitimate outcome. Fail loudly, naming
+  // the switch and destination.
+  net::check_no_unrouted(dumbbell.switches());
 
   IncastExperimentResult result;
   result.bursts = driver.bursts();

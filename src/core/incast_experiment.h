@@ -9,7 +9,9 @@
 #ifndef INCAST_CORE_INCAST_EXPERIMENT_H_
 #define INCAST_CORE_INCAST_EXPERIMENT_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/fault_injector.h"
@@ -21,18 +23,30 @@
 
 namespace incast::core {
 
-// Fault injection applied to the inter-ToR link for the whole run.
-// Probabilistic faults go on each direction independently; flaps blackhole
-// both directions (a real link flap kills the full duplex pair). When
-// nothing is enabled the fault layer is never constructed and the run is
-// bit-for-bit identical to one without it.
+// Faults on one link addressed by its LinkDirectory name, so a profile can
+// target any link in any topology ("tor_s->tor_r" in the dumbbell,
+// "p0.l1->s0" in a fat-tree, ...).
+struct NamedLinkFault {
+  std::string link;
+  fault::LinkFaultConfig config{};
+};
+
+// Fault injection for the whole run. The forward/reverse fields apply to
+// the dumbbell's inter-ToR link (data and ACK directions); `links` applies
+// to arbitrary named links of the topology and works for any fabric. Flaps
+// blackhole both core directions (a real link flap kills the full duplex
+// pair). When nothing is enabled the fault layer is never constructed and
+// the run is bit-for-bit identical to one without it.
 struct FaultProfile {
   fault::LinkFaultConfig forward{};  // data direction (sender ToR -> receiver ToR)
   fault::LinkFaultConfig reverse{};  // ACK direction
+  std::vector<NamedLinkFault> links{};
   std::vector<fault::FlapWindow> flaps{};
 
   [[nodiscard]] bool enabled() const noexcept {
-    return forward.any_enabled() || reverse.any_enabled() || !flaps.empty();
+    return forward.any_enabled() || reverse.any_enabled() || !flaps.empty() ||
+           std::any_of(links.begin(), links.end(),
+                       [](const NamedLinkFault& f) { return f.config.any_enabled(); });
   }
 };
 

@@ -29,6 +29,10 @@ enum class DctcpMode {
 
 [[nodiscard]] const char* to_string(DctcpMode m) noexcept;
 
+// Classifies from the two observables that define the modes, so any
+// experiment (dumbbell or fabric) can be judged by the same rule.
+[[nodiscard]] DctcpMode classify_mode(std::int64_t timeouts, double marked_fraction) noexcept;
+
 [[nodiscard]] DctcpMode classify_mode(const IncastExperimentResult& result);
 
 struct ResilienceConfig {

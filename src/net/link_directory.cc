@@ -1,0 +1,33 @@
+#include "net/link_directory.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace incast::net {
+
+Port* LinkDirectory::find_link(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Port& LinkDirectory::link(const std::string& name) const {
+  if (Port* port = find_link(name)) return *port;
+  std::string msg = "no link named '" + name + "'; registered links:";
+  for (const std::string& n : names_) msg += " " + n;
+  throw std::out_of_range(msg);
+}
+
+void LinkDirectory::register_link(std::string name, Port& port) {
+  const auto [it, inserted] = by_name_.emplace(std::move(name), &port);
+  assert(inserted && "duplicate link name");
+  (void)inserted;
+  names_.push_back(it->first);
+}
+
+void LinkDirectory::register_duplex(Node& a, std::size_t ap, Node& b, std::size_t bp) {
+  register_link(a.name() + "->" + b.name(), a.port(ap));
+  register_link(b.name() + "->" + a.name(), b.port(bp));
+}
+
+}  // namespace incast::net

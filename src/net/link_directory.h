@@ -1,0 +1,51 @@
+// LinkDirectory: uniform access to a topology's links by name.
+//
+// Every topology builder (Dumbbell, fabric::FatTree) registers each
+// unidirectional link under a "<from>-><to>" name as it wires the network,
+// so higher layers — fault injection above all — can address any link in
+// any topology the same way, instead of relying on per-topology accessors
+// like the dumbbell's bespoke core_link_tx/rx pair. Names use the owning
+// node's name on each side, e.g. "tor_s->tor_r" or "p0.l1->s0".
+#ifndef INCAST_NET_LINK_DIRECTORY_H_
+#define INCAST_NET_LINK_DIRECTORY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/node.h"
+
+namespace incast::net {
+
+class LinkDirectory {
+ public:
+  // The named link's egress port, or nullptr if no such name is registered.
+  [[nodiscard]] Port* find_link(const std::string& name) const;
+
+  // Like find_link, but an unknown name throws std::out_of_range listing
+  // the registered names — a typo'd fault profile fails loudly.
+  [[nodiscard]] Port& link(const std::string& name) const;
+
+  // All registered link names, in registration (wiring) order.
+  [[nodiscard]] const std::vector<std::string>& link_names() const noexcept {
+    return names_;
+  }
+
+ protected:
+  ~LinkDirectory() = default;
+
+  // Registers one unidirectional link. Duplicate names are a builder bug.
+  void register_link(std::string name, Port& port);
+
+  // Convenience for full-duplex pairs: registers "a->b" on a's port and
+  // "b->a" on b's, matching how connect_duplex wires them.
+  void register_duplex(Node& a, std::size_t ap, Node& b, std::size_t bp);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Port*> by_name_;
+};
+
+}  // namespace incast::net
+
+#endif  // INCAST_NET_LINK_DIRECTORY_H_

@@ -39,6 +39,7 @@ void Port::maybe_transmit() {
 }
 
 void Port::deliver(Packet p) {
+  for (TxTap* tap : tx_taps_) tap->on_transmit(p, sim_.now());
   sim::Time delay = propagation_delay_;
   bool duplicate = false;
   if (hook_ != nullptr) {

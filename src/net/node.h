@@ -42,6 +42,18 @@ class LinkHook {
   virtual Verdict on_transmit(const Packet& p, sim::Time now) = 0;
 };
 
+// Read-only observer of every packet a Port transmits, notified when
+// serialization completes (the moment the frame hits the wire), before any
+// fault hook can drop it — matching real port counters, which count
+// transmitted frames whether or not the wire later loses them. This is how
+// switch-side telemetry (per-port Millisampler-style byte counters) attaches
+// without perturbing the data path.
+class TxTap {
+ public:
+  virtual ~TxTap() = default;
+  virtual void on_transmit(const Packet& p, sim::Time now) = 0;
+};
+
 class Port {
  public:
   Port(sim::Simulator& sim, sim::Bandwidth bandwidth, sim::Time propagation_delay,
@@ -84,6 +96,10 @@ class Port {
   void set_link_hook(LinkHook* hook) noexcept { hook_ = hook; }
   [[nodiscard]] LinkHook* link_hook() const noexcept { return hook_; }
 
+  // Adds a read-only observer of transmitted packets (e.g. a PortSampler).
+  // Taps must outlive the port's traffic.
+  void add_tx_tap(TxTap* tap) { tx_taps_.push_back(tap); }
+
  private:
   void maybe_transmit();
   // Consults the hook (if any) and schedules the packet's arrival at the
@@ -99,6 +115,7 @@ class Port {
   bool busy_{false};
   bool int_stamping_{false};
   LinkHook* hook_{nullptr};
+  std::vector<TxTap*> tx_taps_;
 };
 
 class Node {

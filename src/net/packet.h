@@ -60,7 +60,9 @@ struct IntHopRecord {
   friend constexpr bool operator==(const IntHopRecord&, const IntHopRecord&) = default;
 };
 
-inline constexpr int kMaxIntHops = 4;
+// Sized for the deepest supported path: a 3-tier fat-tree crosses five
+// switch egress ports (leaf, agg, spine, agg, leaf) plus margin.
+inline constexpr int kMaxIntHops = 6;
 
 // Simplified TCP header. Sequence numbers are 64-bit byte offsets — the
 // simulator never transfers enough to wrap 64 bits, which removes wraparound

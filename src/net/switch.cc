@@ -1,8 +1,48 @@
 #include "net/switch.h"
 
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace incast::net {
+
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche 64-bit mixer with no
+// implementation-defined behavior, so path assignment is identical on every
+// platform for a given seed.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void Switch::set_ecmp_route(NodeId dst, std::vector<std::size_t> out_ports) {
+  assert(!out_ports.empty() && "an ECMP group needs at least one member");
+  routes_[dst] = RouteEntry{std::move(out_ports)};
+}
+
+std::uint64_t Switch::flow_key(NodeId src, NodeId dst, FlowId flow) const noexcept {
+  // Symmetric in (src, dst): data and its returning ACKs share a key.
+  const NodeId lo = src < dst ? src : dst;
+  const NodeId hi = src < dst ? dst : src;
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo);
+  return mix64(mix64(ecmp_seed_ ^ pair) ^ flow);
+}
+
+std::optional<std::size_t> Switch::route_port(NodeId src, NodeId dst, FlowId flow) const {
+  const auto it = routes_.find(dst);
+  if (it == routes_.end()) return std::nullopt;
+  const std::vector<std::size_t>& ports = it->second.ports;
+  if (ports.size() == 1) return ports.front();
+  return ports[static_cast<std::size_t>(flow_key(src, dst, flow) % ports.size())];
+}
 
 SharedBufferPool& Switch::enable_shared_buffer(const SharedBufferPool::Config& config) {
   pool_ = std::make_unique<SharedBufferPool>(config);
@@ -16,9 +56,51 @@ void Switch::receive(Packet p, std::size_t /*in_port*/) {
   const auto it = routes_.find(p.dst);
   if (it == routes_.end()) {
     ++unrouted_packets_;
+    ++unrouted_by_dst_[p.dst];
     return;
   }
-  port(it->second).send(std::move(p));
+  const std::vector<std::size_t>& ports = it->second.ports;
+  std::size_t out;
+  if (ports.size() == 1) {
+    // Single-path routes skip hashing and per-flow bookkeeping entirely, so
+    // a fabric degenerated to one path costs what the static switch did.
+    out = ports.front();
+  } else {
+    const std::uint64_t key = flow_key(p.src, p.dst, p.tcp.flow_id);
+    out = ports[static_cast<std::size_t>(key % ports.size())];
+    const auto [pos, inserted] = ecmp_chosen_.try_emplace(key, out);
+    if (!inserted && pos->second != out) {
+      ++ecmp_path_changes_;
+      pos->second = out;
+    }
+  }
+  port(out).send(std::move(p));
+}
+
+std::vector<std::int64_t> Switch::ecmp_flows_by_port() const {
+  std::vector<std::int64_t> counts(num_ports(), 0);
+  for (const auto& [key, port_index] : ecmp_chosen_) {
+    if (port_index < counts.size()) ++counts[port_index];
+  }
+  return counts;
+}
+
+void check_no_unrouted(const Switch& sw) {
+  if (sw.unrouted_packets() == 0) return;
+  std::vector<std::pair<NodeId, std::int64_t>> by_dst{sw.unrouted_by_dst().begin(),
+                                                      sw.unrouted_by_dst().end()};
+  std::sort(by_dst.begin(), by_dst.end());
+  std::string msg = "switch '" + sw.name() + "' blackholed " +
+                    std::to_string(sw.unrouted_packets()) +
+                    " packet(s) with no route:";
+  for (const auto& [dst, count] : by_dst) {
+    msg += " dst=" + std::to_string(dst) + " (" + std::to_string(count) + ")";
+  }
+  throw std::runtime_error(msg);
+}
+
+void check_no_unrouted(const std::vector<Switch*>& switches) {
+  for (const Switch* sw : switches) check_no_unrouted(*sw);
 }
 
 }  // namespace incast::net

@@ -1,15 +1,24 @@
-// Switch: an output-queued switch with static destination-based routing.
+// Switch: an output-queued switch with destination-based routing and ECMP.
 //
-// On ingress, the switch looks up the egress port for the packet's
-// destination node and hands the packet to that port (whose DropTailQueue
-// applies ECN marking and tail drop). Optionally, all of a switch's egress
-// queues can share one SharedBufferPool, modelling the dynamically shared
-// buffers of production ToRs.
+// On ingress, the switch looks up the route entry for the packet's
+// destination node. A route is a group of one or more egress ports: single-
+// port groups forward directly (the classic static route), multi-port groups
+// are ECMP groups resolved by a deterministic, seeded flow hash, so a given
+// (src, dst, flow) always takes the same member port within a run and the
+// whole path assignment is reproducible from the seed. The hash is symmetric
+// in (src, dst): a flow's ACKs hash identically to its data, so switches
+// with equally-sized groups pick the same member index in both directions.
+//
+// Egress queues apply ECN marking and tail drop; optionally all of a
+// switch's queues can share one SharedBufferPool, modelling the dynamically
+// shared buffers of production ToRs.
 #ifndef INCAST_NET_SWITCH_H_
 #define INCAST_NET_SWITCH_H_
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/node.h"
 #include "net/shared_buffer.h"
@@ -21,7 +30,24 @@ class Switch : public Node {
   using Node::Node;
 
   // Routes packets destined to `dst` out of `out_port`.
-  void set_route(NodeId dst, std::size_t out_port) { routes_[dst] = out_port; }
+  void set_route(NodeId dst, std::size_t out_port) {
+    routes_[dst] = RouteEntry{{out_port}};
+  }
+
+  // Routes packets destined to `dst` across an ECMP group. Member order is
+  // part of the route: two switches programmed with their members in the
+  // same peer order make symmetric choices for a flow and its ACKs.
+  void set_ecmp_route(NodeId dst, std::vector<std::size_t> out_ports);
+
+  // Seed for the ECMP flow hash. Distinct seeds give independent collision
+  // patterns; the same seed reproduces the exact path assignment.
+  void set_ecmp_seed(std::uint64_t seed) noexcept { ecmp_seed_ = seed; }
+  [[nodiscard]] std::uint64_t ecmp_seed() const noexcept { return ecmp_seed_; }
+
+  // The egress port receive() would choose for this (src, dst, flow);
+  // nullopt if dst has no route. Pure: consults no per-flow state.
+  [[nodiscard]] std::optional<std::size_t> route_port(NodeId src, NodeId dst,
+                                                      FlowId flow) const;
 
   // Creates a shared buffer pool and attaches it to every *current* port's
   // queue. Call after all ports have been added.
@@ -33,12 +59,47 @@ class Switch : public Node {
 
   // Packets that arrived with no matching route (a topology bug).
   [[nodiscard]] std::int64_t unrouted_packets() const noexcept { return unrouted_packets_; }
+  // Per-destination breakdown of unrouted packets, for loud teardown checks.
+  [[nodiscard]] const std::unordered_map<NodeId, std::int64_t>& unrouted_by_dst()
+      const noexcept {
+    return unrouted_by_dst_;
+  }
+
+  // ECMP introspection, fed by traffic through multi-port groups.
+  // Distinct flow keys observed per egress port (ACKs and data of one flow
+  // share a key, so a bidirectional flow counts once per switch it crosses).
+  [[nodiscard]] std::vector<std::int64_t> ecmp_flows_by_port() const;
+  // Times a flow key was observed resolving to a different port than before.
+  // Zero for a fixed seed and static groups — the path-stability invariant.
+  [[nodiscard]] std::int64_t ecmp_path_changes() const noexcept {
+    return ecmp_path_changes_;
+  }
 
  private:
-  std::unordered_map<NodeId, std::size_t> routes_;
+  struct RouteEntry {
+    std::vector<std::size_t> ports;  // never empty
+  };
+
+  [[nodiscard]] std::uint64_t flow_key(NodeId src, NodeId dst, FlowId flow) const noexcept;
+
+  std::unordered_map<NodeId, RouteEntry> routes_;
   std::unique_ptr<SharedBufferPool> pool_;
+  std::uint64_t ecmp_seed_{1};
+  // Flow key -> last chosen port, recorded only for multi-port groups.
+  std::unordered_map<std::uint64_t, std::size_t> ecmp_chosen_;
+  std::int64_t ecmp_path_changes_{0};
   std::int64_t unrouted_packets_{0};
+  std::unordered_map<NodeId, std::int64_t> unrouted_by_dst_;
 };
+
+// Throws std::runtime_error naming the switch, the offending destination(s),
+// and the packet counts if `sw` blackholed any packet. Experiments call this
+// at teardown so a routing bug fails the run loudly instead of silently
+// reducing traffic.
+void check_no_unrouted(const Switch& sw);
+
+// Checks every switch in the collection.
+void check_no_unrouted(const std::vector<Switch*>& switches);
 
 }  // namespace incast::net
 

@@ -27,6 +27,7 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const DumbbellConfig& config) : config_{
     const std::size_t tor_port =
         tor_s_->add_port(config_.host_link, config_.link_delay, config_.switch_queue);
     connect_duplex(h, 0, *tor_s_, tor_port);
+    register_duplex(h, 0, *tor_s_, tor_port);
     tor_s_->set_route(h.id(), tor_port);
   }
 
@@ -36,6 +37,7 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const DumbbellConfig& config) : config_{
   const std::size_t r_uplink =
       tor_r_->add_port(config_.core_link, config_.link_delay, config_.switch_queue);
   connect_duplex(*tor_s_, s_uplink, *tor_r_, r_uplink);
+  register_duplex(*tor_s_, s_uplink, *tor_r_, r_uplink);
   s_uplink_port_ = s_uplink;
   r_uplink_port_ = r_uplink;
 
@@ -48,6 +50,7 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const DumbbellConfig& config) : config_{
     const std::size_t tor_port =
         tor_r_->add_port(rx_link, config_.link_delay, config_.switch_queue);
     connect_duplex(h, 0, *tor_r_, tor_port);
+    register_duplex(h, 0, *tor_r_, tor_port);
     tor_r_->set_route(h.id(), tor_port);
     receiver_downlink_port_.push_back(tor_port);
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/host.h"
+#include "net/link_directory.h"
 #include "net/switch.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
@@ -45,7 +46,7 @@ struct DumbbellConfig {
   std::optional<SharedBufferPool::Config> shared_buffer;
 };
 
-class Dumbbell {
+class Dumbbell : public LinkDirectory {
  public:
   Dumbbell(sim::Simulator& sim, const DumbbellConfig& config);
 
@@ -59,8 +60,13 @@ class Dumbbell {
   // The incast bottleneck: receiver ToR's egress queue toward receiver i.
   [[nodiscard]] DropTailQueue& bottleneck_queue(int i = 0);
 
-  // The inter-ToR link's two directions, for fault installation: tx carries
-  // sender->receiver data, rx carries the returning ACKs.
+  // All switches, for teardown checks (check_no_unrouted).
+  [[nodiscard]] std::vector<Switch*> switches() { return {tor_s_.get(), tor_r_.get()}; }
+
+  // The inter-ToR link's two directions: tx carries sender->receiver data,
+  // rx carries the returning ACKs.
+  // Deprecated: prefer the uniform LinkDirectory accessors, which work for
+  // any topology — link("tor_s->tor_r") and link("tor_r->tor_s").
   [[nodiscard]] Port& core_link_tx() { return tor_s_->port(s_uplink_port_); }
   [[nodiscard]] Port& core_link_rx() { return tor_r_->port(r_uplink_port_); }
 

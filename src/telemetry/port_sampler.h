@@ -1,0 +1,56 @@
+// PortSampler: Millisampler-style byte counters at a switch port.
+//
+// The paper's host-side Millisampler sees a burst only after the fabric has
+// smeared it; production operators also want the in-network view (leaf
+// uplinks, spine ports). PortSampler attaches to a net::Port as a TxTap and
+// bins the port's transmitted traffic exactly the way Millisampler bins
+// host ingress — same 1 ms bins, same fields, same CSV format — so traces
+// from host, leaf, and spine vantage points are directly comparable and one
+// BurstDetector runs on all of them.
+#ifndef INCAST_TELEMETRY_PORT_SAMPLER_H_
+#define INCAST_TELEMETRY_PORT_SAMPLER_H_
+
+#include <string>
+#include <utility>
+
+#include "net/node.h"
+#include "telemetry/millisampler.h"
+
+namespace incast::telemetry {
+
+class PortSampler final : public net::TxTap {
+ public:
+  // `name` identifies the vantage point in reports/CSV filenames; by
+  // convention it is the LinkDirectory link name (e.g. "p0.l0->s1").
+  PortSampler(std::string name, const Millisampler::Config& config)
+      : name_{std::move(name)}, sampler_{config} {}
+
+  // Attaches to `port` and adopts its line rate for utilization figures.
+  void attach(net::Port& port) {
+    Millisampler::Config cfg = sampler_.config();
+    cfg.line_rate = port.bandwidth();
+    sampler_ = Millisampler{cfg};
+    port.add_tx_tap(this);
+  }
+
+  void on_transmit(const net::Packet& p, sim::Time now) override {
+    sampler_.on_ingress(p, now);
+  }
+
+  // Flushes and pads so the trace covers [0, end); call once, post-run.
+  void finalize(sim::Time end) { sampler_.finalize(end); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Millisampler& sampler() const noexcept { return sampler_; }
+  [[nodiscard]] const std::vector<Millisampler::Bin>& bins() const noexcept {
+    return sampler_.bins();
+  }
+
+ private:
+  std::string name_;
+  Millisampler sampler_;
+};
+
+}  // namespace incast::telemetry
+
+#endif  // INCAST_TELEMETRY_PORT_SAMPLER_H_

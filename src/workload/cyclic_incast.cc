@@ -4,17 +4,31 @@
 
 namespace incast::workload {
 
-CyclicIncastDriver::CyclicIncastDriver(sim::Simulator& sim, net::Dumbbell& dumbbell,
+namespace {
+
+CyclicIncastDriver::Endpoints dumbbell_endpoints(net::Dumbbell& dumbbell, int num_flows) {
+  CyclicIncastDriver::Endpoints ep;
+  ep.senders.reserve(static_cast<std::size_t>(num_flows));
+  for (int i = 0; i < num_flows && i < dumbbell.num_senders(); ++i) {
+    ep.senders.push_back(&dumbbell.sender(i));
+  }
+  ep.receiver = &dumbbell.receiver(0);
+  ep.bottleneck = dumbbell.config().receiver_link.value_or(dumbbell.config().host_link);
+  return ep;
+}
+
+}  // namespace
+
+CyclicIncastDriver::CyclicIncastDriver(sim::Simulator& sim, const Endpoints& endpoints,
                                        const tcp::TcpConfig& tcp_config, const Config& config,
                                        std::uint64_t seed)
     : sim_{sim}, config_{config}, rng_{seed} {
-  assert(config_.num_flows <= dumbbell.num_senders());
+  assert(static_cast<std::size_t>(config_.num_flows) <= endpoints.senders.size());
+  assert(endpoints.receiver != nullptr);
   assert(config_.num_bursts > 0);
 
-  const sim::Bandwidth bottleneck =
-      dumbbell.config().receiver_link.value_or(dumbbell.config().host_link);
   const std::int64_t burst_bytes = static_cast<std::int64_t>(
-      static_cast<double>(bottleneck.bytes_in(config_.burst_duration)) *
+      static_cast<double>(endpoints.bottleneck.bytes_in(config_.burst_duration)) *
       config_.demand_scale);
   demand_per_flow_ = std::max<std::int64_t>(burst_bytes / config_.num_flows, 1);
 
@@ -26,13 +40,19 @@ CyclicIncastDriver::CyclicIncastDriver(sim::Simulator& sim, net::Dumbbell& dumbb
   connections_.reserve(static_cast<std::size_t>(config_.num_flows));
   for (int i = 0; i < config_.num_flows; ++i) {
     auto conn = std::make_unique<tcp::TcpConnection>(
-        sim_, dumbbell.sender(i), dumbbell.receiver(0),
+        sim_, *endpoints.senders[static_cast<std::size_t>(i)], *endpoints.receiver,
         static_cast<net::FlowId>(i) + 1, tcp_config);
     conn->sender().set_on_ack_advance(
         [this, i](std::int64_t snd_una) { on_flow_progress(snd_una, i); });
     connections_.push_back(std::move(conn));
   }
 }
+
+CyclicIncastDriver::CyclicIncastDriver(sim::Simulator& sim, net::Dumbbell& dumbbell,
+                                       const tcp::TcpConfig& tcp_config, const Config& config,
+                                       std::uint64_t seed)
+    : CyclicIncastDriver(sim, dumbbell_endpoints(dumbbell, config.num_flows), tcp_config,
+                         config, seed) {}
 
 void CyclicIncastDriver::start() { start_burst(); }
 

@@ -61,7 +61,22 @@ class CyclicIncastDriver {
     [[nodiscard]] sim::Time completion_time() const noexcept { return completed - started; }
   };
 
-  // Creates one connection per flow: dumbbell.sender(i) -> receiver 0.
+  // The hosts the driver runs over — any topology, not just the dumbbell.
+  // Flow i runs senders[i] -> receiver; `bottleneck` (typically the
+  // receiver's NIC rate) sizes the per-burst demand.
+  struct Endpoints {
+    std::vector<net::Host*> senders;
+    net::Host* receiver{nullptr};
+    sim::Bandwidth bottleneck{};
+  };
+
+  // Creates one connection per flow: endpoints.senders[i] -> receiver.
+  CyclicIncastDriver(sim::Simulator& sim, const Endpoints& endpoints,
+                     const tcp::TcpConfig& tcp_config, const Config& config,
+                     std::uint64_t seed);
+
+  // Dumbbell convenience: sender(i) -> receiver 0, bottleneck = the
+  // receiver downlink rate.
   CyclicIncastDriver(sim::Simulator& sim, net::Dumbbell& dumbbell,
                      const tcp::TcpConfig& tcp_config, const Config& config,
                      std::uint64_t seed);

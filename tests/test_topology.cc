@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 namespace incast::net {
@@ -128,6 +129,24 @@ TEST(Dumbbell, SharedBufferOnReceiverTorOnly) {
   Dumbbell d{sim, cfg};
   EXPECT_NE(d.receiver_tor().shared_buffer(), nullptr);
   EXPECT_EQ(d.sender_tor().shared_buffer(), nullptr);
+}
+
+TEST(Dumbbell, NamedLinksCoverEveryLink) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  cfg.num_senders = 2;
+  cfg.num_receivers = 1;
+  Dumbbell d{sim, cfg};
+
+  // 2 sender links + core + 1 receiver link, both directions each.
+  EXPECT_EQ(d.link_names().size(), 8u);
+  // The named core link is the same port the deprecated accessors expose.
+  EXPECT_EQ(&d.link("tor_s->tor_r"), &d.core_link_tx());
+  EXPECT_EQ(&d.link("tor_r->tor_s"), &d.core_link_rx());
+  EXPECT_NE(d.find_link("sender0->tor_s"), nullptr);
+  EXPECT_NE(d.find_link("tor_r->receiver0"), nullptr);
+  EXPECT_EQ(d.find_link("bogus"), nullptr);
+  EXPECT_THROW(d.link("bogus"), std::out_of_range);
 }
 
 TEST(Dumbbell, NodeIdsAreDistinct) {

@@ -21,6 +21,22 @@
 //       With every fault knob at zero the fault layer is a strict no-op and
 //       the baseline equals the `burst` subcommand's result exactly.
 //
+//   incast_sim fabric [--flows 96] [--pods 2] [--leaves 2] [--hosts-per-leaf 8]
+//                     [--aggs 0] [--spines 2] [--host-link 10Gbps]
+//                     [--leaf-uplink 40Gbps] [--spine-link 100Gbps]
+//                     [--placement cross|single] [--ecmp-seed 1]
+//                     [--export-telemetry prefix]
+//                     [all burst workload flags: --cc --duration --bursts
+//                      --discard --gap --schedule --queue --ecn-threshold
+//                      --min-rto --seed]
+//       Runs the cyclic incast across a multi-tier Clos fabric: senders
+//       spread over racks, ECMP over the leaf uplinks, Millisampler-style
+//       1 ms telemetry at host / leaf / spine vantage points, and per-leaf
+//       ECMP collision histograms. --export-telemetry writes one CSV per
+//       vantage (prefix + sanitized link name). With 1 pod, 2 leaves,
+//       1 spine and --placement single the fabric degenerates to the
+//       dumbbell of `burst`.
+//
 //   incast_sim fleet [--service aggregator] [--hosts 2] [--snapshots 1]
 //                    [--trace 1s] [--contention none|modeled|neighbor]
 //                    [--export-csv trace.csv] [--seed 42]
@@ -37,6 +53,7 @@
 
 #include "analysis/burst_detector.h"
 #include "core/cli_args.h"
+#include "core/fabric_experiment.h"
 #include "core/fleet_experiment.h"
 #include "core/incast_experiment.h"
 #include "core/report.h"
@@ -50,7 +67,7 @@ using namespace incast::sim::literals;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: incast_sim <burst|faults|fleet|trace> [--key value ...]\n"
+               "usage: incast_sim <burst|faults|fabric|fleet|trace> [--key value ...]\n"
                "       see the header of tools/incast_sim.cc for all flags\n");
   return 2;
 }
@@ -246,6 +263,157 @@ int run_faults(core::CliArgs& args) {
   return 0;
 }
 
+// Link names contain '.' and "->"; CSV filenames should not.
+std::string sanitize_for_filename(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+      out.push_back(c);
+    } else if (out.empty() || out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+int run_fabric(core::CliArgs& args) {
+  core::FabricIncastExperimentConfig cfg;
+  cfg.num_flows = static_cast<int>(args.int_or("flows", 96, 1, 100'000));
+  cfg.fabric.num_pods = static_cast<int>(args.int_or("pods", 2, 1, 64));
+  cfg.fabric.leaves_per_pod = static_cast<int>(args.int_or("leaves", 2, 1, 256));
+  cfg.fabric.hosts_per_leaf = static_cast<int>(args.int_or("hosts-per-leaf", 8, 1, 100'000));
+  cfg.fabric.aggs_per_pod = static_cast<int>(args.int_or("aggs", 0, 0, 256));
+  cfg.fabric.num_spines = static_cast<int>(args.int_or("spines", 2, 1, 256));
+  cfg.fabric.host_link =
+      args.bandwidth_or("host-link", sim::Bandwidth::gigabits_per_second(10));
+  cfg.fabric.leaf_uplink =
+      args.bandwidth_or("leaf-uplink", sim::Bandwidth::gigabits_per_second(40));
+  cfg.fabric.spine_link =
+      args.bandwidth_or("spine-link", sim::Bandwidth::gigabits_per_second(100));
+  cfg.fabric.ecmp_seed = static_cast<std::uint64_t>(args.int_or("ecmp-seed", 1));
+  cfg.fabric.switch_queue.capacity_packets = args.int_or("queue", 1333, 1, 10'000'000);
+  cfg.fabric.switch_queue.ecn_threshold_packets =
+      args.int_or("ecn-threshold", 65, 0, 10'000'000);
+
+  const std::string placement = args.get_or("placement", "cross");
+  if (placement == "single") {
+    cfg.placement = core::FabricIncastExperimentConfig::Placement::kSingleRack;
+  } else if (placement != "cross") {
+    std::fprintf(stderr, "error: unknown --placement '%s' (cross|single)\n",
+                 placement.c_str());
+    return 2;
+  }
+
+  cfg.burst_duration = args.time_or("duration", 15_ms, 1_ns);
+  cfg.num_bursts = static_cast<int>(args.int_or("bursts", 4, 1, 10'000));
+  cfg.discard_bursts =
+      static_cast<int>(args.int_or("discard", 1, 0, cfg.num_bursts - 1));
+  cfg.inter_burst_gap = args.time_or("gap", 10_ms, sim::Time::zero());
+  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+  cfg.max_sim_time = args.time_or("max-sim-time", sim::Time::seconds(30), 1_ns);
+
+  const std::string cc_name = args.get_or("cc", "dctcp");
+  const auto cc = parse_cc(cc_name);
+  if (!cc) {
+    std::fprintf(stderr, "error: unknown --cc '%s'\n", cc_name.c_str());
+    return 2;
+  }
+  cfg.tcp.cc = *cc;
+  cfg.tcp.int_telemetry = *cc == tcp::CcAlgorithm::kHpcc;
+  cfg.tcp.rtt.min_rto = args.time_or("min-rto", 200_ms, 1_ns);
+  const std::string schedule = args.get_or("schedule", "completion");
+  if (schedule != "completion" && schedule != "period") {
+    std::fprintf(stderr, "error: unknown --schedule '%s'\n", schedule.c_str());
+    return 2;
+  }
+  cfg.schedule = schedule == "period" ? workload::BurstSchedule::kFixedPeriod
+                                      : workload::BurstSchedule::kAfterCompletion;
+
+  const std::string telemetry_prefix = args.get_or("export-telemetry", "");
+  if (const int rc = finish(args); rc != 0) return rc;
+
+  const int num_leaves = cfg.fabric.num_pods * cfg.fabric.leaves_per_pod;
+  const int uplinks = cfg.fabric.aggs_per_pod > 0 ? cfg.fabric.aggs_per_pod
+                                                  : cfg.fabric.num_spines;
+  std::printf(
+      "fabric: %s Clos, %d pod(s) x %d leaves x %d hosts, %d spine(s)%s\n"
+      "        %d-flow %s incast, %s placement (seed %llu, ecmp-seed %llu)\n",
+      cfg.fabric.aggs_per_pod > 0 ? "three-tier" : "two-tier", cfg.fabric.num_pods,
+      cfg.fabric.leaves_per_pod, cfg.fabric.hosts_per_leaf, cfg.fabric.num_spines,
+      cfg.fabric.aggs_per_pod > 0
+          ? (", " + std::to_string(cfg.fabric.aggs_per_pod) + " agg(s)/pod").c_str()
+          : "",
+      cfg.num_flows, cc_name.c_str(), placement.c_str(),
+      static_cast<unsigned long long>(cfg.seed),
+      static_cast<unsigned long long>(cfg.fabric.ecmp_seed));
+  std::printf("        %d leaves, %d uplink(s)/leaf, oversubscription %.2f:1\n",
+              num_leaves, uplinks,
+              static_cast<double>(cfg.fabric.hosts_per_leaf) *
+                  static_cast<double>(cfg.fabric.host_link.bps()) /
+                  (static_cast<double>(uplinks) *
+                   static_cast<double>(cfg.fabric.leaf_uplink.bps())));
+
+  const auto r = core::run_fabric_incast_experiment(cfg);
+
+  core::Table t{{"metric", "value"}};
+  t.add_row({"bursts completed", std::to_string(r.bursts.size())});
+  t.add_row({"avg BCT (measured bursts)", core::fmt(r.avg_bct_ms, 2) + " ms"});
+  t.add_row({"max BCT", core::fmt(r.max_bct_ms, 2) + " ms"});
+  t.add_row({"avg queue during bursts", core::fmt(r.avg_queue_packets, 1) + " pkts"});
+  t.add_row({"peak queue", core::fmt(r.peak_queue_packets, 0) + " pkts"});
+  t.add_row({"ECN-marked packets", core::fmt(r.marked_fraction() * 100, 1) + " %"});
+  t.add_row({"drops", std::to_string(r.queue_drops)});
+  t.add_row({"timeouts", std::to_string(r.timeouts)});
+  t.add_row({"fast retransmits", std::to_string(r.fast_retransmits)});
+  t.add_row({"ECMP path changes", std::to_string(r.ecmp_path_changes)});
+  t.add_row({"mode", core::to_string(r.mode)});
+  t.add_row({"events processed", std::to_string(r.events_processed)});
+  t.print();
+
+  // Burst visibility per vantage: the same burst, seen at host NIC, leaf
+  // uplinks, and spine ports. Peak 1 ms utilization is the figure of merit —
+  // a burst that saturates the host NIC can be invisible at the spine.
+  std::printf("\nburst visibility by vantage point:\n");
+  core::Table vt{{"tier", "vantage", "peak 1ms util", "busiest bin bytes", "peak queue"}};
+  for (const auto& v : r.vantages) {
+    std::int64_t busiest = 0;
+    for (const auto& b : v.bins) busiest = std::max(busiest, b.bytes);
+    vt.add_row({v.tier, v.name, core::fmt(v.peak_utilization() * 100, 1) + " %",
+                std::to_string(busiest),
+                std::to_string(v.peak_queue_packets()) + " pkts"});
+  }
+  vt.print();
+
+  std::printf("\nECMP flow spread (distinct flow keys per leaf uplink):\n");
+  core::Table et{{"leaf", "flows by uplink"}};
+  for (const auto& spread : r.leaf_ecmp) {
+    std::string hist;
+    for (std::size_t i = 0; i < spread.flows_by_uplink.size(); ++i) {
+      if (i > 0) hist += " / ";
+      hist += std::to_string(spread.flows_by_uplink[i]);
+    }
+    et.add_row({"l" + std::to_string(spread.global_leaf), hist});
+  }
+  et.print();
+
+  if (!telemetry_prefix.empty()) {
+    int written = 0;
+    for (const auto& v : r.vantages) {
+      const std::string path = telemetry_prefix + sanitize_for_filename(v.name) + ".csv";
+      if (telemetry::write_bins_csv_file(v.bins, path)) {
+        ++written;
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+      }
+    }
+    std::printf("\nexported %d vantage trace(s) to %s*.csv\n", written,
+                telemetry_prefix.c_str());
+  }
+  return 0;
+}
+
 int run_fleet(core::CliArgs& args) {
   core::FleetConfig cfg;
   const std::string service = args.get_or("service", "aggregator");
@@ -360,6 +528,7 @@ int dispatch(int argc, char** argv) {
 
   if (command == "burst") return run_burst(args);
   if (command == "faults") return run_faults(args);
+  if (command == "fabric") return run_fabric(args);
   if (command == "fleet") return run_fleet(args);
   if (command == "trace") return run_trace(args);
   return usage();
