@@ -4,6 +4,10 @@
 // variable: "quick" (CI smoke), "default", or "full" (paper-scale host and
 // snapshot counts; minutes of CPU). Benches print which scale is active so
 // output files are self-describing.
+//
+// INCAST_JOBS controls how many worker threads the fleet-grid sweeps use
+// (sim::SweepRunner); unset or 0 means all hardware threads, 1 is the
+// historical sequential path. Output is byte-identical either way.
 #ifndef INCAST_BENCH_BENCH_UTIL_H_
 #define INCAST_BENCH_BENCH_UTIL_H_
 
@@ -50,8 +54,18 @@ T by_scale(T quick, T normal, T full) {
   return normal;
 }
 
+// Worker-thread count for sweep-shaped benches: INCAST_JOBS, or 0 (= all
+// hardware threads) when unset/unparsable.
+inline int jobs() {
+  const char* env = std::getenv("INCAST_JOBS");
+  if (env == nullptr) return 0;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 0;
+}
+
 inline void print_scale_banner() {
-  std::printf("[scale: %s — set INCAST_BENCH_SCALE=quick|default|full]\n",
+  std::printf("[scale: %s — set INCAST_BENCH_SCALE=quick|default|full; "
+              "INCAST_JOBS=N for N sweep threads]\n",
               scale_name(bench_scale()));
 }
 

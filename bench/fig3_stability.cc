@@ -24,6 +24,7 @@ core::FleetConfig base_config(const workload::ServiceProfile& profile) {
   cfg.profile = profile;
   cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
   cfg.tcp.rtt.min_rto = 200_ms;
+  cfg.jobs = bench::jobs();
   return cfg;
 }
 
@@ -53,11 +54,15 @@ int main() {
     cfg.trace_duration = trace;
     core::FleetExperiment exp{cfg};
 
+    // One parallel sweep over the whole (snapshot, host) grid; run_all
+    // returns snapshot-major order, so each snapshot's traces are a
+    // contiguous run of hosts_a results.
+    const auto results = exp.run_all();
     std::vector<double> service_means;
     for (int s = 0; s < snapshots; ++s) {
       analysis::Cdf counts;
       for (int h = 0; h < hosts_a; ++h) {
-        const auto r = exp.run_host_trace(h, s);
+        const auto& r = results[static_cast<std::size_t>(s * hosts_a + h)];
         for (const auto& b : r.summary.bursts) {
           counts.add(static_cast<double>(b.max_active_flows));
         }
@@ -101,12 +106,11 @@ int main() {
   std::vector<analysis::FlowCountGroup> groups(static_cast<std::size_t>(hosts_b));
   for (int h = 0; h < hosts_b; ++h) {
     groups[static_cast<std::size_t>(h)].index = static_cast<std::size_t>(h);
-    for (int s = 0; s < snapshots; ++s) {
-      const auto r = exp.run_host_trace(h, s);
-      for (const auto& b : r.summary.bursts) {
-        groups[static_cast<std::size_t>(h)].flow_counts.add(
-            static_cast<double>(b.max_active_flows));
-      }
+  }
+  for (const auto& r : exp.run_all()) {
+    for (const auto& b : r.summary.bursts) {
+      groups[static_cast<std::size_t>(r.host)].flow_counts.add(
+          static_cast<double>(b.max_active_flows));
     }
   }
   const auto report = analysis::analyze_stability(groups);

@@ -42,6 +42,7 @@ int main() {
     cfg.trace_duration = trace;
     cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
     cfg.tcp.rtt.min_rto = 200_ms;
+    cfg.jobs = bench::jobs();
     core::FleetExperiment exp{cfg};
 
     analysis::Cdf q, m, r;

@@ -7,12 +7,15 @@
 #include <benchmark/benchmark.h>
 
 #include "core/fabric_experiment.h"
+#include "core/fleet_experiment.h"
 #include "core/incast_experiment.h"
 #include "net/topology.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "tcp/tcp_connection.h"
+#include "workload/service_profile.h"
 
 namespace {
 
@@ -126,6 +129,36 @@ void BM_FatTreeIncast(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_FatTreeIncast)->Unit(benchmark::kMillisecond);
+
+void BM_SweepRunnerScaling(benchmark::State& state) {
+  // Fleet-grid throughput by worker count: a 12-trace (host, snapshot)
+  // sweep run on state.range(0) SweepRunner threads. items/sec counts
+  // simulator events, so comparing the Arg(1) and Arg(4) rows gives the
+  // parallel speedup on this machine (results are byte-identical across
+  // rows; only wall time changes).
+  core::FleetConfig cfg;
+  cfg.profile = workload::service_by_name("messaging");
+  cfg.profile.max_flows = 40;
+  cfg.profile.body_median_flows = 20.0;
+  cfg.num_hosts = 4;
+  cfg.num_snapshots = 3;
+  cfg.trace_duration = sim::Time::milliseconds(100);
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  cfg.jobs = static_cast<int>(state.range(0));
+  const core::FleetExperiment exp{cfg};
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto results = exp.run_all();
+    events += exp.last_sweep().total_events;
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["jobs"] = static_cast<double>(cfg.jobs <= 0 ? 0 : cfg.jobs);
+}
+BENCHMARK(BM_SweepRunnerScaling)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace
 

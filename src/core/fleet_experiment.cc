@@ -10,13 +10,19 @@
 namespace incast::core {
 
 std::uint64_t FleetExperiment::trace_seed(int host, int snapshot) const noexcept {
-  std::uint64_t seed = config_.base_seed;
+  // Fold the service name into the base (different services must diverge
+  // even at the same base_seed), then splitmix64-derive by grid-cell index.
+  // The derivation depends only on (base, cell index), so a trace's seed is
+  // the same whether it runs alone, sequentially, or on any thread of a
+  // parallel sweep.
+  std::uint64_t base = config_.base_seed;
   for (const char c : config_.profile.name) {
-    seed = seed * 0x100000001b3ULL + static_cast<std::uint64_t>(c);
+    base = base * 0x100000001b3ULL + static_cast<std::uint64_t>(c);
   }
-  seed ^= static_cast<std::uint64_t>(host + 1) * 0x9E3779B97f4A7C15ULL;
-  seed ^= static_cast<std::uint64_t>(snapshot + 1) * 0xD1B54A32D192ED03ULL;
-  return seed;
+  const auto index = static_cast<std::uint64_t>(snapshot) *
+                         static_cast<std::uint64_t>(config_.num_hosts) +
+                     static_cast<std::uint64_t>(host);
+  return sim::derive_task_seed(base, index);
 }
 
 HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
@@ -105,17 +111,23 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   if (keep_bins_) {
     result.bins = sampler.bins();
   }
+  result.events_processed = sim.events_processed();
   return result;
 }
 
 std::vector<HostTraceResult> FleetExperiment::run_all() const {
-  std::vector<HostTraceResult> results;
-  results.reserve(static_cast<std::size_t>(config_.num_hosts * config_.num_snapshots));
-  for (int snapshot = 0; snapshot < config_.num_snapshots; ++snapshot) {
-    for (int host = 0; host < config_.num_hosts; ++host) {
-      results.push_back(run_host_trace(host, snapshot));
-    }
-  }
+  const auto n = static_cast<std::size_t>(config_.num_hosts) *
+                 static_cast<std::size_t>(config_.num_snapshots);
+  sim::SweepRunner runner{config_.jobs};
+  auto results = runner.run<HostTraceResult>(
+      n, [this](std::size_t index, sim::SweepRunner::TaskStats& stats) {
+        const int snapshot = static_cast<int>(index) / config_.num_hosts;
+        const int host = static_cast<int>(index) % config_.num_hosts;
+        HostTraceResult r = run_host_trace(host, snapshot);
+        stats.events = r.events_processed;
+        return r;
+      });
+  last_sweep_ = runner.last_run();
   return results;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/burst_detector.h"
+#include "sim/sweep.h"
 #include "tcp/tcp_config.h"
 #include "workload/rack_contention.h"
 #include "workload/service_profile.h"
@@ -57,6 +58,13 @@ struct FleetConfig {
 
   std::uint64_t base_seed{42};
 
+  // Worker threads for run_all(): each (host, snapshot) cell is an
+  // independent simulation, so the grid parallelizes freely. 1 = run
+  // inline (no pool); <= 0 = hardware_concurrency. Results are
+  // byte-identical for every value — seeds derive from (base_seed, cell
+  // index), never from scheduling.
+  int jobs{1};
+
   analysis::BurstDetectorConfig detector{};
 };
 
@@ -68,6 +76,9 @@ struct HostTraceResult {
   analysis::TraceBurstSummary summary;
   std::int64_t queue_drops{0};
   std::int64_t generated_bursts{0};  // ground truth from the generator
+  // Simulator events this trace dispatched — the determinism fingerprint
+  // (identical for a given (host, snapshot, seed) at any --jobs value).
+  std::uint64_t events_processed{0};
 
   // Per-1ms ToR queue watermarks (always retained; Figure 4a coarsens them
   // to production-style windows).
@@ -87,8 +98,15 @@ class FleetExperiment {
   // Runs one (host, snapshot) trace in an isolated simulation.
   [[nodiscard]] HostTraceResult run_host_trace(int host, int snapshot) const;
 
-  // Runs every (host, snapshot) pair.
+  // Runs every (host, snapshot) pair across config().jobs worker threads
+  // (sim::SweepRunner). Results are ordered snapshot-major — index
+  // snapshot * num_hosts + host — regardless of completion order.
   [[nodiscard]] std::vector<HostTraceResult> run_all() const;
+
+  // Wall-time/events stats of the most recent run_all() sweep.
+  [[nodiscard]] const sim::SweepRunner::RunStats& last_sweep() const noexcept {
+    return last_sweep_;
+  }
 
   [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
 
@@ -97,6 +115,9 @@ class FleetExperiment {
 
   FleetConfig config_;
   bool keep_bins_{false};
+  // Timing telemetry from run_all(); mutable because timing a const sweep
+  // does not change the experiment's observable results.
+  mutable sim::SweepRunner::RunStats last_sweep_{};
 };
 
 }  // namespace incast::core

@@ -90,4 +90,32 @@ void print_header(const std::string& experiment_id, const std::string& caption,
   std::fprintf(out, "================================================================\n");
 }
 
+void print_sweep_stats(const sim::SweepRunner::RunStats& stats, std::size_t max_task_rows,
+                       std::FILE* out) {
+  std::fprintf(out,
+               "sweep: %zu task(s) on %d job(s) in %.2f ms — %.0f events/s, %llu steal(s)\n",
+               stats.tasks.size(), stats.jobs, stats.wall_ms, stats.events_per_second(),
+               static_cast<unsigned long long>(stats.steals));
+  if (stats.tasks.empty()) return;
+  if (stats.tasks.size() <= max_task_rows) {
+    Table t{{"task", "worker", "wall", "events"}};
+    for (std::size_t i = 0; i < stats.tasks.size(); ++i) {
+      const auto& task = stats.tasks[i];
+      t.add_row({std::to_string(i), std::to_string(task.worker),
+                 fmt(task.wall_ms, 2) + " ms",
+                 std::to_string(task.events)});
+    }
+    t.print(out);
+  } else {
+    double min_ms = stats.tasks.front().wall_ms, max_ms = min_ms, sum_ms = 0.0;
+    for (const auto& task : stats.tasks) {
+      min_ms = std::min(min_ms, task.wall_ms);
+      max_ms = std::max(max_ms, task.wall_ms);
+      sum_ms += task.wall_ms;
+    }
+    std::fprintf(out, "per-task wall: min %.2f ms, mean %.2f ms, max %.2f ms\n", min_ms,
+                 sum_ms / static_cast<double>(stats.tasks.size()), max_ms);
+  }
+}
+
 }  // namespace incast::core

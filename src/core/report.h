@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/cdf.h"
+#include "sim/sweep.h"
 
 namespace incast::core {
 
@@ -52,6 +53,13 @@ void print_cdf_comparison(const std::string& title, const std::vector<std::strin
 // Prints a banner for a figure/table reproduction.
 void print_header(const std::string& experiment_id, const std::string& caption,
                   std::FILE* out = stdout);
+
+// Prints a parallel sweep's timing: jobs, wall time, aggregate events/sec,
+// work-stealing count, and per-task wall-time/events rows (collapsed to a
+// min/mean/max summary above `max_task_rows` tasks). Wall times are the one
+// deliberately non-deterministic output; everything they describe is not.
+void print_sweep_stats(const sim::SweepRunner::RunStats& stats,
+                       std::size_t max_task_rows = 32, std::FILE* out = stdout);
 
 }  // namespace incast::core
 

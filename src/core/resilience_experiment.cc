@@ -57,38 +57,47 @@ ResilienceReport run_resilience_experiment(const ResilienceConfig& config) {
   report.baseline = run_incast_experiment(baseline_cfg);
   report.baseline_mode = classify_mode(report.baseline);
 
+  // Materialize every sweep point's config up front (drop-rate axis first,
+  // then flaps — the historical report order), then run them as independent
+  // tasks. Each point deliberately reuses the base seed: the sweep isolates
+  // the effect of the fault profile, not seed variance.
+  std::vector<ResiliencePoint> skeletons;
   for (const double drop_rate : config.drop_rates) {
-    IncastExperimentConfig cfg = config.base;
-    cfg.faults = FaultProfile{};
-    cfg.faults.forward = config.fault_template;
-    cfg.faults.forward.drop_rate = drop_rate;
-
     ResiliencePoint point;
     point.drop_rate = drop_rate;
-    point.result = run_incast_experiment(cfg);
-    point.goodput_rel = relative_goodput(report.baseline, point.result);
-    point.mode = classify_mode(point.result);
-    report.points.push_back(std::move(point));
+    skeletons.push_back(point);
   }
-
   for (const sim::Time duration : config.flap_durations) {
-    IncastExperimentConfig cfg = config.base;
-    cfg.faults = FaultProfile{};
-    if (duration > sim::Time::zero()) {
-      cfg.faults.flaps.push_back(fault::FlapWindow{config.flap_at, duration});
-    }
-
     ResiliencePoint point;
     point.flap_duration = duration;
-    point.result = run_incast_experiment(cfg);
-    point.goodput_rel = relative_goodput(report.baseline, point.result);
-    point.recovery_after_flap_ms =
-        duration > sim::Time::zero()
-            ? recovery_after_flap_ms(point.result, config.flap_at + duration)
-            : 0.0;
-    point.mode = classify_mode(point.result);
-    report.points.push_back(std::move(point));
+    skeletons.push_back(point);
   }
+
+  sim::SweepRunner runner{config.jobs};
+  report.points = runner.run<ResiliencePoint>(
+      skeletons.size(), [&](std::size_t index, sim::SweepRunner::TaskStats& stats) {
+        ResiliencePoint point = skeletons[index];
+        IncastExperimentConfig cfg = config.base;
+        cfg.faults = FaultProfile{};
+        if (index < config.drop_rates.size()) {
+          cfg.faults.forward = config.fault_template;
+          cfg.faults.forward.drop_rate = point.drop_rate;
+        } else if (point.flap_duration > sim::Time::zero()) {
+          cfg.faults.flaps.push_back(
+              fault::FlapWindow{config.flap_at, point.flap_duration});
+        }
+
+        point.result = run_incast_experiment(cfg);
+        stats.events = point.result.events_processed;
+        point.goodput_rel = relative_goodput(report.baseline, point.result);
+        if (point.flap_duration > sim::Time::zero()) {
+          point.recovery_after_flap_ms = recovery_after_flap_ms(
+              point.result, config.flap_at + point.flap_duration);
+        }
+        point.mode = classify_mode(point.result);
+        return point;
+      });
+  report.sweep = runner.last_run();
 
   return report;
 }

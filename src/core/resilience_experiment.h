@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/incast_experiment.h"
+#include "sim/sweep.h"
 
 namespace incast::core {
 
@@ -54,6 +55,13 @@ struct ResilienceConfig {
   // blackholed (both directions) at flap_at for that duration.
   std::vector<sim::Time> flap_durations{};
   sim::Time flap_at{sim::Time::milliseconds(30)};
+
+  // Worker threads for the sweep points (sim::SweepRunner). Every point is
+  // an independent simulation sharing only the immutable base config, so
+  // the report is identical for any value. 1 = inline; <= 0 =
+  // hardware_concurrency. The baseline always runs first (points need it
+  // for goodput normalization).
+  int jobs{1};
 };
 
 struct ResiliencePoint {
@@ -74,6 +82,8 @@ struct ResilienceReport {
   IncastExperimentResult baseline;
   DctcpMode baseline_mode{DctcpMode::kSafe};
   std::vector<ResiliencePoint> points;
+  // Wall-time/events stats of the sweep over `points` (baseline excluded).
+  sim::SweepRunner::RunStats sweep;
 };
 
 // Runs baseline + every sweep point. Deterministic: the same config (seed

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/sweep.h"
+
 namespace incast::sim {
 namespace {
 
@@ -9,19 +11,14 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
 }
 
-std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  state += 0x9E3779B97f4A7C15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) noexcept {
+  // Seed expansion shares the exact splitmix64 used for sweep-task seed
+  // derivation (sim/sweep.h), so the whole determinism story rests on one
+  // mixer.
   std::uint64_t sm = seed;
-  for (auto& word : s_) word = splitmix64(sm);
+  for (auto& word : s_) word = splitmix64_next(sm);
 }
 
 std::uint64_t Rng::next_u64() noexcept {

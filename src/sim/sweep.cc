@@ -1,0 +1,146 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace incast::sim {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_task_seed(std::uint64_t base_seed, std::uint64_t task_index) noexcept {
+  // First round folds the index into the stream position, second round mixes
+  // the result; both go through the full splitmix64 finalizer so adjacent
+  // indices (the common case in a grid sweep) share no low-bit structure.
+  std::uint64_t state = base_seed;
+  state ^= splitmix64_next(task_index);
+  return splitmix64_next(state);
+}
+
+SweepRunner::SweepRunner(int jobs) noexcept : jobs_{jobs} {
+  if (jobs_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// One worker's task queue. The owner pops from the front (processing its
+// share in rough index order, which keeps memory hot for adjacent grid
+// cells); thieves steal from the back, minimizing contention with the
+// owner. A plain mutex per deque is ample here: tasks are whole
+// simulations (milliseconds to seconds each), so queue operations are
+// vanishingly rare next to task work.
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<std::size_t> tasks;
+};
+
+}  // namespace
+
+void SweepRunner::execute(std::size_t n,
+                          const std::function<void(std::size_t, TaskStats&)>& task) {
+  stats_ = RunStats{};
+  stats_.jobs = jobs_;
+  stats_.tasks.resize(n);
+  if (n == 0) return;
+
+  const auto sweep_start = Clock::now();
+
+  auto run_one = [&](std::size_t index, int worker) {
+    TaskStats& st = stats_.tasks[index];
+    st.worker = worker;
+    const auto t0 = Clock::now();
+    task(index, st);
+    st.wall_ms = ms_between(t0, Clock::now());
+  };
+
+  if (jobs_ == 1 || n == 1) {
+    // Inline sequential path: no threads, no synchronization — exactly the
+    // historical behavior of the callers this class replaced.
+    for (std::size_t i = 0; i < n; ++i) run_one(i, 0);
+  } else {
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(jobs_), n));
+    std::vector<WorkerDeque> deques(static_cast<std::size_t>(workers));
+    // Round-robin initial distribution: worker w starts with tasks
+    // w, w+workers, w+2*workers, ... so every worker begins with work and
+    // stealing only happens once load skews.
+    for (std::size_t i = 0; i < n; ++i) {
+      deques[i % static_cast<std::size_t>(workers)].tasks.push_back(i);
+    }
+
+    std::atomic<std::uint64_t> steals{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+
+    auto worker_loop = [&](int me) {
+      for (;;) {
+        std::size_t index = 0;
+        bool found = false;
+        {
+          // Own deque first, front pop.
+          WorkerDeque& mine = deques[static_cast<std::size_t>(me)];
+          std::lock_guard<std::mutex> lock(mine.mu);
+          if (!mine.tasks.empty()) {
+            index = mine.tasks.front();
+            mine.tasks.pop_front();
+            found = true;
+          }
+        }
+        if (!found) {
+          // Steal from the back of the first non-empty victim. Tasks never
+          // spawn tasks, so once every deque is empty there is no more work
+          // and the worker can retire.
+          for (int v = 1; v < workers && !found; ++v) {
+            WorkerDeque& victim = deques[static_cast<std::size_t>((me + v) % workers)];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.tasks.empty()) {
+              index = victim.tasks.back();
+              victim.tasks.pop_back();
+              found = true;
+              steals.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        if (!found) return;
+        try {
+          run_one(index, me);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int w = 1; w < workers; ++w) threads.emplace_back(worker_loop, w);
+    worker_loop(0);  // the calling thread is worker 0
+    for (auto& t : threads) t.join();
+
+    stats_.steals = steals.load(std::memory_order_relaxed);
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  stats_.wall_ms = ms_between(sweep_start, Clock::now());
+  for (const TaskStats& st : stats_.tasks) stats_.total_events += st.events;
+}
+
+}  // namespace incast::sim

@@ -1,0 +1,97 @@
+// SweepRunner: a work-stealing thread pool for embarrassingly parallel
+// simulation sweeps.
+//
+// Every Section 3/4 reproduction runs a grid of fully independent
+// simulations — (host, snapshot) fleet traces, fault-sweep points, service
+// catalogs. SweepRunner executes such a grid across hardware threads while
+// preserving the repo's determinism contract:
+//
+//  * seeds are derived per task as splitmix64(base_seed, task_index), never
+//    from thread identity or scheduling order (derive_task_seed below);
+//  * results land at their task index, not completion order, so the output
+//    vector is byte-identical regardless of thread count or interleaving;
+//  * each task owns its Simulator and all objects reachable from it — the
+//    single-writer-per-task invariant (docs/PARALLELISM.md) means workers
+//    share nothing but the immutable config and their own result slot.
+//
+// jobs == 1 runs every task inline on the calling thread with no pool at
+// all, reproducing the historical sequential behavior exactly.
+#ifndef INCAST_SIM_SWEEP_H_
+#define INCAST_SIM_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace incast::sim {
+
+// One splitmix64 step (the same mixer Rng seeds itself with); exposed so
+// seed-derivation code and tests agree on the exact constants.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+// Derives the seed for task `task_index` of a sweep with seed `base_seed`.
+// Two splitmix64 rounds over (base_seed, task_index): distinct indices give
+// distinct, well-mixed seeds (the first round makes even adjacent indices
+// uncorrelated), and the result depends on nothing but the two inputs — a
+// task's seed is identical whether the sweep runs on 1 thread or 16.
+[[nodiscard]] std::uint64_t derive_task_seed(std::uint64_t base_seed,
+                                             std::uint64_t task_index) noexcept;
+
+class SweepRunner {
+ public:
+  // Filled in by the runner for every task; tasks report their simulation
+  // event count through the reference they receive.
+  struct TaskStats {
+    double wall_ms{0.0};          // wall-clock execution time of the task
+    std::uint64_t events{0};      // simulator events the task dispatched
+    int worker{-1};               // worker thread that ran it (0 = caller)
+  };
+
+  struct RunStats {
+    int jobs{1};
+    double wall_ms{0.0};          // whole-sweep wall time
+    std::uint64_t total_events{0};
+    std::uint64_t steals{0};      // tasks a worker took from another's deque
+    std::vector<TaskStats> tasks; // indexed by task index
+
+    // Aggregate simulation throughput of the sweep.
+    [[nodiscard]] double events_per_second() const noexcept {
+      return wall_ms > 0.0 ? static_cast<double>(total_events) / (wall_ms / 1e3) : 0.0;
+    }
+  };
+
+  // jobs <= 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(int jobs = 0) noexcept;
+
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+  // Runs fn(index, stats) for every index in [0, n) and returns the results
+  // ordered by task index. fn must be callable concurrently from multiple
+  // threads for distinct indices and must not touch shared mutable state
+  // (give each task its own Simulator/Rng seeded via derive_task_seed).
+  // The first exception thrown by any task is rethrown here after all
+  // workers have drained.
+  template <typename Result, typename Fn>
+  std::vector<Result> run(std::size_t n, Fn&& fn) {
+    std::vector<Result> results(n);
+    execute(n, [&](std::size_t index, TaskStats& stats) {
+      results[index] = fn(index, stats);
+    });
+    return results;
+  }
+
+  // Stats for the most recent run(); valid until the next run() call.
+  [[nodiscard]] const RunStats& last_run() const noexcept { return stats_; }
+
+ private:
+  // Type-erased core: distributes indices over worker deques, runs the
+  // pool, times each task, and records stats_.
+  void execute(std::size_t n, const std::function<void(std::size_t, TaskStats&)>& task);
+
+  int jobs_;
+  RunStats stats_;
+};
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_SWEEP_H_

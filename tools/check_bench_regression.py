@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the simulator microbenchmarks.
+
+Compares a google-benchmark JSON run (``micro_simcore
+--benchmark_format=json``) against a checked-in baseline and fails when any
+benchmark's throughput regresses by more than the threshold.
+
+Throughput is taken from ``items_per_second`` when the benchmark reports it
+(our benches count simulator events or queue ops as items) and falls back to
+the inverse of ``real_time`` otherwise, so wall-clock-only benches are still
+gated.
+
+Usage:
+  check_bench_regression.py --baseline tools/bench_baseline.json \
+      --current BENCH_micro.json [--threshold 0.25]
+  check_bench_regression.py --baseline tools/bench_baseline.json \
+      --current BENCH_micro.json --update   # refresh the baseline in place
+
+Exit codes: 0 ok, 1 regression found, 2 bad input.
+
+Benchmarks present in only one of the two files are reported but do not
+fail the gate (new benches have no baseline yet; retired ones are not
+regressions). Absolute numbers differ across machines — the baseline should
+be refreshed (--update) from the CI runner class it gates.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load_throughputs(path):
+    """Returns {benchmark name: items/sec-equivalent throughput}."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if not name:
+            continue
+        items = bench.get("items_per_second")
+        if items is None:
+            real = bench.get("real_time")
+            items = 1e9 / real if real else None  # benches report nanoseconds
+        if items:
+            # Best-of-N across repetitions: peak throughput is far less
+            # noisy than the mean on shared CI runners, and a genuine
+            # regression slows every repetition.
+            out[name] = max(out.get(name, 0.0), float(items))
+    if not out:
+        print(f"error: no benchmarks found in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional slowdown (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current run and exit")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
+
+    baseline = load_throughputs(args.baseline)
+    current = load_throughputs(args.current)
+
+    regressions = []
+    print(f"{'benchmark':<45} {'baseline':>14} {'current':>14} {'ratio':>7}")
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"{name:<45} {baseline[name]:>14.3g} {'(missing)':>14}")
+            continue
+        ratio = current[name] / baseline[name]
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<45} {baseline[name]:>14.3g} {current[name]:>14.3g} "
+              f"{ratio:>6.2f}x{flag}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<45} {'(no baseline)':>14} {current[name]:>14.3g}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x of baseline "
+                  f"({(1 - ratio):.0%} slower)", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
+          f"({len(baseline)} gated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@
 //                     [--flap-at 30ms] [--corrupt-rate 0] [--dup-rate 0]
 //                     [--reorder-rate 0] [--reorder-delay 50us]
 //                     [--ge-p 0] [--ge-r 0.1] [--ge-loss-bad 1] [--ge-loss-good 0]
+//                     [--jobs N]
 //       Runs the cyclic incast under injected link faults: a fault-free
 //       baseline plus one run per sweep point, reporting goodput
 //       degradation, loss attribution (injected vs congestion), recovery
@@ -39,9 +40,15 @@
 //
 //   incast_sim fleet [--service aggregator] [--hosts 2] [--snapshots 1]
 //                    [--trace 1s] [--contention none|modeled|neighbor]
-//                    [--export-csv trace.csv] [--seed 42]
+//                    [--export-csv trace.csv] [--seed 42] [--jobs N]
 //       Runs Section 3 production-like traces and prints per-burst
 //       statistics; optionally exports the first host's Millisampler bins.
+//
+//   --jobs N (fleet, faults) runs the independent simulations of a sweep on
+//   N worker threads (work-stealing; default: all hardware threads). Seeds
+//   derive from (base seed, task index), so any N — including --jobs 1,
+//   which reproduces the historical sequential behavior — yields
+//   byte-identical results.
 //
 //   incast_sim trace --input trace.csv [--line-rate 10Gbps]
 //       Runs the burst detector on a previously exported trace.
@@ -219,6 +226,7 @@ int run_faults(core::CliArgs& args) {
   cfg.fault_template.ge_bad_to_good = args.double_or("ge-r", 0.1, 0.0, 1.0);
   cfg.fault_template.ge_drop_bad = args.double_or("ge-loss-bad", 1.0, 0.0, 1.0);
   cfg.fault_template.ge_drop_good = args.double_or("ge-loss-good", 0.0, 0.0, 1.0);
+  cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
   if (const int rc = finish(args); rc != 0) return rc;
 
   std::printf("faults: %d-flow %s incast, baseline + %zu fault point(s) (seed %llu)\n",
@@ -260,6 +268,8 @@ int run_faults(core::CliArgs& args) {
       break;
     }
   }
+  std::printf("\n");
+  core::print_sweep_stats(report.sweep);
   return 0;
 }
 
@@ -440,6 +450,7 @@ int run_fleet(core::CliArgs& args) {
     return 2;
   }
   const std::string csv_path = args.get_or("export-csv", "");
+  cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
   if (const int rc = finish(args); rc != 0) return rc;
 
   std::printf("fleet: %d host(s) x %d snapshot(s) of '%s', %s traces\n", cfg.num_hosts,
@@ -448,30 +459,30 @@ int run_fleet(core::CliArgs& args) {
   core::FleetExperiment exp{cfg};
   exp.set_keep_bins(!csv_path.empty());
 
+  // The grid runs across cfg.jobs workers; results come back ordered by
+  // (snapshot, host) index, so the aggregation below — and the exported CSV
+  // of trace (host 0, snapshot 0) — is byte-identical at any --jobs value.
+  const auto results = exp.run_all();
+
   analysis::Cdf freq, dur, flows, marked, retx;
   double util = 0.0;
   std::int64_t drops = 0;
-  bool exported = false;
-  for (int s = 0; s < cfg.num_snapshots; ++s) {
-    for (int h = 0; h < cfg.num_hosts; ++h) {
-      const auto r = exp.run_host_trace(h, s);
-      util += r.avg_utilization;
-      drops += r.queue_drops;
-      freq.add(r.summary.bursts_per_second());
-      for (const auto& b : r.summary.bursts) {
-        dur.add(static_cast<double>(b.num_bins));
-        flows.add(static_cast<double>(b.max_active_flows));
-        marked.add(b.marked_fraction() * 100);
-        retx.add(b.retx_fraction() * 100);
-      }
-      if (!exported && !csv_path.empty()) {
-        if (telemetry::write_bins_csv_file(r.bins, csv_path)) {
-          std::printf("exported host 0 trace to %s\n", csv_path.c_str());
-        } else {
-          std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
-        }
-        exported = true;
-      }
+  for (const auto& r : results) {
+    util += r.avg_utilization;
+    drops += r.queue_drops;
+    freq.add(r.summary.bursts_per_second());
+    for (const auto& b : r.summary.bursts) {
+      dur.add(static_cast<double>(b.num_bins));
+      flows.add(static_cast<double>(b.max_active_flows));
+      marked.add(b.marked_fraction() * 100);
+      retx.add(b.retx_fraction() * 100);
+    }
+  }
+  if (!csv_path.empty() && !results.empty()) {
+    if (telemetry::write_bins_csv_file(results.front().bins, csv_path)) {
+      std::printf("exported host 0 trace to %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
     }
   }
 
@@ -489,6 +500,8 @@ int run_fleet(core::CliArgs& args) {
   t.add_row({"worst retx fraction", core::fmt(retx.max(), 2) + " %"});
   t.add_row({"ToR drops", std::to_string(drops)});
   t.print();
+  std::printf("\n");
+  core::print_sweep_stats(exp.last_sweep());
   return 0;
 }
 
