@@ -6,10 +6,13 @@
 // dumbbell with a real TCP flow.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/fabric_experiment.h"
 #include "core/fleet_experiment.h"
 #include "core/incast_experiment.h"
 #include "net/topology.h"
+#include "obs/hub.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -104,6 +107,33 @@ void BM_IncastBurst100Flows(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncastBurst100Flows)->Unit(benchmark::kMillisecond);
+
+void BM_TracerOverhead(benchmark::State& state, bool traced) {
+  // The same 100-flow incast as BM_IncastBurst100Flows, with the
+  // observability hub detached (off) or fully tracing (on). The off row
+  // must match BM_IncastBurst100Flows: a null hub pointer is the entire
+  // disabled path, so observability stays free when unused. The on/off
+  // ratio is the honest price of full tracing.
+  for (auto _ : state) {
+    std::unique_ptr<obs::Hub> hub;
+    if (traced) {
+      hub = std::make_unique<obs::Hub>();
+      hub->tracer().set_enabled(true);
+    }
+    core::IncastExperimentConfig cfg;
+    cfg.num_flows = 100;
+    cfg.burst_duration = 2_ms;
+    cfg.num_bursts = 2;
+    cfg.discard_bursts = 1;
+    cfg.queue_sample_every = 100_us;
+    cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+    cfg.hub = hub.get();
+    benchmark::DoNotOptimize(core::run_incast_experiment(cfg));
+    if (hub) benchmark::DoNotOptimize(hub->tracer().events().size());
+  }
+}
+BENCHMARK_CAPTURE(BM_TracerOverhead, off, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TracerOverhead, on, true)->Unit(benchmark::kMillisecond);
 
 void BM_FatTreeIncast(benchmark::State& state) {
   // Events/second through a small two-tier fat-tree (2x2 leaves x 8 hosts,

@@ -1,0 +1,63 @@
+#include "core/experiment_obs.h"
+
+#include <cstring>
+
+#include "fault/fault_injector.h"
+#include "net/queue.h"
+#include "obs/hub.h"
+
+namespace incast::core {
+
+ExperimentObserver::ExperimentObserver(obs::Hub* hub)
+    : hub_{hub != nullptr && hub->enabled() ? hub : nullptr} {}
+
+ExperimentObserver::~ExperimentObserver() {
+  if (hub_ == nullptr) return;
+  hub_->metrics().unregister_prefix("net.queue.");
+  hub_->metrics().unregister_prefix("fault.injected.");
+  hub_->metrics().unregister_prefix("core.incast.");
+}
+
+void ExperimentObserver::watch_queue(const std::string& link_name,
+                                     const net::DropTailQueue& queue) {
+  if (hub_ == nullptr) return;
+  const std::string prefix = "net.queue." + link_name + ".";
+  auto& m = hub_->metrics();
+  m.register_counter(prefix + "drops", [&queue] { return queue.stats().dropped_packets; });
+  m.register_counter(prefix + "ecn_marks",
+                     [&queue] { return queue.stats().ecn_marked_packets; });
+  m.register_counter(prefix + "enqueued",
+                     [&queue] { return queue.stats().enqueued_packets; });
+}
+
+void ExperimentObserver::watch_faults(const fault::FaultInjector& injector) {
+  if (hub_ == nullptr) return;
+  auto& m = hub_->metrics();
+  m.register_counter("fault.injected.drops",
+                     [&injector] { return injector.total().injected_drops(); });
+  m.register_counter("fault.injected.corrupt_bytes",
+                     [&injector] { return injector.total().corrupted_bytes; });
+  m.register_counter("fault.injected.corruptions",
+                     [&injector] { return injector.total().corrupted; });
+  m.register_counter("fault.injected.duplicates",
+                     [&injector] { return injector.total().duplicated; });
+  m.register_counter("fault.injected.reorders",
+                     [&injector] { return injector.total().reordered; });
+}
+
+void ExperimentObserver::finish(std::int64_t at_ns, const std::vector<double>& bct_ms,
+                                const char* mode) {
+  if (hub_ == nullptr) return;
+  if (!bct_ms.empty()) {
+    obs::Histogram& h = hub_->metrics().register_histogram(
+        "core.incast.bct_ms",
+        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
+    for (const double v : bct_ms) h.record(v);
+  }
+  if (mode != nullptr && std::strcmp(mode, "safe") != 0) {
+    hub_->notify_mode_shift(at_ns, "safe", mode);
+  }
+  hub_->capture_metrics(at_ns);
+}
+
+}  // namespace incast::core

@@ -1,0 +1,66 @@
+// ExperimentObserver: the experiment-scope half of the observability spine.
+//
+// Components (senders, queues, fault hooks) register their own metrics when
+// a hub is attached to the simulator; this class adds the run-level pieces
+// an experiment owns — bottleneck-queue counters under the LinkDirectory
+// link name, fault-injection totals, the burst-completion-time histogram,
+// and the end-of-run metrics snapshot — and unregisters them on scope exit
+// so a hub can be reused across runs.
+//
+// Constructed from the simulator's hub pointer; with no hub (or a disabled
+// one) every method is a no-op and the experiment runs exactly as before.
+#ifndef INCAST_CORE_EXPERIMENT_OBS_H_
+#define INCAST_CORE_EXPERIMENT_OBS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace incast::net {
+class DropTailQueue;
+}  // namespace incast::net
+
+namespace incast::fault {
+class FaultInjector;
+}  // namespace incast::fault
+
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
+
+namespace incast::core {
+
+class ExperimentObserver {
+ public:
+  explicit ExperimentObserver(obs::Hub* hub);
+  ~ExperimentObserver();
+
+  ExperimentObserver(const ExperimentObserver&) = delete;
+  ExperimentObserver& operator=(const ExperimentObserver&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return hub_ != nullptr; }
+  [[nodiscard]] obs::Hub* hub() const noexcept { return hub_; }
+
+  // Registers net.queue.<link_name>.{drops,ecn_marks,enqueued} pull sources
+  // reading `queue`'s cumulative stats. The queue must outlive this object.
+  void watch_queue(const std::string& link_name, const net::DropTailQueue& queue);
+
+  // Registers fault.injected.{drops,corrupt_bytes,corruptions,duplicates,
+  // reorders} totals across every installed link fault. The injector must
+  // outlive this object.
+  void watch_faults(const fault::FaultInjector& injector);
+
+  // End-of-run bookkeeping, called while every metric source is still
+  // alive: records measured burst completion times into the
+  // core.incast.bct_ms histogram (skipped when empty), reports a non-"safe"
+  // goodput-mode classification as a mode shift (which can trip the flight
+  // recorder), and snapshots the whole registry into the hub.
+  void finish(std::int64_t at_ns, const std::vector<double>& bct_ms, const char* mode);
+
+ private:
+  obs::Hub* hub_{nullptr};
+};
+
+}  // namespace incast::core
+
+#endif  // INCAST_CORE_EXPERIMENT_OBS_H_

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "core/experiment_obs.h"
 #include "fault/fault_injector.h"
+#include "obs/hub.h"
 #include "telemetry/port_sampler.h"
 
 namespace incast::core {
@@ -103,6 +106,9 @@ std::vector<int> place_senders(const fabric::FatTreeConfig& fab, int num_flows,
 FabricIncastExperimentResult run_fabric_incast_experiment(
     const FabricIncastExperimentConfig& config) {
   sim::Simulator sim;
+  // Attach the hub before any component is built: senders cache the hub
+  // pointer in their constructors.
+  if (config.hub != nullptr) sim.set_hub(config.hub);
   fabric::FatTree fabric{sim, config.fabric};
 
   const int receiver_leaf = fabric.num_leaves() - 1;
@@ -177,9 +183,20 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   }
   for (auto& m : hop_monitors) m->start(config.max_sim_time);
 
+  // Experiment-scope observability on the bottleneck hop (the receiver's
+  // leaf downlink): trace label, queue metrics, fault totals.
+  ExperimentObserver observer{INCAST_OBS_HUB(sim)};
+  const std::string bottleneck_link = fabric.downlink_name(receiver_host);
+  if (observer.active()) {
+    fabric.link(bottleneck_link).set_trace_label(bottleneck_link);
+    observer.watch_queue(bottleneck_link, fabric.downlink_queue(receiver_host));
+    if (injector) observer.watch_faults(*injector);
+  }
+
   telemetry::QueueMonitor::Config qcfg;
   qcfg.sample_every = config.queue_sample_every;
   qcfg.watermark_window = sim::Time::milliseconds(1);
+  if (observer.active()) qcfg.trace_label = bottleneck_link;
   telemetry::QueueMonitor qmon{sim, fabric.downlink_queue(receiver_host), qcfg};
   qmon.start(config.max_sim_time);
 
@@ -212,6 +229,7 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   result.receiver_host = receiver_host;
   result.queue_series = qmon.samples();
   result.events_processed = sim.events_processed();
+  result.events_by_category = sim.events_by_category();
   if (injector) result.injected_drops = injector->total().injected_drops();
 
   const TcpCounters tcp_end = sum_counters(senders);
@@ -292,6 +310,15 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   }
   for (net::Switch* sw : fabric.switches()) {
     result.ecmp_path_changes += sw->ecmp_path_changes();
+  }
+
+  // Close out the observed run while every metric source is still alive.
+  if (observer.active()) {
+    std::vector<double> bct_ms;
+    for (std::size_t b = first_measured; b < result.bursts.size(); ++b) {
+      bct_ms.push_back(result.bursts[b].completion_time().ms());
+    }
+    observer.finish(sim.now().ns(), bct_ms, to_string(result.mode));
   }
 
   return result;

@@ -57,6 +57,10 @@ struct FabricIncastExperimentConfig {
   // Faults on arbitrary named fabric links (LinkDirectory names).
   std::vector<NamedLinkFault> link_faults{};
 
+  // Borrowed observability hub; nullptr = unobserved run (see
+  // IncastExperimentConfig::hub).
+  obs::Hub* hub{nullptr};
+
   std::uint64_t seed{1};
 };
 
@@ -121,6 +125,7 @@ struct FabricIncastExperimentResult {
   std::int64_t ecmp_path_changes{0};
 
   std::uint64_t events_processed{0};
+  sim::EventCategoryCounts events_by_category{};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

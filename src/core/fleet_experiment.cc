@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
+#include "core/experiment_obs.h"
 #include "net/topology.h"
+#include "obs/hub.h"
 #include "telemetry/queue_monitor.h"
 #include "workload/fleet_traffic.h"
 
@@ -27,6 +30,11 @@ std::uint64_t FleetExperiment::trace_seed(int host, int snapshot) const noexcept
 
 HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   sim::Simulator sim;
+  // The hub observes exactly one deterministic cell of the sweep grid, so
+  // trace/metrics output is independent of --jobs. Attached before any
+  // component is built (senders cache the hub pointer in their ctors).
+  if (config_.hub != nullptr && host == 0 && snapshot == 0) sim.set_hub(config_.hub);
+  if (config_.profile_event_loop) sim.set_profiling(true);
   const workload::ServiceProfile& profile = config_.profile;
 
   const bool neighbor = config_.contention_mode == FleetConfig::ContentionMode::kNeighbor;
@@ -58,9 +66,17 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   telemetry::Millisampler sampler{{sim::Time::milliseconds(1), config_.nic_rate}};
   dumbbell.receiver(0).add_ingress_tap(&sampler);
 
+  ExperimentObserver observer{INCAST_OBS_HUB(sim)};
+  const std::string bottleneck_link = "tor_r->" + dumbbell.receiver(0).name();
+  if (observer.active()) {
+    dumbbell.link(bottleneck_link).set_trace_label(bottleneck_link);
+    observer.watch_queue(bottleneck_link, dumbbell.bottleneck_queue());
+  }
+
   telemetry::QueueMonitor::Config qcfg;
   qcfg.sample_every = sim::Time::zero();
   qcfg.watermark_window = sim::Time::milliseconds(1);
+  if (observer.active()) qcfg.trace_label = bottleneck_link;
   telemetry::QueueMonitor qmon{sim, dumbbell.bottleneck_queue(), qcfg};
 
   // Rack-level contention: either the cheap modeled pool pressure, or a
@@ -112,6 +128,11 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
     result.bins = sampler.bins();
   }
   result.events_processed = sim.events_processed();
+  result.events_by_category = sim.events_by_category();
+  result.wall_ns_by_category = sim.wall_ns_by_category();
+
+  // Snapshot the registry while the traffic generator's senders are alive.
+  if (observer.active()) observer.finish(sim.now().ns(), {}, "safe");
   return result;
 }
 
@@ -125,6 +146,7 @@ std::vector<HostTraceResult> FleetExperiment::run_all() const {
         const int host = static_cast<int>(index) % config_.num_hosts;
         HostTraceResult r = run_host_trace(host, snapshot);
         stats.events = r.events_processed;
+        stats.events_by_category = r.events_by_category;
         return r;
       });
   last_sweep_ = runner.last_run();

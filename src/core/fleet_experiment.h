@@ -11,14 +11,20 @@
 #ifndef INCAST_CORE_FLEET_EXPERIMENT_H_
 #define INCAST_CORE_FLEET_EXPERIMENT_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "analysis/burst_detector.h"
+#include "sim/event_category.h"
 #include "sim/sweep.h"
 #include "tcp/tcp_config.h"
 #include "workload/rack_contention.h"
 #include "workload/service_profile.h"
+
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
 
 namespace incast::core {
 
@@ -66,6 +72,16 @@ struct FleetConfig {
   int jobs{1};
 
   analysis::BurstDetectorConfig detector{};
+
+  // Borrowed observability hub. A fleet sweep runs many independent
+  // simulations, so the hub is attached to exactly one deterministic cell —
+  // (host 0, snapshot 0) — keeping trace and metrics output identical for
+  // every --jobs value. nullptr = unobserved.
+  obs::Hub* hub{nullptr};
+  // Enable the event-loop wall-time self-profiler in every cell's
+  // simulator. Costs two steady_clock reads per event; results (the
+  // category histogram) land in HostTraceResult::wall_ns_by_category.
+  bool profile_event_loop{false};
 };
 
 struct HostTraceResult {
@@ -77,8 +93,13 @@ struct HostTraceResult {
   std::int64_t queue_drops{0};
   std::int64_t generated_bursts{0};  // ground truth from the generator
   // Simulator events this trace dispatched — the determinism fingerprint
-  // (identical for a given (host, snapshot, seed) at any --jobs value).
+  // (identical for a given (host, snapshot, seed) at any --jobs value) —
+  // plus the per-category breakdown and, when profile_event_loop is set,
+  // wall time spent in callbacks by category (wall time is timing
+  // telemetry: never part of the deterministic results).
   std::uint64_t events_processed{0};
+  sim::EventCategoryCounts events_by_category{};
+  std::array<double, sim::kNumEventCategories> wall_ns_by_category{};
 
   // Per-1ms ToR queue watermarks (always retained; Figure 4a coarsens them
   // to production-style windows).

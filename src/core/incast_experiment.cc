@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+
+#include "core/experiment_obs.h"
+#include "core/resilience_experiment.h"
+#include "obs/hub.h"
 
 namespace incast::core {
 
@@ -40,6 +45,9 @@ QueueCounters queue_counters(const net::DropTailQueue& q) {
 
 IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& config) {
   sim::Simulator sim;
+  // Attach the hub before any component is built: senders cache the hub
+  // pointer in their constructors.
+  if (config.hub != nullptr) sim.set_hub(config.hub);
 
   net::DumbbellConfig topo = config.topology;
   topo.num_senders = config.num_flows;
@@ -78,9 +86,20 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
     }
   }
 
+  // Experiment-scope observability: label the bottleneck link for tracing
+  // and expose its queue (plus fault totals) in the metrics registry.
+  ExperimentObserver observer{INCAST_OBS_HUB(sim)};
+  const std::string bottleneck_link = "tor_r->" + dumbbell.receiver(0).name();
+  if (observer.active()) {
+    dumbbell.link(bottleneck_link).set_trace_label(bottleneck_link);
+    observer.watch_queue(bottleneck_link, dumbbell.bottleneck_queue());
+    if (injector) observer.watch_faults(*injector);
+  }
+
   telemetry::QueueMonitor::Config qcfg;
   qcfg.sample_every = config.queue_sample_every;
   qcfg.watermark_window = sim::Time::milliseconds(1);
+  if (observer.active()) qcfg.trace_label = bottleneck_link;
   telemetry::QueueMonitor qmon{sim, dumbbell.bottleneck_queue(), qcfg};
   if (injector) {
     qmon.set_injected_drop_source(
@@ -141,6 +160,7 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   result.congestion_drops_by_window = qmon.drops_at_window_end();
   result.injected_drops_by_window = qmon.injected_drops_at_window_end();
   result.events_processed = sim.events_processed();
+  result.events_by_category = sim.events_by_category();
 
   if (injector) {
     const fault::FaultCounters faults = injector->total();
@@ -236,6 +256,16 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   }
 
   if (inflight) result.inflight = inflight->snapshots();
+
+  // Close out the observed run while every metric source is still alive:
+  // BCT histogram, mode classification, final registry snapshot.
+  if (observer.active()) {
+    std::vector<double> bct_ms;
+    for (std::size_t b = first_measured; b < bursts.size(); ++b) {
+      bct_ms.push_back(bursts[b].completion_time().ms());
+    }
+    observer.finish(sim.now().ns(), bct_ms, to_string(classify_mode(result)));
+  }
 
   return result;
 }

@@ -16,10 +16,15 @@
 
 #include "fault/fault_injector.h"
 #include "net/topology.h"
+#include "sim/event_category.h"
 #include "tcp/tcp_config.h"
 #include "telemetry/inflight_sampler.h"
 #include "telemetry/queue_monitor.h"
 #include "workload/cyclic_incast.h"
+
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
 
 namespace incast::core {
 
@@ -74,6 +79,13 @@ struct IncastExperimentConfig {
 
   // Link faults on the inter-ToR link; disabled by default (strict no-op).
   FaultProfile faults{};
+
+  // Borrowed observability hub. When set, the run attaches it to the
+  // simulator before any component is built (senders and queues register
+  // metrics and trace into it), labels the bottleneck link for tracing, and
+  // snapshots the metrics registry at end of run. nullptr = unobserved run,
+  // byte-identical to the pre-observability behavior.
+  obs::Hub* hub{nullptr};
 
   std::uint64_t seed{1};
 };
@@ -131,8 +143,10 @@ struct IncastExperimentResult {
   std::vector<std::int64_t> injected_drops_by_window;
 
   // Total events the simulator dispatched — the determinism fingerprint
-  // (two runs with the same seed must agree exactly).
+  // (two runs with the same seed must agree exactly) — and its breakdown by
+  // event category (always collected; the self-profiler's cheap half).
   std::uint64_t events_processed{0};
+  sim::EventCategoryCounts events_by_category{};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

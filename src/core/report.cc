@@ -96,6 +96,17 @@ void print_sweep_stats(const sim::SweepRunner::RunStats& stats, std::size_t max_
                "sweep: %zu task(s) on %d job(s) in %.2f ms — %.0f events/s, %llu steal(s)\n",
                stats.tasks.size(), stats.jobs, stats.wall_ms, stats.events_per_second(),
                static_cast<unsigned long long>(stats.steals));
+  std::uint64_t categorized = 0;
+  for (const std::uint64_t n : stats.events_by_category) categorized += n;
+  if (categorized > 0) {
+    std::fprintf(out, "events by category:");
+    for (std::size_t c = 0; c < sim::kNumEventCategories; ++c) {
+      if (stats.events_by_category[c] == 0) continue;
+      std::fprintf(out, " %s=%llu", sim::to_string(static_cast<sim::EventCategory>(c)),
+                   static_cast<unsigned long long>(stats.events_by_category[c]));
+    }
+    std::fprintf(out, "\n");
+  }
   if (stats.tasks.empty()) return;
   if (stats.tasks.size() <= max_task_rows) {
     Table t{{"task", "worker", "wall", "events"}};

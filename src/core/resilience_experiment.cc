@@ -79,6 +79,10 @@ ResilienceReport run_resilience_experiment(const ResilienceConfig& config) {
         ResiliencePoint point = skeletons[index];
         IncastExperimentConfig cfg = config.base;
         cfg.faults = FaultProfile{};
+        // Only the baseline is observed: sweep points run concurrently and
+        // may not share the (single-threaded) hub; nulling it also keeps
+        // the report identical for every jobs value.
+        cfg.hub = nullptr;
         if (index < config.drop_rates.size()) {
           cfg.faults.forward = config.fault_template;
           cfg.faults.forward.drop_rate = point.drop_rate;
@@ -89,6 +93,7 @@ ResilienceReport run_resilience_experiment(const ResilienceConfig& config) {
 
         point.result = run_incast_experiment(cfg);
         stats.events = point.result.events_processed;
+        stats.events_by_category = point.result.events_by_category;
         point.goodput_rel = relative_goodput(report.baseline, point.result);
         if (point.flap_duration > sim::Time::zero()) {
           point.recovery_after_flap_ms = recovery_after_flap_ms(

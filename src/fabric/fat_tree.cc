@@ -215,6 +215,14 @@ net::DropTailQueue& FatTree::downlink_queue(int host_index) {
   return leaf(gl).port(port).queue();
 }
 
+std::string FatTree::downlink_name(int host_index) const {
+  const int gl = leaf_of_host(host_index);
+  const int p = pod_of_leaf(gl);
+  const int l = gl % config_.leaves_per_pod;
+  const int slot = host_index % config_.hosts_per_leaf;
+  return leaf_node_name(p, l) + "->" + host_node_name(p, l, slot);
+}
+
 std::vector<net::Port*> FatTree::leaf_uplink_ports(int global_leaf) {
   std::vector<net::Port*> out;
   for (const std::size_t idx : leaf_uplink_port_indices(global_leaf)) {

@@ -118,6 +118,9 @@ class FatTree : public net::LinkDirectory {
   // The leaf egress queue feeding host i's downlink — the incast bottleneck
   // when i is a receiver.
   [[nodiscard]] net::DropTailQueue& downlink_queue(int host);
+  // That link's LinkDirectory name, e.g. "p0.l1->p0.l1.h0" — the label
+  // telemetry and fault profiles use to address the bottleneck hop.
+  [[nodiscard]] std::string downlink_name(int host) const;
 
   // Uplink egress ports of one leaf, in spine/agg order (the ECMP group
   // member order). The parallel port indices align with the leaf switch's

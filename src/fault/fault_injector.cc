@@ -1,5 +1,9 @@
 #include "fault/fault_injector.h"
 
+#include <string>
+
+#include "obs/hub.h"
+
 namespace incast::fault {
 
 const char* to_string(FaultType t) noexcept {
@@ -15,6 +19,11 @@ const char* to_string(FaultType t) noexcept {
 }
 
 void LinkFault::record(sim::Time at, FaultType type, const net::Packet& p) {
+  if (hub_ != nullptr) {
+    hub_->instant(at.ns(), obs::TraceCategory::kFault,
+                  std::string("fault.") + to_string(type), obs::kFaultTid, "flow",
+                  p.tcp.flow_id, "retx", p.is_retransmit ? 1 : 0);
+  }
   if (!trace_enabled_) return;
   trace_.push_back(FaultEvent{
       .at = at,
@@ -64,6 +73,7 @@ net::LinkHook::Verdict LinkFault::on_transmit(const net::Packet& p, sim::Time no
 
   if (config_.corrupt_rate > 0.0 && rng_.bernoulli(config_.corrupt_rate)) {
     ++counters_.corrupted;
+    counters_.corrupted_bytes += p.size_bytes;
     record(now, FaultType::kCorrupt, p);
     v.corrupt = true;
   }
@@ -88,14 +98,17 @@ net::LinkHook::Verdict LinkFault::on_transmit(const net::Packet& p, sim::Time no
 LinkFault& FaultInjector::install(net::Port& port, const LinkFaultConfig& config) {
   links_.push_back(std::make_unique<LinkFault>(config, rng_.fork()));
   LinkFault& link = *links_.back();
+  obs::Hub* hub = INCAST_OBS_HUB(sim_);
+  if (hub != nullptr && hub->enabled()) link.set_hub(hub);
   port.set_link_hook(&link);
   return link;
 }
 
 void FaultInjector::schedule_flap(LinkFault& link, sim::Time down_at, sim::Time duration) {
   if (duration <= sim::Time::zero()) return;
-  sim_.schedule_at(down_at, [&link] { link.begin_flap(); });
-  sim_.schedule_at(down_at + duration, [&link] { link.end_flap(); });
+  sim_.schedule_at(down_at, [&link] { link.begin_flap(); }, sim::EventCategory::kFault);
+  sim_.schedule_at(down_at + duration, [&link] { link.end_flap(); },
+                   sim::EventCategory::kFault);
 }
 
 FaultCounters FaultInjector::total() const noexcept {
@@ -107,6 +120,7 @@ FaultCounters FaultInjector::total() const noexcept {
     sum.burst_drops += c.burst_drops;
     sum.flap_drops += c.flap_drops;
     sum.corrupted += c.corrupted;
+    sum.corrupted_bytes += c.corrupted_bytes;
     sum.duplicated += c.duplicated;
     sum.reordered += c.reordered;
   }

@@ -25,6 +25,10 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
+
 namespace incast::fault {
 
 // Per-link fault parameters. All rates are per-packet probabilities in
@@ -91,6 +95,7 @@ struct FaultCounters {
   std::int64_t burst_drops{0};
   std::int64_t flap_drops{0};
   std::int64_t corrupted{0};
+  std::int64_t corrupted_bytes{0};  // wire bytes of corrupted frames
   std::int64_t duplicated{0};
   std::int64_t reordered{0};
 
@@ -136,6 +141,10 @@ class LinkFault final : public net::LinkHook {
   void set_trace_enabled(bool enabled) noexcept { trace_enabled_ = enabled; }
   [[nodiscard]] const std::vector<FaultEvent>& trace() const noexcept { return trace_; }
 
+  // Observability: injected faults additionally become "fault.<type>"
+  // instants on the fault track. Set by FaultInjector::install().
+  void set_hub(obs::Hub* hub) noexcept { hub_ = hub; }
+
  private:
   void record(sim::Time at, FaultType type, const net::Packet& p);
 
@@ -144,6 +153,7 @@ class LinkFault final : public net::LinkHook {
   int down_windows_{0};
   bool ge_bad_{false};
   bool trace_enabled_{true};
+  obs::Hub* hub_{nullptr};
   FaultCounters counters_;
   std::vector<FaultEvent> trace_;
 };

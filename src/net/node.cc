@@ -3,12 +3,46 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/hub.h"
+
 namespace incast::net {
+
+void Port::set_trace_label(const std::string& label) {
+  obs::Hub* hub = INCAST_OBS_HUB(sim_);
+  if (hub == nullptr || !hub->enabled()) {
+    trace_hub_ = nullptr;
+    return;
+  }
+  trace_hub_ = hub;
+  drop_event_name_ = label + ".drop";
+  mark_event_name_ = label + ".ecn_mark";
+}
 
 void Port::send(Packet p) {
   assert(connected() && "port must be connected before sending");
+  if (trace_hub_ == nullptr) {
+    if (queue_.enqueue(std::move(p))) {
+      maybe_transmit();
+    }
+    return;
+  }
+
+  // Traced path: detect this enqueue's drop/ECN-mark outcome from the queue
+  // stats delta and emit an instant on the queue track.
+  const bool tracing = trace_hub_->tracing();
+  const std::int64_t marks_before = queue_.stats().ecn_marked_packets;
+  const FlowId flow = p.tcp.flow_id;
   if (queue_.enqueue(std::move(p))) {
+    if (tracing && queue_.stats().ecn_marked_packets > marks_before) {
+      trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
+                          mark_event_name_, obs::kQueueTid, "flow", flow, "qlen",
+                          queue_.packets());
+    }
     maybe_transmit();
+  } else if (tracing) {
+    trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
+                        drop_event_name_, obs::kQueueTid, "flow", flow, "qlen",
+                        queue_.packets());
   }
 }
 
@@ -35,7 +69,7 @@ void Port::maybe_transmit() {
     busy_ = false;
     deliver(std::move(p));
     maybe_transmit();
-  });
+  }, sim::EventCategory::kNet);
 }
 
 void Port::deliver(Packet p) {
@@ -55,15 +89,15 @@ void Port::deliver(Packet p) {
     Packet copy = p;
     sim_.schedule_in(delay, [this, p = std::move(p)]() mutable {
       peer_->receive(std::move(p), peer_in_port_);
-    });
+    }, sim::EventCategory::kNet);
     sim_.schedule_in(delay, [this, p = std::move(copy)]() mutable {
       peer_->receive(std::move(p), peer_in_port_);
-    });
+    }, sim::EventCategory::kNet);
     return;
   }
   sim_.schedule_in(delay, [this, p = std::move(p)]() mutable {
     peer_->receive(std::move(p), peer_in_port_);
-  });
+  }, sim::EventCategory::kNet);
 }
 
 void connect_duplex(Node& a, std::size_t ap, Node& b, std::size_t bp) {

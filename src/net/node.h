@@ -18,6 +18,10 @@
 #include "sim/simulator.h"
 #include "sim/units.h"
 
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
+
 namespace incast::net {
 
 class Node;
@@ -100,6 +104,12 @@ class Port {
   // Taps must outlive the port's traffic.
   void add_tx_tap(TxTap* tap) { tx_taps_.push_back(tap); }
 
+  // Names this port for the observability layer: drop and ECN-mark events
+  // are then emitted as "<label>.drop" / "<label>.ecn_mark" instants on the
+  // queue track. Only labeled ports trace — unlabeled ports keep the exact
+  // historical send() path. No-op when the simulator carries no hub.
+  void set_trace_label(const std::string& label);
+
  private:
   void maybe_transmit();
   // Consults the hook (if any) and schedules the packet's arrival at the
@@ -116,6 +126,9 @@ class Port {
   bool int_stamping_{false};
   LinkHook* hook_{nullptr};
   std::vector<TxTap*> tx_taps_;
+  obs::Hub* trace_hub_{nullptr};
+  std::string drop_event_name_;
+  std::string mark_event_name_;
 };
 
 class Node {

@@ -1,0 +1,158 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace incast::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_{std::move(upper_bounds)} {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be sorted ascending");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+}
+
+void MetricsRegistry::check_name(const std::string& name) const {
+  if (name.empty()) {
+    throw std::invalid_argument("metric name must not be empty");
+  }
+  for (const char ch : name) {
+    if (ch == '"' || ch == '\\' || static_cast<unsigned char>(ch) <= ' ') {
+      throw std::invalid_argument("metric name contains invalid character: " + name);
+    }
+  }
+  if (metrics_.count(name) != 0) {
+    throw std::invalid_argument("metric name already registered: " + name);
+  }
+}
+
+void MetricsRegistry::register_counter(std::string name, IntSource source) {
+  check_name(name);
+  Metric m;
+  m.kind = 'c';
+  m.counter = std::move(source);
+  metrics_.emplace(std::move(name), std::move(m));
+}
+
+void MetricsRegistry::register_gauge(std::string name, DoubleSource source) {
+  check_name(name);
+  Metric m;
+  m.kind = 'g';
+  m.gauge = std::move(source);
+  metrics_.emplace(std::move(name), std::move(m));
+}
+
+Histogram& MetricsRegistry::register_histogram(std::string name,
+                                               std::vector<double> upper_bounds) {
+  check_name(name);
+  Metric m;
+  m.kind = 'h';
+  m.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  Histogram& ref = *m.histogram;
+  metrics_.emplace(std::move(name), std::move(m));
+  return ref;
+}
+
+void MetricsRegistry::unregister(const std::string& name) { metrics_.erase(name); }
+
+std::size_t MetricsRegistry::unregister_prefix(const std::string& prefix) {
+  std::size_t removed = 0;
+  auto it = metrics_.lower_bound(prefix);
+  while (it != metrics_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = metrics_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  return metrics_.count(name) != 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot(std::int64_t at_ns) const {
+  Snapshot snap;
+  snap.at_ns = at_ns;
+  snap.entries.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {
+    Snapshot::Entry e;
+    e.name = name;
+    e.kind = metric.kind;
+    switch (metric.kind) {
+      case 'c': e.counter = metric.counter(); break;
+      case 'g': e.gauge = metric.gauge(); break;
+      case 'h':
+        e.hist_count = metric.histogram->count();
+        e.hist_sum = metric.histogram->sum();
+        e.hist_bounds = metric.histogram->bounds();
+        e.hist_buckets = metric.histogram->bucket_counts();
+        break;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+namespace {
+
+// Deterministic double rendering for the JSON export.
+void write_double(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::Snapshot::write_json(std::ostream& out) const {
+  out << "{\n  \"at_ns\": " << at_ns << ",\n  \"metrics\": {";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << e.name << "\": ";
+    switch (e.kind) {
+      case 'c':
+        out << e.counter;
+        break;
+      case 'g':
+        write_double(out, e.gauge);
+        break;
+      case 'h': {
+        out << "{\"count\": " << e.hist_count << ", \"sum\": ";
+        write_double(out, e.hist_sum);
+        out << ", \"bounds\": [";
+        for (std::size_t i = 0; i < e.hist_bounds.size(); ++i) {
+          if (i != 0) out << ", ";
+          write_double(out, e.hist_bounds[i]);
+        }
+        out << "], \"buckets\": [";
+        for (std::size_t i = 0; i < e.hist_buckets.size(); ++i) {
+          if (i != 0) out << ", ";
+          out << e.hist_buckets[i];
+        }
+        out << "]}";
+        break;
+      }
+    }
+  }
+  out << "\n  }\n}\n";
+}
+
+std::string MetricsRegistry::Snapshot::to_json() const {
+  std::ostringstream oss;
+  write_json(oss);
+  return oss.str();
+}
+
+}  // namespace incast::obs

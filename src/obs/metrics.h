@@ -1,0 +1,121 @@
+// Central metrics registry: hierarchically named counters, gauges and
+// histograms, registered by components at construction time and snapshot-able
+// at any simulation time.
+//
+// Counters and gauges are pull-model: a component registers a source
+// callback (e.g. `[this] { return stats_.timeouts; }`) and pays nothing on
+// its hot path — values are read only when snapshot() runs. Histograms are
+// push-model (record() per observation) because their per-sample state
+// cannot be reconstructed at snapshot time.
+//
+// Naming scheme (docs/OBSERVABILITY.md): dot-separated hierarchy, lowest
+// level owned by the registering component —
+//   tcp.sender.<flow>.rto_count
+//   net.queue.<link>.drops
+//   fault.injected.corrupt_bytes
+//
+// Registering a name twice throws std::invalid_argument: silent collisions
+// would let one component's metric shadow another's. Components that
+// register must unregister in their destructor (unregister_prefix() exists
+// for exactly that); a source callback left behind would dangle.
+//
+// The registry is an ordered map, so snapshots list entries in sorted name
+// order and the JSON export is byte-deterministic.
+#ifndef INCAST_OBS_METRICS_H_
+#define INCAST_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace incast::obs {
+
+// Fixed-bound histogram: counts per bucket, where bucket i holds values
+// <= upper_bounds[i] (plus an implicit +inf overflow bucket).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  // bucket_counts().size() == bounds().size() + 1 (last is overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_{0};
+  double sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  using IntSource = std::function<std::int64_t()>;
+  using DoubleSource = std::function<double()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // All three throw std::invalid_argument on an empty/invalid name or a
+  // name collision.
+  void register_counter(std::string name, IntSource source);
+  void register_gauge(std::string name, DoubleSource source);
+  Histogram& register_histogram(std::string name, std::vector<double> upper_bounds);
+
+  // Removes one metric; no-op if absent.
+  void unregister(const std::string& name);
+  // Removes every metric whose name starts with `prefix`; returns how many.
+  std::size_t unregister_prefix(const std::string& prefix);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+
+  // A point-in-time reading of every registered metric, sorted by name.
+  struct Snapshot {
+    struct Entry {
+      std::string name;
+      char kind{'c'};  // 'c' counter, 'g' gauge, 'h' histogram
+      std::int64_t counter{0};
+      double gauge{0.0};
+      std::uint64_t hist_count{0};
+      double hist_sum{0.0};
+      std::vector<double> hist_bounds;
+      std::vector<std::uint64_t> hist_buckets;
+    };
+
+    std::int64_t at_ns{0};  // sim time of the snapshot
+    std::vector<Entry> entries;
+
+    // Deterministic JSON: {"at_ns": ..., "metrics": {sorted name: value}}.
+    void write_json(std::ostream& out) const;
+    [[nodiscard]] std::string to_json() const;
+  };
+
+  [[nodiscard]] Snapshot snapshot(std::int64_t at_ns) const;
+
+ private:
+  struct Metric {
+    char kind{'c'};
+    IntSource counter;
+    DoubleSource gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  void check_name(const std::string& name) const;
+
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace incast::obs
+
+#endif  // INCAST_OBS_METRICS_H_

@@ -1,0 +1,204 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <tuple>
+#include <utility>
+
+namespace incast::obs {
+
+namespace {
+
+// All simulated activity lives in one logical process.
+constexpr int kPid = 1;
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out << buf;
+        } else {
+          out << ch;
+        }
+    }
+  }
+}
+
+// Fixed-format microsecond timestamp: determinism requires an exact,
+// locale-independent rendering, not ostream double formatting.
+void write_ts(std::ostream& out, std::int64_t ts_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ts_ns) / 1000.0);
+  out << buf;
+}
+
+void write_event(std::ostream& out, const TraceEvent& ev, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"name\":\"";
+  write_escaped(out, ev.name);
+  out << "\",\"cat\":\"" << to_string(ev.category) << "\",\"ph\":\""
+      << static_cast<char>(ev.phase) << "\",\"ts\":";
+  write_ts(out, ev.ts_ns);
+  out << ",\"pid\":" << kPid << ",\"tid\":" << ev.tid;
+  if (ev.phase == TraceEvent::Phase::kAsyncBegin ||
+      ev.phase == TraceEvent::Phase::kAsyncEnd) {
+    out << ",\"id\":\"" << ev.id << "\"";
+  }
+  if (ev.phase == TraceEvent::Phase::kInstant) {
+    out << ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  if (ev.arg1_key != nullptr || ev.arg2_key != nullptr) {
+    out << ",\"args\":{";
+    if (ev.arg1_key != nullptr) {
+      out << "\"" << ev.arg1_key << "\":" << ev.arg1_value;
+    }
+    if (ev.arg2_key != nullptr) {
+      if (ev.arg1_key != nullptr) out << ",";
+      out << "\"" << ev.arg2_key << "\":" << ev.arg2_value;
+    }
+    out << "}";
+  } else if (ev.phase == TraceEvent::Phase::kAsyncBegin ||
+             ev.phase == TraceEvent::Phase::kAsyncEnd) {
+    // Perfetto renders async spans more reliably with an args object.
+    out << ",\"args\":{}";
+  }
+  out << "}";
+}
+
+void write_metadata(std::ostream& out, const char* meta_name, std::uint32_t tid,
+                    const std::string& value, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"name\":\"" << meta_name << "\",\"ph\":\"M\",\"pid\":" << kPid
+      << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
+  write_escaped(out, value);
+  out << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::map<std::uint32_t, std::string>& thread_names,
+                        std::uint64_t dropped, std::ostream& out) {
+  using Phase = TraceEvent::Phase;
+
+  // Pass 1: find unmatched span ends (defensive — a balanced emitter never
+  // produces them) and spans left open at the end of the recording.
+  std::vector<bool> skip(events.size(), false);
+  std::map<std::uint32_t, std::vector<std::size_t>> open_sync;  // tid -> B stack
+  std::map<std::tuple<TraceCategory, std::string, std::uint64_t>, std::vector<std::size_t>>
+      open_async;
+  std::int64_t end_ts = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (ev.ts_ns > end_ts) end_ts = ev.ts_ns;
+    switch (ev.phase) {
+      case Phase::kBegin:
+        open_sync[ev.tid].push_back(i);
+        break;
+      case Phase::kEnd: {
+        auto& stack = open_sync[ev.tid];
+        if (stack.empty()) {
+          skip[i] = true;
+        } else {
+          stack.pop_back();
+        }
+        break;
+      }
+      case Phase::kAsyncBegin:
+        open_async[{ev.category, ev.name, ev.id}].push_back(i);
+        break;
+      case Phase::kAsyncEnd: {
+        auto& stack = open_async[{ev.category, ev.name, ev.id}];
+        if (stack.empty()) {
+          skip[i] = true;
+        } else {
+          stack.pop_back();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  out << "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"clock\": \"sim-ns\","
+      << " \"dropped_events\": \"" << dropped << "\"},\n\"traceEvents\": [\n";
+
+  bool first = true;
+  write_metadata(out, "process_name", 0, "incast_sim", first);
+  for (const auto& [tid, name] : thread_names) {
+    write_metadata(out, "thread_name", tid, name, first);
+  }
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!skip[i]) write_event(out, events[i], first);
+  }
+
+  // Synthesized closers: sync spans LIFO per tid (tids in sorted order),
+  // then async spans in (cat, name, id) order — all at the last timestamp,
+  // so the export balances even when a run ends mid-recovery or mid-burst.
+  for (const auto& [tid, stack] : open_sync) {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      TraceEvent closer = events[*it];
+      closer.phase = Phase::kEnd;
+      closer.ts_ns = end_ts;
+      closer.arg1_key = "synthesized";
+      closer.arg1_value = 1;
+      closer.arg2_key = nullptr;
+      write_event(out, closer, first);
+    }
+  }
+  for (const auto& [key, stack] : open_async) {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      TraceEvent closer = events[*it];
+      closer.phase = Phase::kAsyncEnd;
+      closer.ts_ns = end_ts;
+      closer.arg1_key = "synthesized";
+      closer.arg1_value = 1;
+      closer.arg2_key = nullptr;
+      write_event(out, closer, first);
+    }
+  }
+
+  out << "\n]\n}\n";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_{capacity} {
+  thread_names_[kWorkloadTid] = "workload";
+  thread_names_[kQueueTid] = "queues";
+  thread_names_[kFaultTid] = "faults";
+}
+
+void Tracer::set_thread_name(std::uint32_t tid, std::string name) {
+  thread_names_[tid] = std::move(name);
+}
+
+void Tracer::record(TraceEvent ev) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  obs::write_chrome_trace(events_, thread_names_, dropped_, out);
+}
+
+}  // namespace incast::obs

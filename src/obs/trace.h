@@ -1,0 +1,135 @@
+// Structured event tracer with Chrome trace-event JSON export.
+//
+// Components emit TraceEvents (spans, instants, counters) into a bounded
+// in-memory buffer; Tracer::write_chrome_trace() serializes them in the
+// Trace Event Format that chrome://tracing and Perfetto load directly.
+//
+// Determinism contract: timestamps are simulation nanoseconds only — no
+// wall-clock value ever enters a TraceEvent — and events are stored in
+// emission order, so a trace is byte-identical across runs and across
+// --jobs levels (the hub is attached to exactly one sweep task).
+//
+// Once the buffer fills, ALL subsequent events are dropped (and counted)
+// rather than evicting old ones: the recorded prefix then stays internally
+// consistent (no orphaned span ends), and write_chrome_trace() synthesizes
+// closing events for spans still open at the cut so the export always
+// balances.
+#ifndef INCAST_OBS_TRACE_H_
+#define INCAST_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace incast::obs {
+
+// Trace categories ("cat" in the JSON); independent of sim::EventCategory —
+// these classify what an event describes, not which timer fired it.
+enum class TraceCategory : std::uint8_t {
+  kSim = 0,
+  kNet,
+  kTcp,
+  kQueue,
+  kWorkload,
+  kFault,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceCategory c) noexcept {
+  switch (c) {
+    case TraceCategory::kSim: return "sim";
+    case TraceCategory::kNet: return "net";
+    case TraceCategory::kTcp: return "tcp";
+    case TraceCategory::kQueue: return "queue";
+    case TraceCategory::kWorkload: return "workload";
+    case TraceCategory::kFault: return "fault";
+  }
+  return "?";
+}
+
+// Virtual-thread ("track") ids. Flows get kFlowTidBase + flow_id so each
+// flow renders as its own lane in Perfetto.
+inline constexpr std::uint32_t kWorkloadTid = 0;
+inline constexpr std::uint32_t kQueueTid = 1;
+inline constexpr std::uint32_t kFaultTid = 2;
+inline constexpr std::uint32_t kFlowTidBase = 1000;
+
+struct TraceEvent {
+  // Chrome trace-event phases we emit: B/E sync span begin/end (per tid),
+  // b/e async span begin/end (matched by (cat, name, id) — used for bursts,
+  // which overlap under kFixedPeriod scheduling), i instant, C counter.
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kAsyncBegin = 'b',
+    kAsyncEnd = 'e',
+    kInstant = 'i',
+    kCounter = 'C',
+  };
+
+  std::int64_t ts_ns{0};
+  Phase phase{Phase::kInstant};
+  TraceCategory category{TraceCategory::kSim};
+  std::uint32_t tid{0};
+  std::uint64_t id{0};  // async span correlation id
+  std::string name;
+  // Up to two integer args; key pointers must outlive the tracer (string
+  // literals in practice).
+  const char* arg1_key{nullptr};
+  std::int64_t arg1_value{0};
+  const char* arg2_key{nullptr};
+  std::int64_t arg2_value{0};
+};
+
+// Serializes events as a Chrome trace-event JSON object. Walks the events,
+// tracking open B/E stacks per tid and open async (cat, name, id) spans,
+// and appends synthesized closers at the final timestamp so every B has an
+// E and every b an e. `thread_names` become "thread_name" metadata events;
+// `dropped` is recorded in otherData. Output is deterministic: fixed-format
+// timestamps ("%.3f" microseconds), sorted metadata, emission-ordered
+// events.
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::map<std::uint32_t, std::string>& thread_names,
+                        std::uint64_t dropped, std::ostream& out);
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;  // 262144 events
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // Names a virtual thread for the Perfetto track list.
+  void set_thread_name(std::uint32_t tid, std::string name);
+  [[nodiscard]] const std::map<std::uint32_t, std::string>& thread_names() const noexcept {
+    return thread_names_;
+  }
+
+  // Appends an event; drops (and counts) once the buffer is full. No-op
+  // when disabled.
+  void record(TraceEvent ev);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear();
+
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  std::size_t capacity_;
+  bool enabled_{false};
+  std::uint64_t dropped_{0};
+  std::vector<TraceEvent> events_;
+  std::map<std::uint32_t, std::string> thread_names_;
+};
+
+}  // namespace incast::obs
+
+#endif  // INCAST_OBS_TRACE_H_

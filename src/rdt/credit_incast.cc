@@ -38,7 +38,8 @@ void CreditIncastDriver::start_burst() {
     const sim::Time jitter =
         rng_.uniform_time(sim::Time::zero(), config_.start_jitter_max);
     CreditSender* s = sender.get();
-    sim_.schedule_in(jitter, [s, demand = demand_per_flow_] { s->add_app_data(demand); });
+    sim_.schedule_in(jitter, [s, demand = demand_per_flow_] { s->add_app_data(demand); },
+                     sim::EventCategory::kWorkload);
   }
 }
 
@@ -49,7 +50,8 @@ void CreditIncastDriver::on_flow_complete() {
   records_.push_back(BurstRecord{current_burst_, burst_started_, sim_.now()});
   ++completed_bursts_;
   if (completed_bursts_ < config_.num_bursts) {
-    sim_.schedule_in(config_.inter_burst_gap, [this] { start_burst(); });
+    sim_.schedule_in(config_.inter_burst_gap, [this] { start_burst(); },
+                     sim::EventCategory::kWorkload);
   }
 }
 

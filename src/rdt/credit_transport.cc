@@ -64,13 +64,15 @@ void CreditSender::arm_rts_retry() {
   }
   if (delay > config_.rts_retry_max) delay = config_.rts_retry_max;
   delay = delay * rng_.uniform(0.5, 1.5);
-  rts_timer_ = sim_.schedule_in(delay, [this] {
-    rts_timer_ = sim::kInvalidEventId;
-    if (granted_ < demand_) {
-      ++rts_backoff_;
-      send_rts();
-    }
-  });
+  rts_timer_ = sim_.schedule_in(delay,
+                                [this] {
+                                  rts_timer_ = sim::kInvalidEventId;
+                                  if (granted_ < demand_) {
+                                    ++rts_backoff_;
+                                    send_rts();
+                                  }
+                                },
+                                sim::EventCategory::kTcp);
 }
 
 void CreditSender::handle_packet(net::Packet p) {
@@ -155,10 +157,12 @@ void CreditReceiver::ensure_grant_timer() {
   if (timer_armed_) return;
   timer_armed_ = true;
   const sim::Time at = std::max(next_grant_at_, sim_.now());
-  sim_.schedule_at(at, [this] {
-    timer_armed_ = false;
-    grant_tick();
-  });
+  sim_.schedule_at(at,
+                   [this] {
+                     timer_armed_ = false;
+                     grant_tick();
+                   },
+                   sim::EventCategory::kTcp);
 }
 
 void CreditReceiver::grant_tick() {

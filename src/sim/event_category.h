@@ -1,0 +1,44 @@
+// EventCategory: coarse buckets for event-loop self-profiling.
+//
+// Every scheduled event carries a category so the kernel can count (and,
+// when profiling is enabled, wall-time) dispatches per subsystem without
+// any per-component instrumentation. Categories are deliberately coarse —
+// one per library layer — so the tag is a compile-time constant at every
+// schedule site and the accounting is a single array increment.
+#ifndef INCAST_SIM_EVENT_CATEGORY_H_
+#define INCAST_SIM_EVENT_CATEGORY_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace incast::sim {
+
+enum class EventCategory : std::uint8_t {
+  kGeneric = 0,   // untagged / test / driver glue
+  kNet,           // link serialization, propagation, switch forwarding
+  kTcp,           // RTO, TLP, pacing timers
+  kWorkload,      // burst scheduling, app data arrival
+  kTelemetry,     // samplers, queue monitors
+  kFault,         // fault injector flaps and delayed deliveries
+};
+
+inline constexpr std::size_t kNumEventCategories = 6;
+
+using EventCategoryCounts = std::array<std::uint64_t, kNumEventCategories>;
+
+[[nodiscard]] constexpr const char* to_string(EventCategory c) noexcept {
+  switch (c) {
+    case EventCategory::kGeneric: return "generic";
+    case EventCategory::kNet: return "net";
+    case EventCategory::kTcp: return "tcp";
+    case EventCategory::kWorkload: return "workload";
+    case EventCategory::kTelemetry: return "telemetry";
+    case EventCategory::kFault: return "fault";
+  }
+  return "?";
+}
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_EVENT_CATEGORY_H_

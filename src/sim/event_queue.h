@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/event_category.h"
 #include "sim/time.h"
 
 namespace incast::sim {
@@ -34,9 +35,10 @@ class EventQueue {
   // Schedules `cb` to run at absolute time `at`. Returns an id usable with
   // cancel(). Scheduling into the past is the caller's bug; the queue will
   // still pop events in heap order, so the kernel asserts on it instead.
-  EventId push(Time at, Callback cb) {
+  EventId push(Time at, Callback cb,
+               EventCategory category = EventCategory::kGeneric) {
     const EventId id = next_id_++;
-    heap_.push(Entry{at, id, std::move(cb)});
+    heap_.push(Entry{at, id, category, std::move(cb)});
     pending_.insert(id);
     return id;
   }
@@ -63,6 +65,7 @@ class EventQueue {
   struct Popped {
     Time at;
     EventId id;
+    EventCategory category;
     Callback cb;
   };
   Popped pop() {
@@ -70,7 +73,7 @@ class EventQueue {
     // const_cast to move the callback out: priority_queue::top() is const,
     // but we are about to pop the entry, so mutating it is safe.
     auto& top = const_cast<Entry&>(heap_.top());
-    Popped out{top.at, top.id, std::move(top.cb)};
+    Popped out{top.at, top.id, top.category, std::move(top.cb)};
     heap_.pop();
     pending_.erase(out.id);
     return out;
@@ -80,6 +83,7 @@ class EventQueue {
   struct Entry {
     Time at;
     EventId id;
+    EventCategory category;
     Callback cb;
   };
   struct Later {

@@ -1,13 +1,14 @@
 #include "sim/simulator.h"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace incast::sim {
 
-EventId Simulator::schedule_at(Time at, Callback cb) {
+EventId Simulator::schedule_at(Time at, Callback cb, EventCategory category) {
   assert(at >= now_ && "cannot schedule into the past");
-  return queue_.push(at, std::move(cb));
+  return queue_.push(at, std::move(cb), category);
 }
 
 void Simulator::dispatch_one() {
@@ -15,7 +16,16 @@ void Simulator::dispatch_one() {
   assert(ev.at >= now_);
   now_ = ev.at;
   ++events_processed_;
-  ev.cb();
+  ++events_by_category_[static_cast<std::size_t>(ev.category)];
+  if (profiling_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ev.cb();
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_ns_by_category_[static_cast<std::size_t>(ev.category)] +=
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+  } else {
+    ev.cb();
+  }
 }
 
 void Simulator::run() {

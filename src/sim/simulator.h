@@ -3,13 +3,30 @@
 // Single-threaded and deterministic: events at equal timestamps fire in
 // scheduling order. All simulation components hold a Simulator& and schedule
 // work through it; nothing in the simulation may consult wall-clock time.
+//
+// Self-profiling: every event carries an EventCategory and the loop keeps an
+// always-on per-category dispatch counter (a single array increment — see
+// BM_TracerOverhead for the gate proving it is free). set_profiling(true)
+// additionally buckets wall time per category; that one costs two clock
+// reads per event, so it is opt-in.
+//
+// Observability: the loop optionally carries a borrowed obs::Hub pointer so
+// components constructed against this Simulator can discover the hub without
+// threading it through every constructor. The kernel itself never
+// dereferences the hub — sim stays dependency-free of obs.
 #ifndef INCAST_SIM_SIMULATOR_H_
 #define INCAST_SIM_SIMULATOR_H_
 
+#include <array>
 #include <cstdint>
 
+#include "sim/event_category.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
+
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
 
 namespace incast::sim {
 
@@ -25,11 +42,13 @@ class Simulator {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   // Schedules `cb` at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, Callback cb);
+  EventId schedule_at(Time at, Callback cb,
+                      EventCategory category = EventCategory::kGeneric);
 
   // Schedules `cb` after `delay` (must be >= 0).
-  EventId schedule_in(Time delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  EventId schedule_in(Time delay, Callback cb,
+                      EventCategory category = EventCategory::kGeneric) {
+    return schedule_at(now_ + delay, std::move(cb), category);
   }
 
   // Cancels a pending event; no-op if it already fired.
@@ -49,13 +68,40 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
   [[nodiscard]] std::size_t events_pending() const noexcept { return queue_.size(); }
 
+  // Dispatch counts bucketed by EventCategory (always maintained).
+  [[nodiscard]] const EventCategoryCounts& events_by_category() const noexcept {
+    return events_by_category_;
+  }
+
+  // Enables wall-time bucketing per category (steady_clock around each
+  // callback). Off by default; dispatch counts are kept regardless.
+  void set_profiling(bool enabled) noexcept { profiling_ = enabled; }
+  [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+
+  // Wall nanoseconds spent inside callbacks per category; all zero unless
+  // set_profiling(true) was active while events ran. Wall time never feeds
+  // back into the simulation — determinism is unaffected.
+  [[nodiscard]] const std::array<double, kNumEventCategories>& wall_ns_by_category()
+      const noexcept {
+    return wall_ns_by_category_;
+  }
+
+  // Borrowed observability hub; nullptr (the default) means "not observed"
+  // and every instrumented component takes its zero-cost fast path.
+  void set_hub(obs::Hub* hub) noexcept { hub_ = hub; }
+  [[nodiscard]] obs::Hub* hub() const noexcept { return hub_; }
+
  private:
   void dispatch_one();
 
   EventQueue queue_;
   Time now_{Time::zero()};
   bool stopped_{false};
+  bool profiling_{false};
   std::uint64_t events_processed_{0};
+  EventCategoryCounts events_by_category_{};
+  std::array<double, kNumEventCategories> wall_ns_by_category_{};
+  obs::Hub* hub_{nullptr};
 };
 
 }  // namespace incast::sim

@@ -140,7 +140,12 @@ void SweepRunner::execute(std::size_t n,
   }
 
   stats_.wall_ms = ms_between(sweep_start, Clock::now());
-  for (const TaskStats& st : stats_.tasks) stats_.total_events += st.events;
+  for (const TaskStats& st : stats_.tasks) {
+    stats_.total_events += st.events;
+    for (std::size_t c = 0; c < kNumEventCategories; ++c) {
+      stats_.events_by_category[c] += st.events_by_category[c];
+    }
+  }
 }
 
 }  // namespace incast::sim

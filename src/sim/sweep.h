@@ -23,6 +23,8 @@
 #include <functional>
 #include <vector>
 
+#include "sim/event_category.h"
+
 namespace incast::sim {
 
 // One splitmix64 step (the same mixer Rng seeds itself with); exposed so
@@ -45,6 +47,9 @@ class SweepRunner {
     double wall_ms{0.0};          // wall-clock execution time of the task
     std::uint64_t events{0};      // simulator events the task dispatched
     int worker{-1};               // worker thread that ran it (0 = caller)
+    // Per-category dispatch counts (copy the task Simulator's
+    // events_by_category() here to surface the event-loop profile).
+    EventCategoryCounts events_by_category{};
   };
 
   struct RunStats {
@@ -52,6 +57,8 @@ class SweepRunner {
     double wall_ms{0.0};          // whole-sweep wall time
     std::uint64_t total_events{0};
     std::uint64_t steals{0};      // tasks a worker took from another's deque
+    // Sum of per-task category counts across the sweep.
+    EventCategoryCounts events_by_category{};
     std::vector<TaskStats> tasks; // indexed by task index
 
     // Aggregate simulation throughput of the sweep.

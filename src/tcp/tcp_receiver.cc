@@ -153,7 +153,7 @@ void TcpReceiver::schedule_delayed_ack() {
   ack_timer_ = sim_.schedule_in(config_.delayed_ack_timeout, [this] {
     ack_timer_ = sim::kInvalidEventId;
     if (pending_segments_ > 0) flush_delayed_ack();
-  });
+  }, sim::EventCategory::kTcp);
 }
 
 void TcpReceiver::flush_delayed_ack() { send_ack(/*ece=*/ce_state_, /*duplicate=*/false); }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/hub.h"
+
 namespace incast::tcp {
 
 namespace {
@@ -20,13 +22,54 @@ TcpSender::TcpSender(sim::Simulator& sim, net::Host& local, net::NodeId remote,
       cc_{make_congestion_control(config.cc, config.cc_config)},
       rtt_{config.rtt} {
   local_.register_flow(flow_, this);
+
+  hub_ = INCAST_OBS_HUB(sim_);
+  if (hub_ != nullptr && hub_->enabled()) {
+    const std::string flow_str = std::to_string(flow_);
+    trace_tid_ = obs::kFlowTidBase + static_cast<std::uint32_t>(flow_);
+    cwnd_counter_name_ = "cwnd.f" + flow_str;
+    hub_->set_thread_name(trace_tid_, "flow " + flow_str);
+    metric_prefix_ = "tcp.sender." + flow_str + ".";
+    auto& m = hub_->metrics();
+    m.register_counter(metric_prefix_ + "rto_count", [this] { return stats_.timeouts; });
+    m.register_counter(metric_prefix_ + "fast_retransmits",
+                       [this] { return stats_.fast_retransmits; });
+    m.register_counter(metric_prefix_ + "retransmitted_packets",
+                       [this] { return stats_.retransmitted_packets; });
+    m.register_counter(metric_prefix_ + "data_packets_sent",
+                       [this] { return stats_.data_packets_sent; });
+    m.register_counter(metric_prefix_ + "ece_acks_received",
+                       [this] { return stats_.ece_acks_received; });
+    m.register_gauge(metric_prefix_ + "cwnd_bytes",
+                     [this] { return static_cast<double>(effective_cwnd()); });
+  } else {
+    hub_ = nullptr;
+  }
 }
 
 TcpSender::~TcpSender() {
+  if (hub_ != nullptr) {
+    hub_->metrics().unregister_prefix(metric_prefix_);
+  }
   local_.unregister_flow(flow_);
   cancel_rto();
   cancel_tlp();
   sim_.cancel(pace_timer_);
+}
+
+void TcpSender::maybe_emit_cwnd() {
+  if (hub_ == nullptr || !hub_->tracing()) return;
+  const std::int64_t cwnd = effective_cwnd();
+  if (cwnd == last_cwnd_emitted_) return;
+  last_cwnd_emitted_ = cwnd;
+  hub_->counter(sim_.now().ns(), obs::TraceCategory::kTcp, cwnd_counter_name_,
+                trace_tid_, cwnd);
+}
+
+void TcpSender::close_recovery_span() {
+  if (!recovery_span_open_) return;
+  recovery_span_open_ = false;
+  hub_->end(sim_.now().ns(), obs::TraceCategory::kTcp, "fast_recovery", trace_tid_);
 }
 
 void TcpSender::add_app_data(std::int64_t bytes) {
@@ -172,6 +215,7 @@ void TcpSender::on_new_ack(std::int64_t ack, bool ece, const net::IntStack& int_
     if (ack >= recover_seq_) {
       in_recovery_ = false;
       cc_->on_recovery_exit();
+      if (hub_ != nullptr) close_recovery_span();
     } else {
       // Partial ACK: the next hole was also lost; retransmit it
       // immediately (RFC 6582 §3.2 / RFC 6675's NextSeg with the SACK
@@ -181,6 +225,7 @@ void TcpSender::on_new_ack(std::int64_t ack, bool ece, const net::IntStack& int_
   }
 
   cc_->on_ack(ev);
+  if (hub_ != nullptr) maybe_emit_cwnd();
 
   // Forward progress: the quiet episode (if any) is over.
   tlp_probe_outstanding_ = false;
@@ -205,6 +250,7 @@ void TcpSender::on_duplicate_ack(bool ece, const net::IntStack& int_stack) {
   AckEvent ev = make_ack_event(0, ece);
   ev.int_stack = int_stack;
   cc_->on_ack(ev);
+  if (hub_ != nullptr) maybe_emit_cwnd();
 
   // RFC 6675-style early entry: three duplicate ACKs, or SACK evidence of
   // at least DupThresh segments having left the network.
@@ -236,7 +282,13 @@ void TcpSender::enter_recovery() {
   recovery_retx_cursor_ = snd_una_;
   cancel_tlp();  // loss recovery supersedes the probe
   ++stats_.fast_retransmits;
+  if (hub_ != nullptr && hub_->tracing() && !recovery_span_open_) {
+    recovery_span_open_ = true;
+    hub_->begin(sim_.now().ns(), obs::TraceCategory::kTcp, "fast_recovery", trace_tid_,
+                "flow", flow_);
+  }
   cc_->on_loss(in_flight_bytes());
+  if (hub_ != nullptr) maybe_emit_cwnd();
   retransmit_head();
 }
 
@@ -286,7 +338,7 @@ void TcpSender::paced_send(std::int64_t cwnd) {
       pace_timer_ = sim_.schedule_at(pace_next_, [this] {
         pace_timer_ = sim::kInvalidEventId;
         try_send();
-      });
+      }, sim::EventCategory::kTcp);
     }
     return;
   }
@@ -348,7 +400,7 @@ void TcpSender::arm_tlp() {
   tlp_timer_ = sim_.schedule_in(pto, [this] {
     tlp_timer_ = sim::kInvalidEventId;
     on_pto();
-  });
+  }, sim::EventCategory::kTcp);
 }
 
 void TcpSender::cancel_tlp() {
@@ -392,7 +444,7 @@ void TcpSender::arm_rto() {
   rto_timer_ = sim_.schedule_in(current_rto(), [this] {
     rto_timer_ = sim::kInvalidEventId;
     on_rto();
-  });
+  }, sim::EventCategory::kTcp);
 }
 
 void TcpSender::rearm_rto() {
@@ -416,7 +468,14 @@ void TcpSender::on_rto() {
 
   ++stats_.timeouts;
   rto_backoff_ = std::min(rto_backoff_ + 1, kMaxRtoBackoff);
+  if (hub_ != nullptr) {
+    // "rto" is also the flight recorder's storm-trigger event name.
+    hub_->instant(sim_.now().ns(), obs::TraceCategory::kTcp, "rto", trace_tid_,
+                  "flow", flow_, "backoff", rto_backoff_);
+    close_recovery_span();  // go-back-N abandons any in-progress recovery
+  }
   cc_->on_timeout();
+  if (hub_ != nullptr) maybe_emit_cwnd();
 
   // Go-back-N: collapse the send point to the cumulative ACK. max_sent_
   // keeps its value so the re-sent range is accounted as retransmission.

@@ -16,10 +16,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "net/host.h"
 #include "tcp/tcp_config.h"
+
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
 
 namespace incast::tcp {
 
@@ -120,6 +125,10 @@ class TcpSender final : public net::PacketHandler {
   void arm_tlp();
   void cancel_tlp();
   void on_pto();
+  // Emits a cwnd counter trace event when the value changed since the last
+  // emission; no-op without an observed hub.
+  void maybe_emit_cwnd();
+  void close_recovery_span();
   [[nodiscard]] sim::Time current_rto() const noexcept;
   [[nodiscard]] AckEvent make_ack_event(std::int64_t newly_acked, bool ece) const noexcept;
 
@@ -172,6 +181,16 @@ class TcpSender final : public net::PacketHandler {
   std::function<void()> on_all_acked_;
   std::function<void(std::int64_t)> on_ack_advance_;
   Stats stats_;
+
+  // Observability (cached from sim.hub() at construction; nullptr on the
+  // default unobserved path). The registered metric prefix is remembered so
+  // the destructor can unregister the sources that capture `this`.
+  obs::Hub* hub_{nullptr};
+  std::uint32_t trace_tid_{0};
+  std::string cwnd_counter_name_;
+  std::string metric_prefix_;
+  std::int64_t last_cwnd_emitted_{-1};
+  bool recovery_span_open_{false};
 };
 
 }  // namespace incast::tcp

@@ -30,7 +30,8 @@ void InflightSampler::tick(sim::Time until) {
 
   const sim::Time next = sim_.now() + period_;
   if (next <= until) {
-    sim_.schedule_in(period_, [this, until] { tick(until); });
+    sim_.schedule_in(period_, [this, until] { tick(until); },
+                     sim::EventCategory::kTelemetry);
   }
 }
 

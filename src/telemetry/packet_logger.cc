@@ -2,12 +2,13 @@
 
 #include <ostream>
 
+#include "obs/hub.h"
+
 namespace incast::telemetry {
 
 void PacketLogger::on_ingress(const net::Packet& p, sim::Time now) {
   ++total_;
-  if (events_.size() == capacity_) events_.pop_front();
-  events_.push_back(Event{
+  const Event e{
       .at = now,
       .flow = p.tcp.flow_id,
       .seq = p.tcp.seq,
@@ -16,12 +17,32 @@ void PacketLogger::on_ingress(const net::Packet& p, sim::Time now) {
       .is_ack = p.tcp.has_ack,
       .ce = p.ecn == net::Ecn::kCe,
       .retransmit = p.is_retransmit,
-  });
+  };
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+  }
+  if (hub_ != nullptr && hub_->tracing()) {
+    hub_->instant(now.ns(), obs::TraceCategory::kNet,
+                  e.is_ack ? "pkt.ack" : "pkt.data",
+                  obs::kFlowTidBase + static_cast<std::uint32_t>(e.flow), "seq", e.seq,
+                  "payload", e.payload_bytes);
+  }
+}
+
+std::vector<PacketLogger::Event> PacketLogger::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_), ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
 }
 
 void PacketLogger::write_csv(std::ostream& out) const {
   out << "t_ns,flow,seq,ack,payload,is_ack,ce,retx\n";
-  for (const Event& e : events_) {
+  for (const Event& e : events()) {
     out << e.at.ns() << ',' << e.flow << ',' << e.seq << ',' << e.ack << ','
         << e.payload_bytes << ',' << (e.is_ack ? 1 : 0) << ',' << (e.ce ? 1 : 0) << ','
         << (e.retransmit ? 1 : 0) << '\n';

@@ -6,14 +6,24 @@
 // the simulator equivalent of a truncated packet capture. Useful for
 // debugging protocol behaviour and for microscopic views of single bursts;
 // attach sparingly, it costs memory per packet.
+//
+// Storage is a true ring buffer: once full, the write cursor wraps and
+// overwrites the oldest slot in O(1), with no per-packet deallocation.
+// When an observability hub is attached, each packet also becomes a
+// "pkt.data"/"pkt.ack" instant on the flow's trace track, correlating raw
+// packet arrivals with cwnd and queue activity in the same timeline.
 #ifndef INCAST_TELEMETRY_PACKET_LOGGER_H_
 #define INCAST_TELEMETRY_PACKET_LOGGER_H_
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
+#include <vector>
 
 #include "net/host.h"
+
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
 
 namespace incast::telemetry {
 
@@ -30,20 +40,29 @@ class PacketLogger final : public net::IngressTap {
     bool retransmit{false};
   };
 
-  // Keeps the most recent `capacity` events; older ones are evicted.
-  explicit PacketLogger(std::size_t capacity = 65536) : capacity_{capacity} {}
+  // Keeps the most recent `capacity` events; older ones are overwritten.
+  explicit PacketLogger(std::size_t capacity = 65536) : capacity_{capacity} {
+    ring_.reserve(capacity_);
+  }
+
+  // Mirror packets into `hub`'s tracer as per-flow instants. Pass nullptr
+  // to detach. The logger's own ring is unaffected by the hub's state.
+  void set_hub(obs::Hub* hub) noexcept { hub_ = hub; }
 
   void on_ingress(const net::Packet& p, sim::Time now) override;
 
-  [[nodiscard]] const std::deque<Event>& events() const noexcept { return events_; }
+  // The retained events, oldest first. Returns a copy: the backing store
+  // is a wrapping ring whose physical order differs from logical order.
+  [[nodiscard]] std::vector<Event> events() const;
   // Every packet observed, including those already evicted from the ring.
   [[nodiscard]] std::uint64_t total_observed() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t evicted() const noexcept {
-    return total_ - static_cast<std::uint64_t>(events_.size());
+    return total_ - static_cast<std::uint64_t>(ring_.size());
   }
 
   void clear() noexcept {
-    events_.clear();
+    ring_.clear();
+    head_ = 0;
     total_ = 0;
   }
 
@@ -52,8 +71,12 @@ class PacketLogger final : public net::IngressTap {
 
  private:
   std::size_t capacity_;
-  std::deque<Event> events_;
+  // Ring storage: grows to capacity_, then head_ marks the oldest slot
+  // (also the next to be overwritten).
+  std::vector<Event> ring_;
+  std::size_t head_{0};
   std::uint64_t total_{0};
+  obs::Hub* hub_{nullptr};
 };
 
 }  // namespace incast::telemetry

@@ -12,11 +12,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "net/queue.h"
 #include "sim/simulator.h"
+
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
 
 namespace incast::telemetry {
 
@@ -27,6 +32,11 @@ class QueueMonitor {
     sim::Time sample_every{sim::Time::zero()};
     // Watermark window; zero disables watermarks.
     sim::Time watermark_window{sim::Time::milliseconds(1)};
+    // Observability label (e.g. the link name). When non-empty and the
+    // simulator carries a hub, sampled depths become "queue.<label>.depth"
+    // counter trace events and every observation feeds the flight
+    // recorder's queue-collapse trigger.
+    std::string trace_label;
   };
 
   struct Sample {
@@ -77,6 +87,10 @@ class QueueMonitor {
   sim::Simulator& sim_;
   net::DropTailQueue& queue_;
   Config config_;
+  obs::Hub* hub_{nullptr};
+  std::string depth_counter_name_;
+  std::string watermark_counter_name_;
+  std::int64_t last_depth_emitted_{-1};
   std::vector<Sample> samples_;
   std::vector<std::int64_t> watermarks_;
   std::vector<std::int64_t> drops_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/hub.h"
+
 namespace incast::workload {
 
 namespace {
@@ -26,6 +28,9 @@ CyclicIncastDriver::CyclicIncastDriver(sim::Simulator& sim, const Endpoints& end
   assert(static_cast<std::size_t>(config_.num_flows) <= endpoints.senders.size());
   assert(endpoints.receiver != nullptr);
   assert(config_.num_bursts > 0);
+
+  hub_ = INCAST_OBS_HUB(sim_);
+  if (hub_ != nullptr && !hub_->enabled()) hub_ = nullptr;
 
   const std::int64_t burst_bytes = static_cast<std::int64_t>(
       static_cast<double>(endpoints.bottleneck.bytes_in(config_.burst_duration)) *
@@ -60,18 +65,25 @@ void CyclicIncastDriver::start_burst() {
   const int index = started_bursts_++;
   burst_started_[static_cast<std::size_t>(index)] = sim_.now();
 
+  if (hub_ != nullptr) {
+    hub_->async_begin(sim_.now().ns(), obs::TraceCategory::kWorkload, "burst",
+                      obs::kWorkloadTid, static_cast<std::uint64_t>(index), "flows",
+                      config_.num_flows);
+  }
+
   for (auto& conn : connections_) {
     const sim::Time jitter =
         rng_.uniform_time(sim::Time::zero(), config_.start_jitter_max);
     tcp::TcpSender* sender = &conn->sender();
     sim_.schedule_in(jitter,
-                     [sender, demand = demand_per_flow_] { sender->add_app_data(demand); });
+                     [sender, demand = demand_per_flow_] { sender->add_app_data(demand); },
+                     sim::EventCategory::kWorkload);
   }
 
   if (config_.schedule == BurstSchedule::kFixedPeriod &&
       started_bursts_ < config_.num_bursts) {
     sim_.schedule_in(config_.burst_duration + config_.inter_burst_gap,
-                     [this] { start_burst(); });
+                     [this] { start_burst(); }, sim::EventCategory::kWorkload);
   }
 }
 
@@ -95,11 +107,17 @@ void CyclicIncastDriver::complete_burst(int index) {
   records_.push_back(rec);
   ++completed_bursts_;
 
+  if (hub_ != nullptr) {
+    hub_->async_end(sim_.now().ns(), obs::TraceCategory::kWorkload, "burst",
+                    obs::kWorkloadTid, static_cast<std::uint64_t>(index));
+  }
+
   if (on_burst_complete_) on_burst_complete_(index);
 
   if (config_.schedule == BurstSchedule::kAfterCompletion &&
       started_bursts_ < config_.num_bursts) {
-    sim_.schedule_in(config_.inter_burst_gap, [this] { start_burst(); });
+    sim_.schedule_in(config_.inter_burst_gap, [this] { start_burst(); },
+                     sim::EventCategory::kWorkload);
   }
 }
 

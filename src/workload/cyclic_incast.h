@@ -30,6 +30,10 @@
 #include "sim/random.h"
 #include "tcp/tcp_connection.h"
 
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
+
 namespace incast::workload {
 
 enum class BurstSchedule {
@@ -111,6 +115,10 @@ class CyclicIncastDriver {
   sim::Simulator& sim_;
   Config config_;
   sim::Rng rng_;
+  // Borrowed observability hub (nullptr when the run is unobserved). Burst
+  // windows are emitted as async spans keyed by burst index, since
+  // kFixedPeriod bursts can overlap in time.
+  obs::Hub* hub_{nullptr};
   std::int64_t demand_per_flow_{0};
   std::vector<std::unique_ptr<tcp::TcpConnection>> connections_;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/hub.h"
+
 namespace incast::workload {
 
 FleetTrafficGen::FleetTrafficGen(sim::Simulator& sim, net::Dumbbell& dumbbell,
@@ -10,6 +12,9 @@ FleetTrafficGen::FleetTrafficGen(sim::Simulator& sim, net::Dumbbell& dumbbell,
                                  std::uint64_t seed)
     : sim_{sim}, dumbbell_{dumbbell}, config_{config}, rng_{seed} {
   assert(dumbbell.num_senders() >= config_.profile.max_flows);
+
+  hub_ = INCAST_OBS_HUB(sim_);
+  if (hub_ != nullptr && !hub_->enabled()) hub_ = nullptr;
 
   const int n = dumbbell.num_senders();
   connections_.reserve(static_cast<std::size_t>(n));
@@ -31,7 +36,7 @@ void FleetTrafficGen::schedule_next_burst(sim::Time until) {
   sim_.schedule_at(next, [this, until] {
     launch_burst();
     schedule_next_burst(until);
-  });
+  }, sim::EventCategory::kWorkload);
 }
 
 void FleetTrafficGen::launch_burst() {
@@ -71,10 +76,15 @@ void FleetTrafficGen::launch_burst() {
       const sim::Time at = phase + (duration * (static_cast<double>(w) / writes));
       const std::int64_t bytes = w + 1 == writes ? demand - chunk * (writes - 1) : chunk;
       if (bytes <= 0) continue;
-      sim_.schedule_in(at, [sender, bytes] { sender->add_app_data(bytes); });
+      sim_.schedule_in(at, [sender, bytes] { sender->add_app_data(bytes); },
+                       sim::EventCategory::kWorkload);
     }
   }
 
+  if (hub_ != nullptr) {
+    hub_->instant(sim_.now().ns(), obs::TraceCategory::kWorkload, "fleet_burst",
+                  obs::kWorkloadTid, "flows", flows, "duration_us", duration.us());
+  }
   burst_log_.push_back(BurstLogEntry{sim_.now(), flows, duration});
 }
 

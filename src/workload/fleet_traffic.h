@@ -17,6 +17,10 @@
 #include "tcp/tcp_connection.h"
 #include "workload/service_profile.h"
 
+namespace incast::obs {
+class Hub;
+}  // namespace incast::obs
+
 namespace incast::workload {
 
 class FleetTrafficGen {
@@ -71,6 +75,7 @@ class FleetTrafficGen {
   void launch_burst();
 
   sim::Simulator& sim_;
+  obs::Hub* hub_{nullptr};
   net::Dumbbell& dumbbell_;
   Config config_;
   sim::Rng rng_;

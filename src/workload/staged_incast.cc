@@ -51,7 +51,8 @@ void StagedIncastDriver::admit_next() {
   const sim::Time jitter =
       rng_.uniform_time(sim::Time::zero(), config_.admission_jitter_max);
   sim_.schedule_in(jitter,
-                   [sender, demand = demand_per_flow_] { sender->add_app_data(demand); });
+                   [sender, demand = demand_per_flow_] { sender->add_app_data(demand); },
+                   sim::EventCategory::kWorkload);
 }
 
 void StagedIncastDriver::on_flow_done(int /*flow_index*/) {
@@ -68,7 +69,8 @@ void StagedIncastDriver::on_flow_done(int /*flow_index*/) {
   ++completed_bursts_;
 
   if (completed_bursts_ < config_.num_bursts) {
-    sim_.schedule_in(config_.inter_burst_gap, [this] { start_burst(); });
+    sim_.schedule_in(config_.inter_burst_gap, [this] { start_burst(); },
+                     sim::EventCategory::kWorkload);
   }
 }
 

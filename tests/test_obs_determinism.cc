@@ -1,0 +1,70 @@
+// The observability determinism contract: the hub observes exactly one cell
+// of the fleet grid (host 0, snapshot 0), and trace timestamps are sim-time
+// only, so --trace-out and --metrics-out must be byte-identical no matter
+// how many SweepRunner workers execute the grid.
+//
+// The suite name contains "Sweep" so the TSan CI leg (ctest -R 'Sweep')
+// races the hub-carrying task against the rest of the pool.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/fleet_experiment.h"
+#include "obs/hub.h"
+#include "workload/service_profile.h"
+
+namespace incast {
+namespace {
+
+struct ObsOutput {
+  std::string trace;
+  std::string metrics;
+};
+
+ObsOutput run_fleet_with_hub(int jobs) {
+  obs::Hub hub;
+  hub.tracer().set_enabled(true);
+
+  core::FleetConfig cfg;
+  cfg.profile = workload::service_by_name("messaging");
+  cfg.profile.max_flows = 30;
+  cfg.profile.body_median_flows = 15.0;
+  cfg.num_hosts = 3;
+  cfg.num_snapshots = 2;
+  cfg.trace_duration = sim::Time::milliseconds(40);
+  cfg.base_seed = 7;
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.jobs = jobs;
+  cfg.hub = &hub;
+  const core::FleetExperiment exp{cfg};
+  (void)exp.run_all();
+
+  ObsOutput out;
+  std::ostringstream trace;
+  hub.write_trace(trace);
+  out.trace = trace.str();
+  EXPECT_TRUE(hub.has_final_metrics());
+  out.metrics = hub.final_metrics().to_json();
+  return out;
+}
+
+TEST(ObsSweepDeterminism, TraceAndMetricsAreByteIdenticalAcrossJobs) {
+#if !INCAST_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (-DINCAST_OBS=OFF)";
+#endif
+  const ObsOutput sequential = run_fleet_with_hub(1);
+  // A trivially empty capture would make the identity check vacuous.
+  ASSERT_GT(sequential.trace.size(), 100u);
+  EXPECT_NE(sequential.metrics.find("net.queue.tor_r->receiver0.drops"),
+            std::string::npos);
+
+  for (const int jobs : {4, 16}) {
+    const ObsOutput parallel = run_fleet_with_hub(jobs);
+    EXPECT_EQ(sequential.trace, parallel.trace) << "jobs=" << jobs;
+    EXPECT_EQ(sequential.metrics, parallel.metrics) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace incast

@@ -1,0 +1,149 @@
+// Tests for the anomaly flight recorder: trigger grammar, exactly-once
+// firing per anomaly, and ring/dump contents.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace incast::obs {
+namespace {
+
+TraceEvent rto_at(std::int64_t ts_ns) {
+  TraceEvent ev;
+  ev.ts_ns = ts_ns;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.category = TraceCategory::kTcp;
+  ev.tid = kFlowTidBase;
+  ev.name = "rto";
+  return ev;
+}
+
+constexpr std::int64_t kMs = 1'000'000;
+
+TEST(ObsFlightRecorder, ParseTriggerGrammar) {
+  auto cfg = parse_trigger("rto-storm");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->kind, TriggerConfig::Kind::kRtoStorm);
+  EXPECT_EQ(cfg->rto_threshold, 10);
+  EXPECT_EQ(cfg->rto_window, sim::Time::milliseconds(10));
+
+  cfg = parse_trigger("rto-storm:5:2");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->rto_threshold, 5);
+  EXPECT_EQ(cfg->rto_window, sim::Time::milliseconds(2));
+
+  cfg = parse_trigger("queue-collapse:800");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->kind, TriggerConfig::Kind::kQueueCollapse);
+  EXPECT_EQ(cfg->queue_threshold_packets, 800);
+
+  cfg = parse_trigger("mode-shift");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->kind, TriggerConfig::Kind::kModeShift);
+
+  for (const char* bad : {"", "bogus", "rto-storm:0", "rto-storm:x",
+                          "rto-storm:1:2:3", "queue-collapse:1:2", "mode-shift:1",
+                          "queue-collapse:-5"}) {
+    EXPECT_FALSE(parse_trigger(bad).has_value()) << bad;
+  }
+}
+
+TEST(ObsFlightRecorder, RtoStormFiresOncePerStormAndRearmsAfterDrain) {
+  FlightRecorder rec;
+  auto cfg = parse_trigger("rto-storm:3:10");
+  ASSERT_TRUE(cfg.has_value());
+  rec.arm(*cfg);
+  std::vector<std::string> reasons;
+  rec.set_dump_sink([&](const std::string& reason, const std::vector<TraceEvent>&) {
+    reasons.push_back(reason);
+  });
+
+  // Three RTOs inside the 10 ms window: exactly one dump at the third.
+  rec.on_event(rto_at(0));
+  rec.on_event(rto_at(1 * kMs));
+  EXPECT_EQ(rec.dumps(), 0);
+  rec.on_event(rto_at(2 * kMs));
+  EXPECT_EQ(rec.dumps(), 1);
+
+  // The storm continues: still the same anomaly, no further dumps.
+  rec.on_event(rto_at(3 * kMs));
+  rec.on_event(rto_at(4 * kMs));
+  EXPECT_EQ(rec.dumps(), 1);
+
+  // The window drains (quiet > 10 ms), then a second storm: second dump.
+  rec.on_event(rto_at(50 * kMs));
+  rec.on_event(rto_at(51 * kMs));
+  rec.on_event(rto_at(52 * kMs));
+  EXPECT_EQ(rec.dumps(), 2);
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[0], "rto-storm");
+  EXPECT_EQ(rec.last_reason(), "rto-storm");
+}
+
+TEST(ObsFlightRecorder, QueueCollapseLatchesWithHysteresis) {
+  FlightRecorder rec;
+  auto cfg = parse_trigger("queue-collapse:1000");
+  ASSERT_TRUE(cfg.has_value());
+  rec.arm(*cfg);
+
+  rec.observe_queue_depth(1 * kMs, 999);
+  EXPECT_EQ(rec.dumps(), 0);
+  rec.observe_queue_depth(2 * kMs, 1000);
+  EXPECT_EQ(rec.dumps(), 1);
+  // A sustained standing queue must not fire on every sample...
+  rec.observe_queue_depth(3 * kMs, 1200);
+  rec.observe_queue_depth(4 * kMs, 1000);
+  EXPECT_EQ(rec.dumps(), 1);
+  // ...and draining to just above threshold/2 does not re-arm yet.
+  rec.observe_queue_depth(5 * kMs, 600);
+  rec.observe_queue_depth(6 * kMs, 1100);
+  EXPECT_EQ(rec.dumps(), 1);
+  // Below half the threshold the latch releases; a new collapse fires.
+  rec.observe_queue_depth(7 * kMs, 499);
+  rec.observe_queue_depth(8 * kMs, 1000);
+  EXPECT_EQ(rec.dumps(), 2);
+}
+
+TEST(ObsFlightRecorder, DumpIsRingOldestFirstEndingWithTriggerMarker) {
+  FlightRecorder rec{4};
+  auto cfg = parse_trigger("queue-collapse:100");
+  ASSERT_TRUE(cfg.has_value());
+  rec.arm(*cfg);
+
+  // Overfill the 4-slot ring: events 0..5, so 0..2 must be evicted by the
+  // time the trigger marker (the 7th push) lands.
+  for (int i = 0; i < 6; ++i) rec.on_event(rto_at(i * kMs));
+  rec.observe_queue_depth(6 * kMs, 100);
+
+  ASSERT_EQ(rec.dumps(), 1);
+  const auto& dump = rec.last_dump();
+  ASSERT_EQ(dump.size(), 4u);
+  EXPECT_EQ(dump.front().ts_ns, 3 * kMs);
+  EXPECT_EQ(dump[2].ts_ns, 5 * kMs);
+  EXPECT_EQ(dump.back().name, "trigger: queue-collapse");
+  EXPECT_EQ(dump.back().ts_ns, 6 * kMs);
+}
+
+TEST(ObsFlightRecorder, ModeShiftFiresWithTransitionReason) {
+  FlightRecorder rec;
+  auto cfg = parse_trigger("mode-shift");
+  ASSERT_TRUE(cfg.has_value());
+  rec.arm(*cfg);
+
+  rec.notify_mode_shift(5 * kMs, "safe", "collapse");
+  EXPECT_EQ(rec.dumps(), 1);
+  EXPECT_EQ(rec.last_reason(), "mode-shift:safe->collapse");
+
+  // Unarmed recorders ignore every feed.
+  FlightRecorder idle;
+  idle.on_event(rto_at(0));
+  idle.observe_queue_depth(0, 1'000'000);
+  idle.notify_mode_shift(0, "safe", "collapse");
+  EXPECT_EQ(idle.dumps(), 0);
+  EXPECT_TRUE(idle.ring_snapshot().empty());
+}
+
+}  // namespace
+}  // namespace incast::obs

@@ -1,0 +1,98 @@
+// Tests for the central metrics registry.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace incast::obs {
+namespace {
+
+TEST(ObsMetrics, SnapshotListsEntriesSortedByName) {
+  MetricsRegistry reg;
+  std::int64_t drops = 7;
+  double depth = 2.5;
+  reg.register_counter("net.queue.l0.drops", [&] { return drops; });
+  reg.register_gauge("net.queue.l0.depth", [&] { return depth; });
+  reg.register_counter("fault.injected.drops", [] { return std::int64_t{3}; });
+
+  const auto snap = reg.snapshot(1234);
+  EXPECT_EQ(snap.at_ns, 1234);
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "fault.injected.drops");
+  EXPECT_EQ(snap.entries[1].name, "net.queue.l0.depth");
+  EXPECT_EQ(snap.entries[2].name, "net.queue.l0.drops");
+  EXPECT_EQ(snap.entries[2].counter, 7);
+  EXPECT_DOUBLE_EQ(snap.entries[1].gauge, 2.5);
+
+  // Pull model: the source is re-read at snapshot time, not registration.
+  drops = 11;
+  EXPECT_EQ(reg.snapshot(0).entries[2].counter, 11);
+}
+
+TEST(ObsMetrics, NameCollisionThrows) {
+  MetricsRegistry reg;
+  reg.register_counter("tcp.sender.1.rto_count", [] { return std::int64_t{0}; });
+  EXPECT_THROW(reg.register_counter("tcp.sender.1.rto_count", [] { return std::int64_t{0}; }),
+               std::invalid_argument);
+  // Collisions are rejected across kinds too — a gauge cannot shadow a
+  // counter.
+  EXPECT_THROW(reg.register_gauge("tcp.sender.1.rto_count", [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_histogram("tcp.sender.1.rto_count", {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_counter("", [] { return std::int64_t{0}; }),
+               std::invalid_argument);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsMetrics, UnregisterPrefixRemovesComponentSubtree) {
+  MetricsRegistry reg;
+  reg.register_counter("tcp.sender.1.rto_count", [] { return std::int64_t{0}; });
+  reg.register_counter("tcp.sender.2.rto_count", [] { return std::int64_t{0}; });
+  reg.register_counter("net.queue.l0.drops", [] { return std::int64_t{0}; });
+
+  EXPECT_EQ(reg.unregister_prefix("tcp.sender."), 2u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_FALSE(reg.contains("tcp.sender.1.rto_count"));
+  EXPECT_TRUE(reg.contains("net.queue.l0.drops"));
+  // Re-registering a removed name is allowed (component restarted).
+  reg.register_counter("tcp.sender.1.rto_count", [] { return std::int64_t{5}; });
+  EXPECT_EQ(reg.unregister_prefix("nomatch."), 0u);
+}
+
+TEST(ObsMetrics, HistogramBucketsByUpperBound) {
+  MetricsRegistry reg;
+  Histogram& h = reg.register_histogram("core.incast.bct_ms", {1.0, 5.0, 10.0});
+  h.record(0.5);   // <= 1
+  h.record(5.0);   // <= 5 (bounds are inclusive)
+  h.record(7.0);   // <= 10
+  h.record(100.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 112.5);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(ObsMetrics, JsonExportIsDeterministic) {
+  MetricsRegistry reg;
+  reg.register_counter("b.count", [] { return std::int64_t{2}; });
+  reg.register_gauge("a.depth", [] { return 1.5; });
+
+  const std::string json = reg.snapshot(42).to_json();
+  // Sorted name order, fixed shape.
+  EXPECT_NE(json.find("\"at_ns\": 42"), std::string::npos) << json;
+  const auto a = json.find("a.depth");
+  const auto b = json.find("b.count");
+  ASSERT_NE(a, std::string::npos) << json;
+  ASSERT_NE(b, std::string::npos) << json;
+  EXPECT_LT(a, b);
+  EXPECT_EQ(json, reg.snapshot(42).to_json());
+}
+
+}  // namespace
+}  // namespace incast::obs

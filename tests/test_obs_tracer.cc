@@ -1,0 +1,103 @@
+// Tests for the bounded event tracer and its Chrome-trace export.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace incast::obs {
+namespace {
+
+TraceEvent make_event(std::int64_t ts_ns, TraceEvent::Phase ph, std::string name,
+                      std::uint32_t tid = kWorkloadTid, std::uint64_t id = 0) {
+  return TraceEvent{ts_ns, ph, TraceCategory::kSim, tid, id, std::move(name),
+                    nullptr, 0, nullptr, 0};
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ObsTracer, KeepsPrefixAndCountsDropsAtCapacity) {
+  Tracer t{2};
+  t.set_enabled(true);
+  t.record(make_event(1, TraceEvent::Phase::kInstant, "a"));
+  t.record(make_event(2, TraceEvent::Phase::kInstant, "b"));
+  t.record(make_event(3, TraceEvent::Phase::kInstant, "c"));
+  // The earliest events survive; later ones are dropped (a consistent
+  // prefix, not an evicting ring — the flight recorder is the ring).
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].name, "a");
+  EXPECT_EQ(t.events()[1].name, "b");
+  EXPECT_EQ(t.dropped(), 1u);
+
+  std::ostringstream out;
+  t.write_chrome_trace(out);
+  EXPECT_NE(out.str().find("\"dropped_events\": \"1\""), std::string::npos);
+}
+
+TEST(ObsTracer, DisabledRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.record(make_event(1, TraceEvent::Phase::kInstant, "a"));
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(ObsTracer, ExportSynthesizesClosersForOpenSpans) {
+  Tracer t;
+  t.set_enabled(true);
+  t.record(make_event(10, TraceEvent::Phase::kBegin, "burst"));
+  t.record(make_event(20, TraceEvent::Phase::kAsyncBegin, "flow", kFlowTidBase, 7));
+  // Recording ends mid-burst: neither span is closed.
+  std::ostringstream out;
+  t.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"b\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"e\""), 1u);
+  // Closers are flagged so a reader can tell them from real events.
+  EXPECT_EQ(count_occurrences(json, "\"synthesized\":1"), 2u);
+}
+
+TEST(ObsTracer, ExportSkipsUnmatchedSpanEnds) {
+  Tracer t;
+  t.set_enabled(true);
+  t.record(make_event(5, TraceEvent::Phase::kEnd, "orphan"));
+  t.record(make_event(6, TraceEvent::Phase::kAsyncEnd, "orphan-async", kWorkloadTid, 1));
+  std::ostringstream out;
+  t.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"e\""), 0u);
+}
+
+TEST(ObsTracer, ExportIsByteDeterministic) {
+  const auto render = [] {
+    Tracer t;
+    t.set_enabled(true);
+    t.set_thread_name(kFlowTidBase + 3, "flow3");
+    t.record(make_event(1, TraceEvent::Phase::kInstant, "rto", kFlowTidBase + 3));
+    TraceEvent c = make_event(2, TraceEvent::Phase::kCounter, "cwnd.f3", kFlowTidBase + 3);
+    c.arg1_key = "value";
+    c.arg1_value = 14600;
+    t.record(c);
+    std::ostringstream out;
+    t.write_chrome_trace(out);
+    return out.str();
+  };
+  const std::string a = render();
+  EXPECT_EQ(a, render());
+  EXPECT_NE(a.find("\"name\":\"flow3\""), std::string::npos);
+  EXPECT_NE(a.find("\"cwnd.f3\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incast::obs

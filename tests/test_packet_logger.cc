@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "net/topology.h"
+#include "obs/hub.h"
 #include "tcp/tcp_connection.h"
 
 namespace incast::telemetry {
@@ -22,8 +23,10 @@ TEST(PacketLogger, RecordsFieldsOfEachPacket) {
   log.on_ingress(p, 5_us);
   log.on_ingress(net::make_ack_packet(1, 0, 7, 2920, false), 6_us);
 
-  ASSERT_EQ(log.events().size(), 2u);
-  const auto& d = log.events()[0];
+  // events() returns a copy (the ring is unwrapped oldest-first).
+  const auto evs = log.events();
+  ASSERT_EQ(evs.size(), 2u);
+  const auto& d = evs[0];
   EXPECT_EQ(d.at, 5_us);
   EXPECT_EQ(d.flow, 7u);
   EXPECT_EQ(d.seq, 1460);
@@ -31,7 +34,7 @@ TEST(PacketLogger, RecordsFieldsOfEachPacket) {
   EXPECT_TRUE(d.ce);
   EXPECT_TRUE(d.retransmit);
   EXPECT_FALSE(d.is_ack);
-  const auto& a = log.events()[1];
+  const auto& a = evs[1];
   EXPECT_TRUE(a.is_ack);
   EXPECT_EQ(a.ack, 2920);
 }
@@ -44,9 +47,32 @@ TEST(PacketLogger, RingEvictsOldestBeyondCapacity) {
   }
   EXPECT_EQ(log.total_observed(), 5u);
   EXPECT_EQ(log.evicted(), 2u);
-  ASSERT_EQ(log.events().size(), 3u);
-  EXPECT_EQ(log.events().front().flow, 2u);  // 0 and 1 evicted
-  EXPECT_EQ(log.events().back().flow, 4u);
+  const auto evs = log.events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs.front().flow, 2u);  // 0 and 1 evicted
+  EXPECT_EQ(evs.back().flow, 4u);
+}
+
+TEST(PacketLogger, MirrorsPacketsIntoTracerWhenHubAttached) {
+  obs::Hub hub;
+  hub.tracer().set_enabled(true);
+  PacketLogger log;
+  log.set_hub(&hub);
+  log.on_ingress(net::make_data_packet(0, 1, 7, 1460, 1460), 5_us);
+  log.on_ingress(net::make_ack_packet(1, 0, 7, 2920, false), 6_us);
+
+  const auto& traced = hub.tracer().events();
+  ASSERT_EQ(traced.size(), 2u);
+  EXPECT_EQ(traced[0].name, "pkt.data");
+  EXPECT_EQ(traced[0].tid, obs::kFlowTidBase + 7u);
+  EXPECT_EQ(traced[0].arg1_value, 1460);  // seq
+  EXPECT_EQ(traced[1].name, "pkt.ack");
+
+  // A disabled tracer mirrors nothing (zero-overhead path).
+  hub.tracer().set_enabled(false);
+  log.on_ingress(net::make_data_packet(0, 1, 7, 2920, 1460), 7_us);
+  EXPECT_EQ(hub.tracer().events().size(), 2u);
+  EXPECT_EQ(log.total_observed(), 3u);
 }
 
 TEST(PacketLogger, ClearResets) {

@@ -6,8 +6,13 @@
 //       ladder (1, 2, ..., N) through sim::SweepRunner and emits JSON with
 //       per-rung wall time, simulator events/sec, and speedup vs 1 thread,
 //       plus a determinism check: the telemetry of every rung must be
-//       byte-identical to the sequential run's. CI archives the file as an
-//       artifact so the perf trajectory is comparable across commits.
+//       byte-identical to the sequential run's. A final sequential run with
+//       the event-loop self-profiler enabled contributes an
+//       "event_loop_profile" section (events and wall ms per event
+//       category) so event-mix regressions are visible next to the raw
+//       throughput numbers. CI archives the file as an artifact so the
+//       perf trajectory is comparable across commits.
+#include <array>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -15,6 +20,7 @@
 
 #include "core/cli_args.h"
 #include "core/fleet_experiment.h"
+#include "sim/event_category.h"
 #include "telemetry/trace_io.h"
 #include "workload/service_profile.h"
 
@@ -107,6 +113,32 @@ int run_sweep_report(core::CliArgs& args) {
   const double top_eps = rungs.back().events_per_sec;
   const double speedup = base_eps > 0.0 ? top_eps / base_eps : 0.0;
 
+  // One extra sequential pass with the self-profiler on: per-category event
+  // counts and wall time. Kept out of the timed ladder — the steady_clock
+  // read per dispatch is exactly the overhead the ladder must not carry.
+  sim::EventCategoryCounts profile_events{};
+  std::array<double, sim::kNumEventCategories> profile_wall_ns{};
+  {
+    cfg.jobs = 1;
+    cfg.profile_event_loop = true;
+    core::FleetExperiment exp{cfg};
+    for (const auto& r : exp.run_all()) {
+      for (std::size_t c = 0; c < sim::kNumEventCategories; ++c) {
+        profile_events[c] += r.events_by_category[c];
+        profile_wall_ns[c] += r.wall_ns_by_category[c];
+      }
+    }
+  }
+  std::printf("event-loop profile:");
+  for (std::size_t c = 0; c < sim::kNumEventCategories; ++c) {
+    if (profile_events[c] == 0) continue;
+    std::printf(" %s=%llu (%.2f ms)",
+                sim::to_string(static_cast<sim::EventCategory>(c)),
+                static_cast<unsigned long long>(profile_events[c]),
+                profile_wall_ns[c] / 1e6);
+  }
+  std::printf("\n");
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
@@ -125,6 +157,15 @@ int run_sweep_report(core::CliArgs& args) {
                  "\"events_per_sec\": %.1f}%s\n",
                  r.jobs, r.wall_ms, static_cast<unsigned long long>(r.events),
                  r.events_per_sec, i + 1 < rungs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"event_loop_profile\": [\n");
+  for (std::size_t c = 0; c < sim::kNumEventCategories; ++c) {
+    std::fprintf(out,
+                 "    {\"category\": \"%s\", \"events\": %llu, \"wall_ms\": %.3f}%s\n",
+                 sim::to_string(static_cast<sim::EventCategory>(c)),
+                 static_cast<unsigned long long>(profile_events[c]),
+                 profile_wall_ns[c] / 1e6, c + 1 < sim::kNumEventCategories ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"speedup_vs_1\": %.3f,\n", speedup);

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validator for Chrome trace-event JSON exported by the obs tracer.
+
+Checks the invariants the exporter promises (and Perfetto silently
+forgives, which is exactly why CI must not):
+
+  * top-level object with a ``traceEvents`` array;
+  * every event carries the keys its phase requires (``M`` metadata events
+    need name/ph/pid; all others also need cat/ts/tid; async ``b``/``e``
+    events need an ``id``);
+  * timestamps are monotonically non-decreasing in array order (metadata
+    excluded) — the tracer records in sim-time order and the exporter
+    appends synthesized closers at the final timestamp, so any inversion
+    means a writer bug;
+  * sync ``B``/``E`` pairs balance per (pid, tid) as a stack with matching
+    names, and no span is left open;
+  * async ``b``/``e`` pairs balance per (cat, name, id) with every ``b``
+    preceding its ``e``.
+
+Usage:  check_trace.py TRACE.json [TRACE2.json ...]
+Exit codes: 0 all valid, 1 invariant violated, 2 unreadable input.
+"""
+
+import json
+import sys
+
+# Phases the exporter emits. Anything else is a schema violation, not a
+# forward-compat case: the writer and this checker version together.
+KNOWN_PHASES = {"M", "i", "C", "B", "E", "b", "e"}
+
+
+def fail(path, index, message):
+    print(f"{path}: traceEvents[{index}]: {message}", file=sys.stderr)
+    return False
+
+
+def check_event_schema(path, i, ev):
+    if not isinstance(ev, dict):
+        return fail(path, i, "event is not an object")
+    ph = ev.get("ph")
+    if ph not in KNOWN_PHASES:
+        return fail(path, i, f"unknown or missing phase {ph!r}")
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        return fail(path, i, "missing or empty 'name'")
+    if not isinstance(ev.get("pid"), int):
+        return fail(path, i, "missing integer 'pid'")
+    if ph == "M":
+        return True
+    if not isinstance(ev.get("cat"), str):
+        return fail(path, i, "missing 'cat'")
+    if not isinstance(ev.get("ts"), (int, float)):
+        return fail(path, i, "missing numeric 'ts'")
+    if not isinstance(ev.get("tid"), int):
+        return fail(path, i, "missing integer 'tid'")
+    if ph in ("b", "e") and not isinstance(ev.get("id"), str):
+        return fail(path, i, f"async '{ph}' event missing string 'id'")
+    return True
+
+
+def check_trace(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        print(f"{path}: top level must be an object with a 'traceEvents' array",
+              file=sys.stderr)
+        return False
+
+    events = data["traceEvents"]
+    ok = True
+    last_ts = None
+    sync_stacks = {}   # (pid, tid) -> [(index, name), ...]
+    async_open = {}    # (cat, name, id) -> [index, ...]
+    counts = {}
+    for i, ev in enumerate(events):
+        if not check_event_schema(path, i, ev):
+            ok = False
+            continue
+        ph = ev["ph"]
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph == "M":
+            continue
+        ts = ev["ts"]
+        if last_ts is not None and ts < last_ts:
+            ok = fail(path, i, f"timestamp went backwards: {ts} after {last_ts}")
+        else:
+            last_ts = ts
+
+        if ph == "B":
+            sync_stacks.setdefault((ev["pid"], ev["tid"]), []).append((i, ev["name"]))
+        elif ph == "E":
+            stack = sync_stacks.get((ev["pid"], ev["tid"]), [])
+            if not stack:
+                ok = fail(path, i, f"'E' with no open span on tid {ev['tid']}")
+            else:
+                _, open_name = stack.pop()
+                if open_name != ev["name"]:
+                    ok = fail(path, i,
+                              f"'E' name {ev['name']!r} closes span {open_name!r}")
+        elif ph == "b":
+            async_open.setdefault((ev["cat"], ev["name"], ev["id"]), []).append(i)
+        elif ph == "e":
+            stack = async_open.get((ev["cat"], ev["name"], ev["id"]), [])
+            if not stack:
+                ok = fail(path, i,
+                          f"'e' with no matching 'b' for "
+                          f"({ev['cat']}, {ev['name']}, {ev['id']})")
+            else:
+                stack.pop()
+
+    for (pid, tid), stack in sync_stacks.items():
+        for i, name in stack:
+            ok = fail(path, i, f"span {name!r} on tid {tid} never closed")
+    for (cat, name, span_id), stack in async_open.items():
+        for i in stack:
+            ok = fail(path, i,
+                      f"async span ({cat}, {name}, {span_id}) never closed")
+
+    if ok:
+        summary = " ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
+        print(f"{path}: OK — {len(events)} event(s): {summary}")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_trace.py TRACE.json [TRACE2.json ...]", file=sys.stderr)
+        return 2
+    all_ok = True
+    for path in argv[1:]:
+        all_ok = check_trace(path) and all_ok
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -52,9 +52,26 @@
 //
 //   incast_sim trace --input trace.csv [--line-rate 10Gbps]
 //       Runs the burst detector on a previously exported trace.
+//
+//   Observability flags, shared by burst / faults / fabric / fleet:
+//     --trace-out FILE          write a Chrome trace-event JSON of the run
+//                               (load in Perfetto / chrome://tracing;
+//                               validate with tools/check_trace.py)
+//     --metrics-out FILE        write the end-of-run metrics registry
+//                               snapshot as JSON
+//     --flight-recorder SPEC    arm the anomaly flight recorder; SPEC is
+//                               rto-storm[:N[:window_ms]] |
+//                               queue-collapse[:packets] | mode-shift
+//     --flight-recorder-out P   dump filename prefix (default "flight_";
+//                               dump n is written to P<n>.json)
+//   For faults, the baseline run is the observed one (sweep points run in
+//   parallel); for fleet, the (host 0, snapshot 0) cell is. Trace and
+//   metrics bytes are identical for every --jobs value.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +82,7 @@
 #include "core/incast_experiment.h"
 #include "core/report.h"
 #include "core/resilience_experiment.h"
+#include "obs/hub.h"
 #include "telemetry/trace_io.h"
 
 namespace {
@@ -109,6 +127,92 @@ std::vector<std::string> split_list(const std::string& csv) {
   }
   return out;
 }
+
+// The observability flags shared by every simulation subcommand. Parsing
+// constructs a Hub only when some flag asks for one, so an unobserved
+// invocation never allocates observability state at all.
+struct ObsCli {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string trigger_spec;
+  std::string dump_prefix;
+  std::unique_ptr<obs::Hub> hub;
+  int dump_write_errors{0};
+
+  // Must run before finish(args) so the flags are consumed. Returns false
+  // (after printing a diagnostic) on a malformed trigger spec.
+  bool parse(core::CliArgs& args) {
+    trace_out = args.get_or("trace-out", "");
+    metrics_out = args.get_or("metrics-out", "");
+    trigger_spec = args.get_or("flight-recorder", "");
+    dump_prefix = args.get_or("flight-recorder-out", "flight_");
+    if (trace_out.empty() && metrics_out.empty() && trigger_spec.empty()) return true;
+
+    hub = std::make_unique<obs::Hub>();
+    hub->tracer().set_enabled(!trace_out.empty());
+    if (!trigger_spec.empty()) {
+      const auto trigger = obs::parse_trigger(trigger_spec);
+      if (!trigger) {
+        std::fprintf(stderr,
+                     "error: bad --flight-recorder spec '%s' "
+                     "(rto-storm[:N[:window_ms]] | queue-collapse[:packets] | "
+                     "mode-shift)\n",
+                     trigger_spec.c_str());
+        return false;
+      }
+      hub->recorder().arm(*trigger);
+      hub->recorder().set_dump_sink(
+          [this](const std::string& reason, const std::vector<obs::TraceEvent>& ring) {
+            const std::string path =
+                dump_prefix + std::to_string(hub->recorder().dumps()) + ".json";
+            std::ofstream out{path};
+            if (!out) {
+              std::fprintf(stderr, "error: cannot write flight dump %s\n", path.c_str());
+              ++dump_write_errors;
+              return;
+            }
+            hub->write_dump(ring, out);
+            std::fprintf(stderr, "flight recorder: %s -> %s (%zu events)\n",
+                         reason.c_str(), path.c_str(), ring.size());
+          });
+    }
+    return true;
+  }
+
+  // Call after the experiment (its ExperimentObserver snapshots the metrics
+  // registry before components unregister). Returns 0, or 1 on I/O failure.
+  int write_outputs() {
+    if (!hub) return 0;
+    if (!trace_out.empty()) {
+      std::ofstream out{trace_out};
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      hub->write_trace(out);
+      std::printf("wrote trace: %zu event(s) (%llu dropped at capacity) to %s\n",
+                  hub->tracer().events().size(),
+                  static_cast<unsigned long long>(hub->tracer().dropped()),
+                  trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      if (!hub->has_final_metrics()) hub->capture_metrics(0);
+      std::ofstream out{metrics_out};
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+        return 1;
+      }
+      hub->final_metrics().write_json(out);
+      std::printf("wrote metrics: %zu metric(s) to %s\n",
+                  hub->final_metrics().entries.size(), metrics_out.c_str());
+    }
+    if (!trigger_spec.empty()) {
+      std::printf("flight recorder (%s): %d dump(s)\n", trigger_spec.c_str(),
+                  hub->recorder().dumps());
+    }
+    return dump_write_errors > 0 ? 1 : 0;
+  }
+};
 
 // Shared between `burst` and `faults` so the two subcommands agree on every
 // default — `faults` with all fault knobs at zero must reproduce `burst`.
@@ -169,14 +273,17 @@ int run_burst(core::CliArgs& args) {
   core::IncastExperimentConfig cfg;
   std::string cc_name;
   if (!parse_incast_config(args, cfg, cc_name)) return 2;
+  ObsCli obs_cli;
+  if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
+  cfg.hub = obs_cli.hub.get();
 
   std::printf("burst: %d x %s bursts of a %d-flow %s incast (seed %llu)\n",
               cfg.num_bursts, cfg.burst_duration.to_string().c_str(), cfg.num_flows,
               cc_name.c_str(), static_cast<unsigned long long>(cfg.seed));
   const auto r = core::run_incast_experiment(cfg);
   print_burst_table(r);
-  return 0;
+  return obs_cli.write_outputs();
 }
 
 int run_faults(core::CliArgs& args) {
@@ -227,7 +334,12 @@ int run_faults(core::CliArgs& args) {
   cfg.fault_template.ge_drop_bad = args.double_or("ge-loss-bad", 1.0, 0.0, 1.0);
   cfg.fault_template.ge_drop_good = args.double_or("ge-loss-good", 0.0, 0.0, 1.0);
   cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
+  ObsCli obs_cli;
+  if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
+  // Only the baseline is observed: sweep points run on worker threads and
+  // must not share the hub (run_resilience_experiment nulls it for them).
+  cfg.base.hub = obs_cli.hub.get();
 
   std::printf("faults: %d-flow %s incast, baseline + %zu fault point(s) (seed %llu)\n",
               cfg.base.num_flows, cc_name.c_str(),
@@ -270,7 +382,7 @@ int run_faults(core::CliArgs& args) {
   }
   std::printf("\n");
   core::print_sweep_stats(report.sweep);
-  return 0;
+  return obs_cli.write_outputs();
 }
 
 // Link names contain '.' and "->"; CSV filenames should not.
@@ -341,7 +453,10 @@ int run_fabric(core::CliArgs& args) {
                                       : workload::BurstSchedule::kAfterCompletion;
 
   const std::string telemetry_prefix = args.get_or("export-telemetry", "");
+  ObsCli obs_cli;
+  if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
+  cfg.hub = obs_cli.hub.get();
 
   const int num_leaves = cfg.fabric.num_pods * cfg.fabric.leaves_per_pod;
   const int uplinks = cfg.fabric.aggs_per_pod > 0 ? cfg.fabric.aggs_per_pod
@@ -421,7 +536,7 @@ int run_fabric(core::CliArgs& args) {
     std::printf("\nexported %d vantage trace(s) to %s*.csv\n", written,
                 telemetry_prefix.c_str());
   }
-  return 0;
+  return obs_cli.write_outputs();
 }
 
 int run_fleet(core::CliArgs& args) {
@@ -451,7 +566,12 @@ int run_fleet(core::CliArgs& args) {
   }
   const std::string csv_path = args.get_or("export-csv", "");
   cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
+  ObsCli obs_cli;
+  if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
+  // The hub observes the (host 0, snapshot 0) cell only, so trace and
+  // metrics output is byte-identical at any --jobs value.
+  cfg.hub = obs_cli.hub.get();
 
   std::printf("fleet: %d host(s) x %d snapshot(s) of '%s', %s traces\n", cfg.num_hosts,
               cfg.num_snapshots, service.c_str(), cfg.trace_duration.to_string().c_str());
@@ -502,7 +622,7 @@ int run_fleet(core::CliArgs& args) {
   t.print();
   std::printf("\n");
   core::print_sweep_stats(exp.last_sweep());
-  return 0;
+  return obs_cli.write_outputs();
 }
 
 int run_trace(core::CliArgs& args) {
