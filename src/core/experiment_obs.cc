@@ -5,6 +5,7 @@
 #include "fault/fault_injector.h"
 #include "net/queue.h"
 #include "obs/hub.h"
+#include "sim/simulator.h"
 
 namespace incast::core {
 
@@ -16,6 +17,21 @@ ExperimentObserver::~ExperimentObserver() {
   hub_->metrics().unregister_prefix("net.queue.");
   hub_->metrics().unregister_prefix("fault.injected.");
   hub_->metrics().unregister_prefix("core.incast.");
+  hub_->metrics().unregister_prefix("sim.events.");
+}
+
+void ExperimentObserver::watch_simulator(const sim::Simulator& sim) {
+  if (hub_ == nullptr) return;
+  auto& m = hub_->metrics();
+  m.register_counter("sim.events.processed", [&sim] {
+    return static_cast<std::int64_t>(sim.events_processed());
+  });
+  m.register_counter("sim.events.peak_pending", [&sim] {
+    return static_cast<std::int64_t>(sim.peak_events_pending());
+  });
+  m.register_counter("sim.events.slab_high_water", [&sim] {
+    return static_cast<std::int64_t>(sim.slab_high_water());
+  });
 }
 
 void ExperimentObserver::watch_queue(const std::string& link_name,

@@ -28,6 +28,10 @@ namespace incast::obs {
 class Hub;
 }  // namespace incast::obs
 
+namespace incast::sim {
+class Simulator;
+}  // namespace incast::sim
+
 namespace incast::core {
 
 class ExperimentObserver {
@@ -44,6 +48,11 @@ class ExperimentObserver {
   // Registers net.queue.<link_name>.{drops,ecn_marks,enqueued} pull sources
   // reading `queue`'s cumulative stats. The queue must outlive this object.
   void watch_queue(const std::string& link_name, const net::DropTailQueue& queue);
+
+  // Registers sim.events.{processed,peak_pending,slab_high_water} pull
+  // sources reading the event kernel's dispatch count and memory footprint.
+  // The simulator must outlive this object.
+  void watch_simulator(const sim::Simulator& sim);
 
   // Registers fault.injected.{drops,corrupt_bytes,corruptions,duplicates,
   // reorders} totals across every installed link fault. The injector must

@@ -109,6 +109,9 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   // Attach the hub before any component is built: senders cache the hub
   // pointer in their constructors.
   if (config.hub != nullptr) sim.set_hub(config.hub);
+  // Capacity hint: per-flow timers plus in-flight packets across the
+  // fabric's extra hops (each hop adds serialization + propagation events).
+  sim.reserve_events(static_cast<std::size_t>(config.num_flows) * 16 + 4096);
   fabric::FatTree fabric{sim, config.fabric};
 
   const int receiver_leaf = fabric.num_leaves() - 1;
@@ -190,6 +193,7 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   if (observer.active()) {
     fabric.link(bottleneck_link).set_trace_label(bottleneck_link);
     observer.watch_queue(bottleneck_link, fabric.downlink_queue(receiver_host));
+    observer.watch_simulator(sim);
     if (injector) observer.watch_faults(*injector);
   }
 
@@ -230,6 +234,8 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   result.queue_series = qmon.samples();
   result.events_processed = sim.events_processed();
   result.events_by_category = sim.events_by_category();
+  result.peak_events_pending = sim.peak_events_pending();
+  result.slab_high_water = sim.slab_high_water();
   if (injector) result.injected_drops = injector->total().injected_drops();
 
   const TcpCounters tcp_end = sum_counters(senders);

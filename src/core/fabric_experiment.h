@@ -126,6 +126,10 @@ struct FabricIncastExperimentResult {
 
   std::uint64_t events_processed{0};
   sim::EventCategoryCounts events_by_category{};
+  // Event-kernel footprint (sim/event_queue.h): peak pending heap depth and
+  // callback-slab high-water mark.
+  std::uint64_t peak_events_pending{0};
+  std::uint64_t slab_high_water{0};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

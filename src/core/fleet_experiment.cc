@@ -36,6 +36,9 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   if (config_.hub != nullptr && host == 0 && snapshot == 0) sim.set_hub(config_.hub);
   if (config_.profile_event_loop) sim.set_profiling(true);
   const workload::ServiceProfile& profile = config_.profile;
+  // Capacity hint: the generator keeps at most max_flows concurrent flows
+  // (hosts x flows in the sweep sense), each with timers and in-flight data.
+  sim.reserve_events(static_cast<std::size_t>(std::max(profile.max_flows, 1)) * 8 + 2048);
 
   const bool neighbor = config_.contention_mode == FleetConfig::ContentionMode::kNeighbor;
 
@@ -71,6 +74,7 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   if (observer.active()) {
     dumbbell.link(bottleneck_link).set_trace_label(bottleneck_link);
     observer.watch_queue(bottleneck_link, dumbbell.bottleneck_queue());
+    observer.watch_simulator(sim);
   }
 
   telemetry::QueueMonitor::Config qcfg;
@@ -130,6 +134,8 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   result.events_processed = sim.events_processed();
   result.events_by_category = sim.events_by_category();
   result.wall_ns_by_category = sim.wall_ns_by_category();
+  result.peak_events_pending = sim.peak_events_pending();
+  result.slab_high_water = sim.slab_high_water();
 
   // Snapshot the registry while the traffic generator's senders are alive.
   if (observer.active()) observer.finish(sim.now().ns(), {}, "safe");
@@ -147,6 +153,8 @@ std::vector<HostTraceResult> FleetExperiment::run_all() const {
         HostTraceResult r = run_host_trace(host, snapshot);
         stats.events = r.events_processed;
         stats.events_by_category = r.events_by_category;
+        stats.peak_events_pending = r.peak_events_pending;
+        stats.slab_high_water = r.slab_high_water;
         return r;
       });
   last_sweep_ = runner.last_run();

@@ -100,6 +100,9 @@ struct HostTraceResult {
   std::uint64_t events_processed{0};
   sim::EventCategoryCounts events_by_category{};
   std::array<double, sim::kNumEventCategories> wall_ns_by_category{};
+  // Event-kernel footprint (sim/event_queue.h).
+  std::uint64_t peak_events_pending{0};
+  std::uint64_t slab_high_water{0};
 
   // Per-1ms ToR queue watermarks (always retained; Figure 4a coarsens them
   // to production-style windows).

@@ -48,6 +48,10 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   // Attach the hub before any component is built: senders cache the hub
   // pointer in their constructors.
   if (config.hub != nullptr) sim.set_hub(config.hub);
+  // Capacity hint: each flow keeps a few timers armed plus its share of
+  // packets in flight; the constant floor covers telemetry tickers and the
+  // bottleneck queue's worth of delivery events.
+  sim.reserve_events(static_cast<std::size_t>(config.num_flows) * 8 + 2048);
 
   net::DumbbellConfig topo = config.topology;
   topo.num_senders = config.num_flows;
@@ -93,6 +97,7 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   if (observer.active()) {
     dumbbell.link(bottleneck_link).set_trace_label(bottleneck_link);
     observer.watch_queue(bottleneck_link, dumbbell.bottleneck_queue());
+    observer.watch_simulator(sim);
     if (injector) observer.watch_faults(*injector);
   }
 
@@ -161,6 +166,8 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   result.injected_drops_by_window = qmon.injected_drops_at_window_end();
   result.events_processed = sim.events_processed();
   result.events_by_category = sim.events_by_category();
+  result.peak_events_pending = sim.peak_events_pending();
+  result.slab_high_water = sim.slab_high_water();
 
   if (injector) {
     const fault::FaultCounters faults = injector->total();

@@ -147,6 +147,10 @@ struct IncastExperimentResult {
   // event category (always collected; the self-profiler's cheap half).
   std::uint64_t events_processed{0};
   sim::EventCategoryCounts events_by_category{};
+  // Event-kernel footprint: peak pending heap depth and callback-slab
+  // high-water mark (how many events were ever scheduled concurrently).
+  std::uint64_t peak_events_pending{0};
+  std::uint64_t slab_high_water{0};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

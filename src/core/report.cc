@@ -96,6 +96,12 @@ void print_sweep_stats(const sim::SweepRunner::RunStats& stats, std::size_t max_
                "sweep: %zu task(s) on %d job(s) in %.2f ms — %.0f events/s, %llu steal(s)\n",
                stats.tasks.size(), stats.jobs, stats.wall_ms, stats.events_per_second(),
                static_cast<unsigned long long>(stats.steals));
+  if (stats.slab_high_water > 0) {
+    std::fprintf(out,
+                 "event kernel: peak %llu pending, slab high-water %llu slot(s)\n",
+                 static_cast<unsigned long long>(stats.peak_events_pending),
+                 static_cast<unsigned long long>(stats.slab_high_water));
+  }
   std::uint64_t categorized = 0;
   for (const std::uint64_t n : stats.events_by_category) categorized += n;
   if (categorized > 0) {

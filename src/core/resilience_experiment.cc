@@ -94,6 +94,8 @@ ResilienceReport run_resilience_experiment(const ResilienceConfig& config) {
         point.result = run_incast_experiment(cfg);
         stats.events = point.result.events_processed;
         stats.events_by_category = point.result.events_by_category;
+        stats.peak_events_pending = point.result.peak_events_pending;
+        stats.slab_high_water = point.result.slab_high_water;
         point.goodput_rel = relative_goodput(report.baseline, point.result);
         if (point.flap_duration > sim::Time::zero()) {
           point.recovery_after_flap_ms = recovery_after_flap_ms(

@@ -64,40 +64,49 @@ void Port::maybe_transmit() {
   const sim::Time serialization = bandwidth_.serialization_time(next->size_bytes);
   // Two-phase delivery: the transmitter frees up after serialization, then
   // the packet arrives at the peer one propagation delay later. Packets on
-  // the wire are "in flight" inside the event queue, not in any buffer.
-  sim_.schedule_in(serialization, [this, p = std::move(*next)]() mutable {
+  // the wire live in the port's pool; the events carry only the handle.
+  Packet* p = pool_.acquire();
+  *p = std::move(*next);
+  sim_.schedule_in(serialization, [this, p] {
     busy_ = false;
-    deliver(std::move(p));
+    deliver(p);
     maybe_transmit();
   }, sim::EventCategory::kNet);
 }
 
-void Port::deliver(Packet p) {
-  for (TxTap* tap : tx_taps_) tap->on_transmit(p, sim_.now());
+void Port::deliver(Packet* p) {
+  for (TxTap* tap : tx_taps_) tap->on_transmit(*p, sim_.now());
   sim::Time delay = propagation_delay_;
   bool duplicate = false;
   if (hook_ != nullptr) {
-    const LinkHook::Verdict v = hook_->on_transmit(p, sim_.now());
-    if (v.drop) return;  // lost on the wire; no buffer ever held it
-    if (v.corrupt) p.corrupted = true;
+    const LinkHook::Verdict v = hook_->on_transmit(*p, sim_.now());
+    if (v.drop) {  // lost on the wire; no buffer ever held it
+      pool_.release(p);
+      return;
+    }
+    if (v.corrupt) p->corrupted = true;
     delay += v.extra_delay;
     duplicate = v.duplicate;
   }
   if (duplicate) {
     // Scheduled after the original at the same timestamp, so FIFO
     // tie-breaking delivers original-then-copy.
-    Packet copy = p;
-    sim_.schedule_in(delay, [this, p = std::move(p)]() mutable {
-      peer_->receive(std::move(p), peer_in_port_);
-    }, sim::EventCategory::kNet);
-    sim_.schedule_in(delay, [this, p = std::move(copy)]() mutable {
-      peer_->receive(std::move(p), peer_in_port_);
-    }, sim::EventCategory::kNet);
+    Packet* copy = pool_.acquire();
+    *copy = *p;
+    sim_.schedule_in(delay, [this, p] { arrive(p); }, sim::EventCategory::kNet);
+    sim_.schedule_in(delay, [this, copy] { arrive(copy); },
+                     sim::EventCategory::kNet);
     return;
   }
-  sim_.schedule_in(delay, [this, p = std::move(p)]() mutable {
-    peer_->receive(std::move(p), peer_in_port_);
-  }, sim::EventCategory::kNet);
+  sim_.schedule_in(delay, [this, p] { arrive(p); }, sim::EventCategory::kNet);
+}
+
+void Port::arrive(Packet* p) {
+  // Move to the stack and release the slot first: receive() can re-enter
+  // this port (a switch forwarding back out, a host ACKing) and acquire it.
+  Packet delivered = std::move(*p);
+  pool_.release(p);
+  peer_->receive(std::move(delivered), peer_in_port_);
 }
 
 void connect_duplex(Node& a, std::size_t ap, Node& b, std::size_t bp) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
@@ -113,13 +114,21 @@ class Port {
  private:
   void maybe_transmit();
   // Consults the hook (if any) and schedules the packet's arrival at the
-  // peer after propagation.
-  void deliver(Packet p);
+  // peer after propagation. `p` is a pooled handle owned by this port; it
+  // is released (or handed to the propagation event) before returning.
+  void deliver(Packet* p);
+  // Fires when a packet finishes propagating: moves it out of the pool and
+  // hands it to the peer.
+  void arrive(Packet* p);
 
   sim::Simulator& sim_;
   sim::Bandwidth bandwidth_;
   sim::Time propagation_delay_;
   DropTailQueue queue_;
+  // Storage for packets in flight on this port (being serialized or
+  // propagating). Closures capture {this, Packet*} — 16 bytes — instead of
+  // moving the full struct (INT stack included) through the event kernel.
+  PacketPool pool_;
   Node* peer_{nullptr};
   std::size_t peer_in_port_{0};
   bool busy_{false};

@@ -24,20 +24,43 @@ bool DropTailQueue::enqueue(Packet p) {
   }
 
   bytes_ += p.size_bytes;
-  items_.push_back(std::move(p));
+  ring_push(std::move(p));
   ++stats_.enqueued_packets;
   if (packets() > peak_packets_) peak_packets_ = packets();
   return true;
 }
 
 std::optional<Packet> DropTailQueue::dequeue() {
-  if (items_.empty()) return std::nullopt;
-  Packet p = std::move(items_.front());
-  items_.pop_front();
+  if (empty()) return std::nullopt;
+  Packet p = ring_pop();
   bytes_ -= p.size_bytes;
   if (pool_ != nullptr) pool_->release(p.size_bytes);
   ++stats_.dequeued_packets;
   stats_.dequeued_bytes += p.size_bytes;
+  return p;
+}
+
+void DropTailQueue::ring_push(Packet&& p) {
+  if (count_ == ring_.size()) {
+    // Grow by doubling, unwrapping head..tail into the new storage so the
+    // occupied region is contiguous from index 0 again.
+    std::vector<Packet> bigger;
+    bigger.reserve(ring_.empty() ? 16 : ring_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+    }
+    bigger.resize(bigger.capacity());
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) % ring_.size()] = std::move(p);
+  ++count_;
+}
+
+Packet DropTailQueue::ring_pop() {
+  Packet p = std::move(ring_[head_]);
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
   return p;
 }
 

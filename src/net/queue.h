@@ -8,9 +8,10 @@
 #ifndef INCAST_NET_QUEUE_H_
 #define INCAST_NET_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "net/packet.h"
 #include "net/shared_buffer.h"
@@ -52,9 +53,9 @@ class DropTailQueue {
   // Removes the head-of-line packet; nullopt if empty.
   std::optional<Packet> dequeue();
 
-  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
   [[nodiscard]] std::int64_t packets() const noexcept {
-    return static_cast<std::int64_t>(items_.size());
+    return static_cast<std::int64_t>(count_);
   }
   [[nodiscard]] std::int64_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -71,9 +72,20 @@ class DropTailQueue {
   }
 
  private:
+  // Appends to the ring, growing (rare; amortized away once the queue has
+  // seen its peak depth) when full.
+  void ring_push(Packet&& p);
+  // Removes and returns the head. Precondition: !empty().
+  [[nodiscard]] Packet ring_pop();
+
   Config config_;
   SharedBufferPool* pool_{nullptr};
-  std::deque<Packet> items_;
+  // FIFO storage as a power-of-two-free circular buffer over a plain
+  // vector: a deque's block churn costs an allocation per enqueue at
+  // Packet granularity, which the allocation-free kernel cannot afford.
+  std::vector<Packet> ring_;
+  std::size_t head_{0};
+  std::size_t count_{0};
   std::int64_t bytes_{0};
   std::int64_t peak_packets_{0};
   Stats stats_;

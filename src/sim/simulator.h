@@ -4,6 +4,13 @@
 // scheduling order. All simulation components hold a Simulator& and schedule
 // work through it; nothing in the simulation may consult wall-clock time.
 //
+// The hot path is allocation-free: callbacks are sim::InlineFunction (fixed
+// inline capture budget, compile error on oversize), the pending set is a
+// slab-backed 4-ary heap (sim/event_queue.h), and steady-state dispatch
+// performs no heap allocations and no hash-table operations. Callers that
+// know their peak event population can reserve_events() up front so the
+// heap/slab never grow mid-run.
+//
 // Self-profiling: every event carries an EventCategory and the loop keeps an
 // always-on per-category dispatch counter (a single array increment — see
 // BM_TracerOverhead for the gate proving it is free). set_profiling(true)
@@ -41,6 +48,14 @@ class Simulator {
   // Current simulated time. Advances only inside run()/run_until().
   [[nodiscard]] Time now() const noexcept { return now_; }
 
+  // Capacity hint: pre-sizes the event heap and callback slab for `n`
+  // concurrently pending events (typically hosts x flows x a small timer
+  // factor), so steady state never grows either structure.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
+  // Timestamp of the next pending event; Time::infinity() when idle.
+  [[nodiscard]] Time next_event_time() const { return queue_.next_time(); }
+
   // Schedules `cb` at absolute time `at` (must be >= now()).
   EventId schedule_at(Time at, Callback cb,
                       EventCategory category = EventCategory::kGeneric);
@@ -67,6 +82,16 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
   [[nodiscard]] std::size_t events_pending() const noexcept { return queue_.size(); }
+
+  // Peak pending-event depth and callback-slab high-water mark since
+  // construction — the kernel's memory footprint, surfaced through
+  // SweepRunner::RunStats and the sim.events.* metrics.
+  [[nodiscard]] std::size_t peak_events_pending() const noexcept {
+    return queue_.peak_pending();
+  }
+  [[nodiscard]] std::size_t slab_high_water() const noexcept {
+    return queue_.slab_high_water();
+  }
 
   // Dispatch counts bucketed by EventCategory (always maintained).
   [[nodiscard]] const EventCategoryCounts& events_by_category() const noexcept {

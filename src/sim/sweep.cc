@@ -1,5 +1,6 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -145,6 +146,9 @@ void SweepRunner::execute(std::size_t n,
     for (std::size_t c = 0; c < kNumEventCategories; ++c) {
       stats_.events_by_category[c] += st.events_by_category[c];
     }
+    stats_.peak_events_pending =
+        std::max(stats_.peak_events_pending, st.peak_events_pending);
+    stats_.slab_high_water = std::max(stats_.slab_high_water, st.slab_high_water);
   }
 }
 

@@ -50,6 +50,10 @@ class SweepRunner {
     // Per-category dispatch counts (copy the task Simulator's
     // events_by_category() here to surface the event-loop profile).
     EventCategoryCounts events_by_category{};
+    // Event-kernel memory footprint of the task's Simulator: peak pending
+    // heap depth and callback-slab high-water mark (sim/event_queue.h).
+    std::uint64_t peak_events_pending{0};
+    std::uint64_t slab_high_water{0};
   };
 
   struct RunStats {
@@ -59,6 +63,10 @@ class SweepRunner {
     std::uint64_t steals{0};      // tasks a worker took from another's deque
     // Sum of per-task category counts across the sweep.
     EventCategoryCounts events_by_category{};
+    // Max over tasks: the deepest any task's event kernel ran. Sizes
+    // reserve_events() hints for future runs of the same grid.
+    std::uint64_t peak_events_pending{0};
+    std::uint64_t slab_high_water{0};
     std::vector<TaskStats> tasks; // indexed by task index
 
     // Aggregate simulation throughput of the sweep.

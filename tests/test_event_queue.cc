@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
 
 namespace incast::sim {
@@ -106,14 +107,43 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, IdsAreUniqueAndMonotone) {
+TEST(EventQueue, PendingIdsAreUnique) {
   EventQueue q;
-  EventId prev = 0;
+  std::set<EventId> ids;
   for (int i = 0; i < 100; ++i) {
     const EventId id = q.push(1_us, [] {});
-    EXPECT_GT(id, prev);
-    prev = id;
+    EXPECT_NE(id, kInvalidEventId);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id among pending events";
   }
+}
+
+TEST(EventQueue, ReusedSlotGetsAFreshGeneration) {
+  // Fire an event, then schedule another: the slab reuses the slot, but the
+  // bumped generation must yield a different id, so the stale id cannot
+  // cancel the newcomer.
+  EventQueue q;
+  const EventId stale = q.push(1_us, [] {});
+  (void)q.pop();
+  const EventId fresh = q.push(2_us, [] {});
+  EXPECT_NE(fresh, stale);
+  q.cancel(stale);  // must not touch the slot's new occupant
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().at, 2_us);
+}
+
+TEST(EventQueue, GenerationSurvivesManyReuses) {
+  // Hammer one slot through many fire/reschedule cycles; a stale id from
+  // any earlier cycle must stay dead.
+  EventQueue q;
+  std::vector<EventId> history;
+  for (int i = 0; i < 1000; ++i) {
+    history.push_back(q.push(Time::microseconds(i), [] {}));
+    (void)q.pop();
+  }
+  const EventId live = q.push(5_ms, [] {});
+  for (const EventId old : history) q.cancel(old);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().id, live);
 }
 
 TEST(EventQueue, StressInterleavedPushPopCancel) {

@@ -12,16 +12,21 @@ gated.
 
 Usage:
   check_bench_regression.py --baseline tools/bench_baseline.json \
-      --current BENCH_micro.json [--threshold 0.25]
+      --current BENCH_micro.json [--threshold 0.25] \
+      [--require BM_SimulatorEventDispatch]
   check_bench_regression.py --baseline tools/bench_baseline.json \
       --current BENCH_micro.json --update   # refresh the baseline in place
 
-Exit codes: 0 ok, 1 regression found, 2 bad input.
+Exit codes: 0 ok, 1 regression found or required bench missing, 2 bad input.
 
-Benchmarks present in only one of the two files are reported but do not
-fail the gate (new benches have no baseline yet; retired ones are not
-regressions). Absolute numbers differ across machines — the baseline should
-be refreshed (--update) from the CI runner class it gates.
+Benchmarks present in only one of the two files are reported but by default
+do not fail the gate (new benches have no baseline yet; retired ones are not
+regressions). ``--require NAME`` (repeatable) hardens this for benches that
+must never silently disappear: a required bench missing from either file —
+e.g. because it errored out, like the dispatch bench does when its
+zero-allocation check trips — fails the gate just like a regression.
+Absolute numbers differ across machines — the baseline should be refreshed
+(--update) from the CI runner class it gates.
 """
 
 import argparse
@@ -40,8 +45,10 @@ def load_throughputs(path):
         sys.exit(2)
     out = {}
     for bench in data.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev of repetitions).
-        if bench.get("run_type") == "aggregate":
+        # Skip aggregate rows (mean/median/stddev of repetitions) and runs
+        # that errored out (e.g. the dispatch bench's zero-allocation check
+        # tripping) — an errored required bench must read as missing.
+        if bench.get("run_type") == "aggregate" or bench.get("error_occurred"):
             continue
         name = bench.get("name")
         if not name:
@@ -69,6 +76,10 @@ def main():
                         help="max tolerated fractional slowdown (default 0.25)")
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baseline with the current run and exit")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="benchmark that must be present in both files "
+                             "(repeatable); missing = gate failure")
     args = parser.parse_args()
 
     if args.update:
@@ -95,12 +106,20 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:<45} {'(no baseline)':>14} {current[name]:>14.3g}")
 
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-              f"{args.threshold:.0%}:", file=sys.stderr)
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x of baseline "
-                  f"({(1 - ratio):.0%} slower)", file=sys.stderr)
+    missing_required = [name for name in args.require
+                        if name not in baseline or name not in current]
+
+    if regressions or missing_required:
+        if regressions:
+            print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+                  f"than {args.threshold:.0%}:", file=sys.stderr)
+            for name, ratio in regressions:
+                print(f"  {name}: {ratio:.2f}x of baseline "
+                      f"({(1 - ratio):.0%} slower)", file=sys.stderr)
+        for name in missing_required:
+            where = "baseline" if name not in baseline else "current run"
+            print(f"FAIL: required benchmark {name} missing from {where} "
+                  f"(errored out or filtered?)", file=sys.stderr)
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
           f"({len(baseline)} gated)")
