@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -17,6 +18,7 @@
 #include "core/incast_experiment.h"
 #include "net/topology.h"
 #include "obs/hub.h"
+#include "sim/auditor.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -209,6 +211,62 @@ void BM_TracerOverhead(benchmark::State& state, bool traced) {
 }
 BENCHMARK_CAPTURE(BM_TracerOverhead, off, false)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_TracerOverhead, on, true)->Unit(benchmark::kMillisecond);
+
+void BM_AuditorOverhead(benchmark::State& state, bool audited) {
+  // The always-on price of the invariant auditor on the kernel's hottest
+  // path: the same 10k chained timer events as BM_SimulatorEventDispatch,
+  // with a relaxed-mode auditor attached (relaxed) or none (off). The
+  // relaxed/off throughput ratio is gated in CI at <= 3% slowdown — the
+  // auditor must stay cheap enough to leave on everywhere.
+  //
+  // A 3% signal drowns in run-to-run frequency/thermal noise if the two
+  // rows execute at different times, so BOTH modes run in every iteration
+  // of BOTH rows, back to back, and each row manually reports only its own
+  // mode's time — the pair always shares one noise environment.
+  //
+  // Like the dispatch bench, the relaxed row also asserts the
+  // zero-allocation contract: relaxed-mode checks are counter updates and
+  // compares, never heap traffic.
+  sim::Auditor auditor;
+  std::uint64_t steady_allocs = 0;
+  for (auto _ : state) {
+    double elapsed[2] = {0.0, 0.0};
+    for (int pass = 0; pass < 2; ++pass) {  // 0 = off, 1 = relaxed
+      sim::Simulator sim;
+#if INCAST_AUDIT_ENABLED
+      if (pass == 1) sim.set_auditor(&auditor);
+#endif
+      int count = 0;
+      sim.schedule_in(100_ns, Tick{&sim, &count});
+      sim.run_until(sim::Time::microseconds(10));  // warm-up: ~100 events
+      const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+      const auto t0 = std::chrono::steady_clock::now();
+      sim.run();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (pass == 1) {
+        steady_allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+      }
+      elapsed[pass] = std::chrono::duration<double>(t1 - t0).count();
+      benchmark::DoNotOptimize(count);
+    }
+    state.SetIterationTime(elapsed[audited ? 1 : 0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+  state.counters["steady_allocs"] = static_cast<double>(steady_allocs);
+  if (audited && steady_allocs != 0) {
+    state.SkipWithError("relaxed auditing allocated on the heap");
+  }
+}
+// Pinned repetitions (overriding --benchmark_repetitions): the CI gate
+// compares these two rows against each other, and best-of-7 lets both
+// rows' maxima converge to their true peak so the ratio is not at the
+// mercy of one noisy repetition window.
+BENCHMARK_CAPTURE(BM_AuditorOverhead, off, false)
+    ->UseManualTime()
+    ->Repetitions(7);
+BENCHMARK_CAPTURE(BM_AuditorOverhead, relaxed, true)
+    ->UseManualTime()
+    ->Repetitions(7);
 
 void BM_FatTreeIncast(benchmark::State& state) {
   // Events/second through a small two-tier fat-tree (2x2 leaves x 8 hosts,

@@ -1,0 +1,25 @@
+#include "core/error.h"
+
+namespace incast::core {
+
+const char* to_string(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::kConfig: return "config";
+    case ErrorCategory::kIo: return "io";
+    case ErrorCategory::kAudit: return "audit";
+    case ErrorCategory::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+int exit_code(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::kConfig: return 2;
+    case ErrorCategory::kIo: return 3;
+    case ErrorCategory::kAudit: return 4;
+    case ErrorCategory::kInternal: return 5;
+  }
+  return 5;
+}
+
+}  // namespace incast::core

@@ -1,0 +1,46 @@
+// core::Error — the driver-level error taxonomy.
+//
+// Everything the CLI can fail on falls into one of four categories, each
+// with a documented, stable exit code so scripts and CI can branch on the
+// *kind* of failure without parsing stderr:
+//
+//   kConfig   (exit 2) — the invocation itself is wrong: unknown flag, bad
+//                        value, journal/config fingerprint mismatch.
+//   kIo       (exit 3) — the config was fine but a file was not: unreadable
+//                        trace CSV, unwritable journal or export path.
+//   kAudit    (exit 4) — a run-hardening invariant or budget tripped
+//                        (sim::AuditFailure / sim::BudgetExceeded are mapped
+//                        to this category by the driver's top-level handler).
+//   kInternal (exit 5) — everything else: a bug, not an input problem.
+//
+// Signal-terminated runs exit with the shell convention 128 + signo
+// (130 = SIGINT, 143 = SIGTERM).
+#ifndef INCAST_CORE_ERROR_H_
+#define INCAST_CORE_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace incast::core {
+
+enum class ErrorCategory { kConfig, kIo, kAudit, kInternal };
+
+[[nodiscard]] const char* to_string(ErrorCategory category) noexcept;
+
+// The process exit code for a category: 2, 3, 4, 5 in declaration order.
+[[nodiscard]] int exit_code(ErrorCategory category) noexcept;
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCategory category, const std::string& message)
+      : std::runtime_error{message}, category_{category} {}
+
+  [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+
+ private:
+  ErrorCategory category_;
+};
+
+}  // namespace incast::core
+
+#endif  // INCAST_CORE_ERROR_H_

@@ -2,9 +2,12 @@
 
 #include <cstring>
 
+#include <string>
+
 #include "fault/fault_injector.h"
 #include "net/queue.h"
 #include "obs/hub.h"
+#include "sim/auditor.h"
 #include "sim/simulator.h"
 
 namespace incast::core {
@@ -18,6 +21,7 @@ ExperimentObserver::~ExperimentObserver() {
   hub_->metrics().unregister_prefix("fault.injected.");
   hub_->metrics().unregister_prefix("core.incast.");
   hub_->metrics().unregister_prefix("sim.events.");
+  hub_->metrics().unregister_prefix("sim.audit.");
 }
 
 void ExperimentObserver::watch_simulator(const sim::Simulator& sim) {
@@ -59,6 +63,37 @@ void ExperimentObserver::watch_faults(const fault::FaultInjector& injector) {
                      [&injector] { return injector.total().duplicated; });
   m.register_counter("fault.injected.reorders",
                      [&injector] { return injector.total().reordered; });
+}
+
+void ExperimentObserver::watch_auditor(sim::Auditor& auditor, const sim::Simulator& sim) {
+  if (hub_ == nullptr) return;
+  auto& m = hub_->metrics();
+  m.register_counter("sim.audit.violations", [&auditor] {
+    return static_cast<std::int64_t>(auditor.total_violations());
+  });
+  for (std::size_t i = 0; i < sim::kNumAuditInvariants; ++i) {
+    const auto inv = static_cast<sim::AuditInvariant>(i);
+    m.register_counter(std::string{"sim.audit.violations."} + sim::to_string(inv),
+                       [&auditor, inv] {
+                         return static_cast<std::int64_t>(auditor.violations(inv));
+                       });
+  }
+  m.register_counter("sim.audit.injected_bytes",
+                     [&auditor] { return auditor.injected_bytes(); });
+  m.register_counter("sim.audit.delivered_bytes",
+                     [&auditor] { return auditor.delivered_bytes(); });
+  m.register_counter("sim.audit.dropped_bytes",
+                     [&auditor] { return auditor.dropped_bytes(); });
+
+  // Violations are exactly the anomalies the flight recorder exists for:
+  // dump the ring on every one, strict or relaxed. The sink runs before
+  // strict mode throws, so the dump always lands.
+  obs::Hub* hub = hub_;
+  auditor.set_violation_sink([hub, &sim](const sim::Auditor::Violation& v) {
+    hub->recorder().force_dump(sim.now().ns(),
+                               std::string{"audit:"} + sim::to_string(v.invariant) +
+                                   ": " + v.detail);
+  });
 }
 
 void ExperimentObserver::finish(std::int64_t at_ns, const std::vector<double>& bct_ms,

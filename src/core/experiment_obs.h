@@ -29,6 +29,7 @@ class Hub;
 }  // namespace incast::obs
 
 namespace incast::sim {
+class Auditor;
 class Simulator;
 }  // namespace incast::sim
 
@@ -58,6 +59,13 @@ class ExperimentObserver {
   // reorders} totals across every installed link fault. The injector must
   // outlive this object.
   void watch_faults(const fault::FaultInjector& injector);
+
+  // Registers sim.audit.{violations,violations.<invariant>,injected_bytes,
+  // delivered_bytes,dropped_bytes} pull sources reading the run-hardening
+  // auditor's counters, and routes every violation into the flight recorder
+  // as a forced dump (relaxed mode included — a violation is exactly the
+  // anomaly the recorder exists for). The auditor must outlive this object.
+  void watch_auditor(sim::Auditor& auditor, const sim::Simulator& sim);
 
   // End-of-run bookkeeping, called while every metric source is still
   // alive: records measured burst completion times into the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -109,6 +110,15 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   // Attach the hub before any component is built: senders cache the hub
   // pointer in their constructors.
   if (config.hub != nullptr) sim.set_hub(config.hub);
+#if INCAST_AUDIT_ENABLED
+  std::optional<sim::Auditor> auditor;
+  if (config.audit_mode != sim::AuditMode::kOff) {
+    sim::Auditor::Config acfg = config.audit;
+    acfg.strict = config.audit_mode == sim::AuditMode::kStrict;
+    auditor.emplace(acfg);
+    sim.set_auditor(&*auditor);
+  }
+#endif
   // Capacity hint: per-flow timers plus in-flight packets across the
   // fabric's extra hops (each hop adds serialization + propagation events).
   sim.reserve_events(static_cast<std::size_t>(config.num_flows) * 16 + 4096);
@@ -195,6 +205,9 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
     observer.watch_queue(bottleneck_link, fabric.downlink_queue(receiver_host));
     observer.watch_simulator(sim);
     if (injector) observer.watch_faults(*injector);
+#if INCAST_AUDIT_ENABLED
+    if (auditor) observer.watch_auditor(*auditor, sim);
+#endif
   }
 
   telemetry::QueueMonitor::Config qcfg;
@@ -221,6 +234,9 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
 
   // Loud teardown: a blackholed packet is a routing bug, not noise.
   net::check_no_unrouted(fabric.switches());
+#if INCAST_AUDIT_ENABLED
+  if (auditor) auditor->check_conservation(fabric.residual_buffered_bytes());
+#endif
 
   const sim::Time trace_end = sim.now();
   host_sampler.finalize(trace_end);
@@ -236,6 +252,9 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   result.events_by_category = sim.events_by_category();
   result.peak_events_pending = sim.peak_events_pending();
   result.slab_high_water = sim.slab_high_water();
+#if INCAST_AUDIT_ENABLED
+  if (auditor) result.audit_violations = auditor->total_violations();
+#endif
   if (injector) result.injected_drops = injector->total().injected_drops();
 
   const TcpCounters tcp_end = sum_counters(senders);

@@ -61,6 +61,10 @@ struct FabricIncastExperimentConfig {
   // IncastExperimentConfig::hub).
   obs::Hub* hub{nullptr};
 
+  // Run-hardening (see IncastExperimentConfig::audit_mode).
+  sim::AuditMode audit_mode{sim::AuditMode::kRelaxed};
+  sim::Auditor::Config audit{};
+
   std::uint64_t seed{1};
 };
 
@@ -130,6 +134,10 @@ struct FabricIncastExperimentResult {
   // callback-slab high-water mark.
   std::uint64_t peak_events_pending{0};
   std::uint64_t slab_high_water{0};
+
+  // Auditor invariant violations observed during the run (0 when auditing
+  // is off or compiled out).
+  std::uint64_t audit_violations{0};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/experiment_obs.h"
@@ -35,6 +37,16 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   // component is built (senders cache the hub pointer in their ctors).
   if (config_.hub != nullptr && host == 0 && snapshot == 0) sim.set_hub(config_.hub);
   if (config_.profile_event_loop) sim.set_profiling(true);
+
+#if INCAST_AUDIT_ENABLED
+  std::optional<sim::Auditor> auditor;
+  if (config_.audit_mode != sim::AuditMode::kOff) {
+    sim::Auditor::Config acfg = config_.audit;
+    acfg.strict = config_.audit_mode == sim::AuditMode::kStrict;
+    auditor.emplace(acfg);
+    sim.set_auditor(&*auditor);
+  }
+#endif
   const workload::ServiceProfile& profile = config_.profile;
   // Capacity hint: the generator keeps at most max_flows concurrent flows
   // (hosts x flows in the sweep sense), each with timers and in-flight data.
@@ -75,6 +87,9 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
     dumbbell.link(bottleneck_link).set_trace_label(bottleneck_link);
     observer.watch_queue(bottleneck_link, dumbbell.bottleneck_queue());
     observer.watch_simulator(sim);
+#if INCAST_AUDIT_ENABLED
+    if (auditor) observer.watch_auditor(*auditor, sim);
+#endif
   }
 
   telemetry::QueueMonitor::Config qcfg;
@@ -114,8 +129,14 @@ HostTraceResult FleetExperiment::run_host_trace(int host, int snapshot) const {
   sim.run_until(until + sim::Time::milliseconds(50));
   sampler.finalize(until);
   net::check_no_unrouted(dumbbell.switches());
+#if INCAST_AUDIT_ENABLED
+  if (auditor) auditor->check_conservation(dumbbell.residual_buffered_bytes());
+#endif
 
   HostTraceResult result;
+#if INCAST_AUDIT_ENABLED
+  if (auditor) result.audit_violations = auditor->total_violations();
+#endif
   result.host = host;
   result.snapshot = snapshot;
   result.alt_regime = gen_cfg.alt_regime;
@@ -146,15 +167,39 @@ std::vector<HostTraceResult> FleetExperiment::run_all() const {
   const auto n = static_cast<std::size_t>(config_.num_hosts) *
                  static_cast<std::size_t>(config_.num_snapshots);
   sim::SweepRunner runner{config_.jobs};
+  sim::SweepRunner::Policy policy = config_.sweep;
+  if (!policy.seed_of) {
+    policy.seed_of = [this](std::size_t index) {
+      const int snapshot = static_cast<int>(index) / config_.num_hosts;
+      const int host = static_cast<int>(index) % config_.num_hosts;
+      return trace_seed(host, snapshot);
+    };
+  }
+  runner.set_policy(std::move(policy));
   auto results = runner.run<HostTraceResult>(
       n, [this](std::size_t index, sim::SweepRunner::TaskStats& stats) {
         const int snapshot = static_cast<int>(index) / config_.num_hosts;
         const int host = static_cast<int>(index) % config_.num_hosts;
+        if (config_.resume) {
+          HostTraceResult cached;
+          if (config_.resume(index, cached)) {
+            stats.events = cached.events_processed;
+            stats.events_by_category = cached.events_by_category;
+            stats.peak_events_pending = cached.peak_events_pending;
+            stats.slab_high_water = cached.slab_high_water;
+            return cached;
+          }
+        }
+        if (static_cast<int>(index) == config_.fail_cell_for_test) {
+          throw std::runtime_error{"forced failure (fail_cell_for_test) at cell " +
+                                   std::to_string(index)};
+        }
         HostTraceResult r = run_host_trace(host, snapshot);
         stats.events = r.events_processed;
         stats.events_by_category = r.events_by_category;
         stats.peak_events_pending = r.peak_events_pending;
         stats.slab_high_water = r.slab_high_water;
+        if (config_.on_result) config_.on_result(index, trace_seed(host, snapshot), r);
         return r;
       });
   last_sweep_ = runner.last_run();

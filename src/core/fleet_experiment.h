@@ -13,9 +13,11 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "analysis/burst_detector.h"
+#include "sim/auditor.h"
 #include "sim/event_category.h"
 #include "sim/sweep.h"
 #include "tcp/tcp_config.h"
@@ -27,6 +29,8 @@ class Hub;
 }  // namespace incast::obs
 
 namespace incast::core {
+
+struct HostTraceResult;
 
 struct FleetConfig {
   workload::ServiceProfile profile;
@@ -82,6 +86,31 @@ struct FleetConfig {
   // simulator. Costs two steady_clock reads per event; results (the
   // category histogram) land in HostTraceResult::wall_ns_by_category.
   bool profile_event_loop{false};
+
+  // Run-hardening (see sim/auditor.h): every cell runs under its own
+  // auditor with these budgets/bounds; audit.strict is overridden from
+  // audit_mode. kRelaxed (the default) never perturbs results.
+  sim::AuditMode audit_mode{sim::AuditMode::kRelaxed};
+  sim::Auditor::Config audit{};
+
+  // Fault-isolation policy for run_all() (sweep.seed_of is filled in by
+  // the experiment from the cell-seed derivation when unset). The default
+  // — fail_fast — reproduces the historical abort-on-first-error behavior.
+  sim::SweepRunner::Policy sweep{};
+
+  // Checkpoint/resume hooks (core::TaskJournal wires these from the CLI).
+  // `resume` is consulted before a cell runs: return true and fill the
+  // result to skip the simulation entirely. `on_result` fires after every
+  // freshly-run cell (from the worker thread that ran it) with the cell's
+  // derived seed.
+  std::function<bool(std::size_t index, HostTraceResult& out)> resume{};
+  std::function<void(std::size_t index, std::uint64_t seed, const HostTraceResult&)>
+      on_result{};
+
+  // Test hook: the cell at this sweep index (snapshot * num_hosts + host)
+  // throws instead of running, exercising the sweep layer's fault
+  // isolation. -1 (the default) disables.
+  int fail_cell_for_test{-1};
 };
 
 struct HostTraceResult {
@@ -103,6 +132,9 @@ struct HostTraceResult {
   // Event-kernel footprint (sim/event_queue.h).
   std::uint64_t peak_events_pending{0};
   std::uint64_t slab_high_water{0};
+  // Auditor invariant violations observed during this trace (0 when the
+  // audit layer is off or compiled out).
+  std::uint64_t audit_violations{0};
 
   // Per-1ms ToR queue watermarks (always retained; Figure 4a coarsens them
   // to production-style windows).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/experiment_obs.h"
@@ -48,6 +49,19 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   // Attach the hub before any component is built: senders cache the hub
   // pointer in their constructors.
   if (config.hub != nullptr) sim.set_hub(config.hub);
+
+#if INCAST_AUDIT_ENABLED
+  // Run-hardening: attach the invariant auditor before any component is
+  // built so every hook (dispatch, conservation, TCP bounds) is live from
+  // the first event. Relaxed mode only observes — results stay identical.
+  std::optional<sim::Auditor> auditor;
+  if (config.audit_mode != sim::AuditMode::kOff) {
+    sim::Auditor::Config acfg = config.audit;
+    acfg.strict = config.audit_mode == sim::AuditMode::kStrict;
+    auditor.emplace(acfg);
+    sim.set_auditor(&*auditor);
+  }
+#endif
   // Capacity hint: each flow keeps a few timers armed plus its share of
   // packets in flight; the constant floor covers telemetry tickers and the
   // bottleneck queue's worth of delivery events.
@@ -99,6 +113,9 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
     observer.watch_queue(bottleneck_link, dumbbell.bottleneck_queue());
     observer.watch_simulator(sim);
     if (injector) observer.watch_faults(*injector);
+#if INCAST_AUDIT_ENABLED
+    if (auditor) observer.watch_auditor(*auditor, sim);
+#endif
   }
 
   telemetry::QueueMonitor::Config qcfg;
@@ -158,7 +175,16 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
   // the switch and destination.
   net::check_no_unrouted(dumbbell.switches());
 
+#if INCAST_AUDIT_ENABLED
+  // Teardown ledger check: every injected byte must now be delivered,
+  // dropped, or still buffered in a queue / on a wire somewhere.
+  if (auditor) auditor->check_conservation(dumbbell.residual_buffered_bytes());
+#endif
+
   IncastExperimentResult result;
+#if INCAST_AUDIT_ENABLED
+  if (auditor) result.audit_violations = auditor->total_violations();
+#endif
   result.bursts = driver.bursts();
   result.queue_series = qmon.samples();
   result.queue_offset_step = config.queue_sample_every;

@@ -16,6 +16,7 @@
 
 #include "fault/fault_injector.h"
 #include "net/topology.h"
+#include "sim/auditor.h"
 #include "sim/event_category.h"
 #include "tcp/tcp_config.h"
 #include "telemetry/inflight_sampler.h"
@@ -87,6 +88,14 @@ struct IncastExperimentConfig {
   // byte-identical to the pre-observability behavior.
   obs::Hub* hub{nullptr};
 
+  // Run-hardening (see sim/auditor.h): kRelaxed (default) counts invariant
+  // violations into the result without perturbing the run; kStrict aborts
+  // on the first violation; kOff attaches no auditor. `audit` carries the
+  // bounds, execution budgets and cancellation flag; its strict field is
+  // overridden from audit_mode. A no-op under -DINCAST_AUDIT=OFF.
+  sim::AuditMode audit_mode{sim::AuditMode::kRelaxed};
+  sim::Auditor::Config audit{};
+
   std::uint64_t seed{1};
 };
 
@@ -151,6 +160,11 @@ struct IncastExperimentResult {
   // high-water mark (how many events were ever scheduled concurrently).
   std::uint64_t peak_events_pending{0};
   std::uint64_t slab_high_water{0};
+
+  // Total auditor invariant violations observed during the run (always 0
+  // in strict mode — the first one aborts — and under -DINCAST_AUDIT=OFF
+  // or audit_mode kOff).
+  std::uint64_t audit_violations{0};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

@@ -1,0 +1,353 @@
+#include "core/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace incast::core {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw std::runtime_error(std::string{"json: value is not "} + wanted);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& v, std::string& out);
+
+void dump_double(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; the journal never stores them, but a defensive
+    // null beats emitting an unparseable token.
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+  // Ensure a double re-parses as a double, not an int.
+  if (out.find_first_of(".eEn", out.size() - std::char_traits<char>::length(buf)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+void dump_value(const Json& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    dump_double(v.as_double(), out);
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Json& e : v.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(e, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : v.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      append_escaped(out, key);
+      out.push_back(':');
+      dump_value(value, out);
+    }
+    out.push_back('}');
+  }
+}
+
+// Recursive-descent parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json{parse_string()};
+      case 't':
+        if (consume_literal("true")) return Json{true};
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json{false};
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json{nullptr};
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // We only ever emit \u00XX for control bytes; encode the BMP code
+          // point as UTF-8 so round-trips are lossless for what we write.
+          if (value < 0x80) {
+            out.push_back(static_cast<char>(value));
+          } else if (value < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (value >> 6)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (value >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("bad number");
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) return Json{value};
+      // Out-of-range integer (e.g. a uint64 seed someone wrote by hand):
+      // fall through to double.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) fail("bad number");
+    return Json{value};
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json{std::move(out)};
+    }
+    for (;;) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Json{std::move(out)};
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json{std::move(out)};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Json{std::move(out)};
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("a bool");
+  return std::get<bool>(value_);
+}
+
+std::int64_t Json::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(value_);
+  if (is_double()) {
+    const double d = std::get<double>(value_);
+    if (d == static_cast<double>(static_cast<std::int64_t>(d))) {
+      return static_cast<std::int64_t>(d);
+    }
+  }
+  type_error("an integer");
+}
+
+double Json::as_double() const {
+  if (is_double()) return std::get<double>(value_);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  type_error("a number");
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<Object>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  if (found == nullptr) throw std::runtime_error("json: missing key '" + key + "'");
+  return *found;
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  if (!is_object()) return nullptr;
+  const Object& obj = std::get<Object>(value_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser{text}.parse_document(); }
+
+}  // namespace incast::core

@@ -1,0 +1,83 @@
+// core::Json — a minimal JSON value for the task journal and metrics-style
+// outputs. Deliberately tiny: objects are sorted maps (so serialization is
+// deterministic), numbers are either int64 or double (doubles round-trip
+// via %.17g), and there is no Unicode transcoding beyond \uXXXX pass-through
+// of the escapes we emit. This is a journal format we both write and read —
+// not a general-purpose JSON library.
+#ifndef INCAST_CORE_JSON_H_
+#define INCAST_CORE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace incast::core {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() noexcept : value_{nullptr} {}
+  Json(std::nullptr_t) noexcept : value_{nullptr} {}
+  Json(bool b) noexcept : value_{b} {}
+  Json(std::int64_t i) noexcept : value_{i} {}
+  Json(int i) noexcept : value_{static_cast<std::int64_t>(i)} {}
+  Json(std::uint64_t u) : value_{static_cast<std::int64_t>(u)} {}
+  Json(double d) noexcept : value_{d} {}
+  Json(std::string s) : value_{std::move(s)} {}
+  Json(const char* s) : value_{std::string{s}} {}
+  Json(Array a) : value_{std::move(a)} {}
+  Json(Object o) : value_{std::move(o)} {}
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(value_);
+  }
+  [[nodiscard]] bool is_double() const noexcept {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_number() const noexcept { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  // Checked accessors: throw std::runtime_error on a type mismatch (the
+  // journal loader catches and reports a malformed record).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;    // accepts an integral double
+  [[nodiscard]] double as_double() const;       // accepts an int
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  // Object field lookup; throws when this is not an object or the key is
+  // absent. `find` is the non-throwing variant (nullptr when absent).
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const Json* find(const std::string& key) const noexcept;
+
+  // Compact single-line serialization (the journal is one JSON value per
+  // line, so the output never contains a raw newline).
+  [[nodiscard]] std::string dump() const;
+
+  // Parses exactly one JSON value (surrounding whitespace allowed; trailing
+  // garbage is an error). Throws std::runtime_error with a byte offset.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> value_;
+};
+
+}  // namespace incast::core
+
+#endif  // INCAST_CORE_JSON_H_

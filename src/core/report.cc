@@ -102,6 +102,19 @@ void print_sweep_stats(const sim::SweepRunner::RunStats& stats, std::size_t max_
                  static_cast<unsigned long long>(stats.peak_events_pending),
                  static_cast<unsigned long long>(stats.slab_high_water));
   }
+  if (!stats.failures.empty() || stats.retries > 0 || stats.tasks_not_run > 0) {
+    std::fprintf(out,
+                 "quarantine: %zu task(s) failed, %llu retr%s, %llu task(s) not run\n",
+                 stats.failures.size(),
+                 static_cast<unsigned long long>(stats.retries),
+                 stats.retries == 1 ? "y" : "ies",
+                 static_cast<unsigned long long>(stats.tasks_not_run));
+    for (const sim::TaskFailure& f : stats.failures) {
+      std::fprintf(out, "  task %zu (seed %llu, %d attempt(s)) [%s]: %s\n", f.index,
+                   static_cast<unsigned long long>(f.seed), f.attempts,
+                   sim::to_string(f.category), f.message.c_str());
+    }
+  }
   std::uint64_t categorized = 0;
   for (const std::uint64_t n : stats.events_by_category) categorized += n;
   if (categorized > 0) {

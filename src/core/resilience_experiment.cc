@@ -74,9 +74,21 @@ ResilienceReport run_resilience_experiment(const ResilienceConfig& config) {
   }
 
   sim::SweepRunner runner{config.jobs};
+  sim::SweepRunner::Policy policy = config.sweep;
+  if (!policy.seed_of) {
+    policy.seed_of = [seed = config.base.seed](std::size_t) { return seed; };
+  }
+  runner.set_policy(std::move(policy));
   report.points = runner.run<ResiliencePoint>(
       skeletons.size(), [&](std::size_t index, sim::SweepRunner::TaskStats& stats) {
         ResiliencePoint point = skeletons[index];
+        if (config.resume && config.resume(index, point)) {
+          stats.events = point.result.events_processed;
+          stats.events_by_category = point.result.events_by_category;
+          stats.peak_events_pending = point.result.peak_events_pending;
+          stats.slab_high_water = point.result.slab_high_water;
+          return point;
+        }
         IncastExperimentConfig cfg = config.base;
         cfg.faults = FaultProfile{};
         // Only the baseline is observed: sweep points run concurrently and
@@ -102,6 +114,7 @@ ResilienceReport run_resilience_experiment(const ResilienceConfig& config) {
               point.result, config.flap_at + point.flap_duration);
         }
         point.mode = classify_mode(point.result);
+        if (config.on_result) config.on_result(index, config.base.seed, point);
         return point;
       });
   report.sweep = runner.last_run();

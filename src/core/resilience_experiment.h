@@ -11,6 +11,7 @@
 #ifndef INCAST_CORE_RESILIENCE_EXPERIMENT_H_
 #define INCAST_CORE_RESILIENCE_EXPERIMENT_H_
 
+#include <functional>
 #include <vector>
 
 #include "core/incast_experiment.h"
@@ -36,6 +37,20 @@ enum class DctcpMode {
 
 [[nodiscard]] DctcpMode classify_mode(const IncastExperimentResult& result);
 
+struct ResiliencePoint {
+  double drop_rate{0.0};
+  sim::Time flap_duration{sim::Time::zero()};
+  IncastExperimentResult result;
+  // Baseline avg BCT / this point's avg BCT. Under the equal-demand cyclic
+  // workload each burst delivers a fixed byte count, so inverse completion
+  // time is goodput; 1.0 = no degradation.
+  double goodput_rel{1.0};
+  // For flap points: time from link restoration until the burst that was in
+  // flight during the flap completes (zero when the flap hit an idle gap).
+  double recovery_after_flap_ms{0.0};
+  DctcpMode mode{DctcpMode::kSafe};
+};
+
 struct ResilienceConfig {
   // Base experiment (flows, CC, queue, schedule, seed ...). Its `faults`
   // field is ignored; each sweep point installs its own profile.
@@ -60,22 +75,22 @@ struct ResilienceConfig {
   // an independent simulation sharing only the immutable base config, so
   // the report is identical for any value. 1 = inline; <= 0 =
   // hardware_concurrency. The baseline always runs first (points need it
-  // for goodput normalization).
+  // for goodput normalization) and is never part of the sweep.
   int jobs{1};
-};
 
-struct ResiliencePoint {
-  double drop_rate{0.0};
-  sim::Time flap_duration{sim::Time::zero()};
-  IncastExperimentResult result;
-  // Baseline avg BCT / this point's avg BCT. Under the equal-demand cyclic
-  // workload each burst delivers a fixed byte count, so inverse completion
-  // time is goodput; 1.0 = no degradation.
-  double goodput_rel{1.0};
-  // For flap points: time from link restoration until the burst that was in
-  // flight during the flap completes (zero when the flap hit an idle gap).
-  double recovery_after_flap_ms{0.0};
-  DctcpMode mode{DctcpMode::kSafe};
+  // Fault-isolation policy for the sweep points (sim::SweepRunner::Policy);
+  // the baseline ignores it — a baseline failure always aborts, because
+  // every point's goodput is normalized against it. seed_of defaults to the
+  // shared base seed (points deliberately reuse it; see run()).
+  sim::SweepRunner::Policy sweep{};
+
+  // Checkpoint/resume hooks (core::TaskJournal wires these from the CLI).
+  // `resume` is consulted before a point runs: return true and fill the
+  // point to skip its simulation. `on_result` fires after every freshly-run
+  // point, from the worker thread that ran it.
+  std::function<bool(std::size_t index, ResiliencePoint& out)> resume{};
+  std::function<void(std::size_t index, std::uint64_t seed, const ResiliencePoint&)>
+      on_result{};
 };
 
 struct ResilienceReport {

@@ -1,0 +1,459 @@
+#include "core/task_journal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "core/error.h"
+
+namespace incast::core {
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+constexpr const char* kJournalMagic = "incast-task-journal";
+constexpr std::int64_t kJournalVersion = 1;
+
+// Canonical-string helpers: "key=value|" pieces in a fixed order. Doubles
+// use %.17g so the string (and hence the fingerprint) round-trips the exact
+// value the run will use.
+void put(std::string& out, const char* key, std::int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%" PRId64 "|", key, value);
+  out += buf;
+}
+
+void put_u64(std::string& out, const char* key, std::uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%" PRIu64 "|", key, value);
+  out += buf;
+}
+
+void put(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.17g|", key, value);
+  out += buf;
+}
+
+void put(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += '|';
+}
+
+void put_time(std::string& out, const char* key, sim::Time t) { put(out, key, t.ns()); }
+
+void put_profile(std::string& out, const workload::ServiceProfile& p) {
+  put(out, "service", p.name);
+  put(out, "bursts_per_second", p.bursts_per_second);
+  put(out, "body_median_flows", p.body_median_flows);
+  put(out, "body_sigma", p.body_sigma);
+  put(out, "min_flows", static_cast<std::int64_t>(p.min_flows));
+  put(out, "max_flows", static_cast<std::int64_t>(p.max_flows));
+  put(out, "low_mode_probability", p.low_mode_probability);
+  put(out, "low_mode_min", static_cast<std::int64_t>(p.low_mode_min));
+  put(out, "low_mode_max", static_cast<std::int64_t>(p.low_mode_max));
+  put(out, "alt_median_flows", p.alt_median_flows);
+  put(out, "duration_geometric_p", p.duration_geometric_p);
+  put(out, "max_duration_ms", static_cast<std::int64_t>(p.max_duration_ms));
+  put(out, "util_lo", p.util_lo);
+  put(out, "util_hi", p.util_hi);
+  put(out, "host_sigma", p.host_sigma);
+}
+
+void put_tcp(std::string& out, const tcp::TcpConfig& tcp) {
+  put(out, "cc", static_cast<std::int64_t>(tcp.cc));
+  put(out, "mss_bytes", tcp.mss_bytes);
+  put_time(out, "min_rto", tcp.rtt.min_rto);
+  put(out, "cwnd_cap_bytes", tcp.cwnd_cap_bytes.value_or(0));
+  put(out, "tlp", static_cast<std::int64_t>(tcp.tail_loss_probe ? 1 : 0));
+  put(out, "int_telemetry", static_cast<std::int64_t>(tcp.int_telemetry ? 1 : 0));
+}
+
+void put_fault(std::string& out, const char* prefix, const fault::LinkFaultConfig& f) {
+  std::string key{prefix};
+  const auto add_d = [&](const char* name, double v) {
+    put(out, (key + name).c_str(), v);
+  };
+  add_d("drop_rate", f.drop_rate);
+  add_d("corrupt_rate", f.corrupt_rate);
+  add_d("duplicate_rate", f.duplicate_rate);
+  add_d("reorder_rate", f.reorder_rate);
+  put(out, (key + "reorder_max_delay").c_str(), f.reorder_max_delay.ns());
+  add_d("ge_good_to_bad", f.ge_good_to_bad);
+  add_d("ge_bad_to_good", f.ge_bad_to_good);
+  add_d("ge_drop_bad", f.ge_drop_bad);
+  add_d("ge_drop_good", f.ge_drop_good);
+}
+
+}  // namespace
+
+std::string canonical_config(const FleetConfig& config) {
+  std::string out{"fleet|"};
+  put_profile(out, config.profile);
+  put(out, "num_hosts", static_cast<std::int64_t>(config.num_hosts));
+  put(out, "num_snapshots", static_cast<std::int64_t>(config.num_snapshots));
+  put_time(out, "trace_duration", config.trace_duration);
+  put(out, "queue_capacity_packets", config.queue_capacity_packets);
+  put(out, "ecn_threshold_fraction", config.ecn_threshold_fraction);
+  put(out, "shared_pool_bytes", config.shared_pool_bytes);
+  put(out, "contention_mode", static_cast<std::int64_t>(config.contention_mode));
+  put_time(out, "contention_mean_on", config.contention.mean_on);
+  put_time(out, "contention_mean_off", config.contention.mean_off);
+  put(out, "contention_min_fraction", config.contention.min_fraction);
+  put(out, "contention_max_fraction", config.contention.max_fraction);
+  put_tcp(out, config.tcp);
+  put(out, "nic_rate_bps", config.nic_rate.bps());
+  put(out, "regime_block_snapshots", static_cast<std::int64_t>(config.regime_block_snapshots));
+  put_u64(out, "base_seed", config.base_seed);
+  put(out, "utilization_threshold", config.detector.utilization_threshold);
+  put(out, "incast_flow_threshold",
+      static_cast<std::int64_t>(config.detector.incast_flow_threshold));
+  return out;
+}
+
+std::string canonical_config(const ResilienceConfig& config) {
+  std::string out{"faults|"};
+  const IncastExperimentConfig& base = config.base;
+  put(out, "num_flows", static_cast<std::int64_t>(base.num_flows));
+  put_time(out, "burst_duration", base.burst_duration);
+  put(out, "num_bursts", static_cast<std::int64_t>(base.num_bursts));
+  put(out, "discard_bursts", static_cast<std::int64_t>(base.discard_bursts));
+  put_time(out, "inter_burst_gap", base.inter_burst_gap);
+  put(out, "schedule", static_cast<std::int64_t>(base.schedule));
+  put(out, "queue_capacity_packets", base.topology.switch_queue.capacity_packets);
+  put(out, "ecn_threshold_packets", base.topology.switch_queue.ecn_threshold_packets);
+  put_tcp(out, base.tcp);
+  put_time(out, "max_sim_time", base.max_sim_time);
+  put_u64(out, "seed", base.seed);
+  put_fault(out, "template_", config.fault_template);
+  out += "drop_rates=";
+  for (const double rate : config.drop_rates) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g,", rate);
+    out += buf;
+  }
+  out += "|flap_durations=";
+  for (const sim::Time d : config.flap_durations) {
+    out += std::to_string(d.ns());
+    out += ',';
+  }
+  out += '|';
+  put_time(out, "flap_at", config.flap_at);
+  return out;
+}
+
+TaskJournal::~TaskJournal() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void TaskJournal::open(const std::string& path, const JournalHeader& header) {
+  if (out_ != nullptr) throw Error{ErrorCategory::kInternal, "journal: already open"};
+
+  bool needs_header = true;
+  bool truncated_tail = false;
+  std::vector<std::string> kept_lines;
+  {
+    std::ifstream in{path};
+    if (in) {
+      // Existing journal: validate the header and load completed tasks.
+      // Collect the lines first so "last line" is well-defined for the
+      // truncation tolerance below.
+      std::vector<std::string> lines;
+      std::string line;
+      while (std::getline(in, line)) lines.push_back(line);
+      if (!lines.empty()) {
+        Json head;
+        try {
+          head = Json::parse(lines.front());
+        } catch (const std::exception& e) {
+          throw Error{ErrorCategory::kIo,
+                      "journal " + path + ": unreadable header: " + e.what()};
+        }
+        const Json* magic = head.find("journal");
+        if (magic == nullptr || !magic->is_string() ||
+            magic->as_string() != kJournalMagic) {
+          throw Error{ErrorCategory::kIo,
+                      "journal " + path + ": not an incast task journal"};
+        }
+        try {
+          if (head.at("version").as_int() != kJournalVersion) {
+            throw Error{ErrorCategory::kConfig,
+                        "journal " + path + ": unsupported version " +
+                            std::to_string(head.at("version").as_int())};
+          }
+          const std::string command = head.at("command").as_string();
+          const std::uint64_t fingerprint =
+              std::stoull(head.at("fingerprint").as_string());
+          const auto tasks = static_cast<std::uint64_t>(head.at("tasks").as_int());
+          if (command != header.command || fingerprint != header.fingerprint ||
+              tasks != header.tasks) {
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "journal %s was written by a different run (%s, %" PRIu64
+                          " task(s), fingerprint %016" PRIx64 "; this run: %s, %" PRIu64
+                          " task(s), fingerprint %016" PRIx64
+                          ") — refusing to resume; delete the journal or rerun the "
+                          "original configuration",
+                          path.c_str(), command.c_str(), tasks, fingerprint,
+                          header.command.c_str(), header.tasks, header.fingerprint);
+            throw Error{ErrorCategory::kConfig, buf};
+          }
+        } catch (const Error&) {
+          throw;
+        } catch (const std::exception& e) {
+          throw Error{ErrorCategory::kIo,
+                      "journal " + path + ": malformed header: " + e.what()};
+        }
+        needs_header = false;
+
+        for (std::size_t i = 1; i < lines.size(); ++i) {
+          Json record;
+          try {
+            record = Json::parse(lines[i]);
+            const std::string status = record.at("status").as_string();
+            const auto index = static_cast<std::size_t>(record.at("task").as_int());
+            if (status == "ok") {
+              payloads_[index] = record.at("payload");
+            }
+            // status "fail": the task is re-run on resume — nothing to keep.
+          } catch (const std::exception& e) {
+            if (i + 1 == lines.size()) {
+              // A crash mid-append leaves exactly one truncated final line;
+              // everything before it is intact, so resume from there. The
+              // partial line must be cut from the file too, or the next
+              // append would fuse onto it and corrupt the record.
+              std::fprintf(stderr,
+                           "journal %s: ignoring truncated final record (%s)\n",
+                           path.c_str(), e.what());
+              truncated_tail = true;
+              break;
+            }
+            throw Error{ErrorCategory::kIo, "journal " + path + ": corrupt record on line " +
+                                                std::to_string(i + 1) + ": " + e.what()};
+          }
+        }
+        if (truncated_tail) {
+          lines.pop_back();
+          kept_lines = std::move(lines);
+        }
+      }
+    }
+  }
+
+  if (truncated_tail) {
+    // Rewrite the valid prefix; the handle stays open for the appends to
+    // come, so a crash during the rewrite can at worst re-truncate a tail.
+    out_ = std::fopen(path.c_str(), "wb");
+    if (out_ == nullptr) {
+      throw Error{ErrorCategory::kIo, "journal: cannot rewrite " + path};
+    }
+    for (const std::string& line : kept_lines) {
+      std::fwrite(line.data(), 1, line.size(), out_);
+      std::fputc('\n', out_);
+    }
+    std::fflush(out_);
+  } else {
+    out_ = std::fopen(path.c_str(), "ab");
+    if (out_ == nullptr) {
+      throw Error{ErrorCategory::kIo, "journal: cannot open " + path + " for append"};
+    }
+  }
+  path_ = path;
+
+  if (needs_header) {
+    Json::Object head;
+    head["journal"] = Json{kJournalMagic};
+    head["version"] = Json{kJournalVersion};
+    head["command"] = Json{header.command};
+    head["fingerprint"] = Json{std::to_string(header.fingerprint)};
+    head["tasks"] = Json{static_cast<std::int64_t>(header.tasks)};
+    append_line(Json{std::move(head)}.dump());
+  }
+}
+
+bool TaskJournal::completed(std::size_t index) const noexcept {
+  return payloads_.count(index) > 0;
+}
+
+const Json* TaskJournal::payload(std::size_t index) const noexcept {
+  const auto it = payloads_.find(index);
+  return it == payloads_.end() ? nullptr : &it->second;
+}
+
+void TaskJournal::record_ok(std::size_t index, std::uint64_t seed, const Json& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr || payloads_.count(index) > 0) return;
+  Json::Object record;
+  record["status"] = Json{"ok"};
+  record["task"] = Json{static_cast<std::int64_t>(index)};
+  record["seed"] = Json{std::to_string(seed)};
+  record["payload"] = payload;
+  append_line(Json{std::move(record)}.dump());
+}
+
+void TaskJournal::record_failure(const sim::TaskFailure& failure) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;
+  Json::Object record;
+  record["status"] = Json{"fail"};
+  record["task"] = Json{static_cast<std::int64_t>(failure.index)};
+  record["seed"] = Json{std::to_string(failure.seed)};
+  record["category"] = Json{sim::to_string(failure.category)};
+  record["message"] = Json{failure.message};
+  record["attempts"] = Json{static_cast<std::int64_t>(failure.attempts)};
+  append_line(Json{std::move(record)}.dump());
+}
+
+void TaskJournal::append_line(const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+// --- Payload serialization -------------------------------------------------
+
+namespace {
+
+Json categories_to_json(const sim::EventCategoryCounts& counts) {
+  Json::Array out;
+  out.reserve(counts.size());
+  for (const std::uint64_t n : counts) out.emplace_back(static_cast<std::int64_t>(n));
+  return Json{std::move(out)};
+}
+
+sim::EventCategoryCounts categories_from_json(const Json& v) {
+  sim::EventCategoryCounts counts{};
+  const Json::Array& arr = v.as_array();
+  for (std::size_t i = 0; i < counts.size() && i < arr.size(); ++i) {
+    counts[i] = static_cast<std::uint64_t>(arr[i].as_int());
+  }
+  return counts;
+}
+
+}  // namespace
+
+Json to_journal_payload(const HostTraceResult& result) {
+  Json::Object o;
+  o["host"] = Json{static_cast<std::int64_t>(result.host)};
+  o["snapshot"] = Json{static_cast<std::int64_t>(result.snapshot)};
+  o["alt_regime"] = Json{result.alt_regime};
+  o["avg_utilization"] = Json{result.avg_utilization};
+  o["queue_drops"] = Json{result.queue_drops};
+  o["generated_bursts"] = Json{result.generated_bursts};
+  o["events_processed"] = Json{static_cast<std::int64_t>(result.events_processed)};
+  o["events_by_category"] = categories_to_json(result.events_by_category);
+  o["peak_events_pending"] = Json{static_cast<std::int64_t>(result.peak_events_pending)};
+  o["slab_high_water"] = Json{static_cast<std::int64_t>(result.slab_high_water)};
+  o["audit_violations"] = Json{static_cast<std::int64_t>(result.audit_violations)};
+  o["trace_seconds"] = Json{result.summary.trace_seconds};
+  Json::Array bursts;
+  bursts.reserve(result.summary.bursts.size());
+  for (const analysis::Burst& b : result.summary.bursts) {
+    Json::Object bo;
+    bo["first_bin"] = Json{static_cast<std::int64_t>(b.first_bin)};
+    bo["num_bins"] = Json{static_cast<std::int64_t>(b.num_bins)};
+    bo["bytes"] = Json{b.bytes};
+    bo["marked_bytes"] = Json{b.marked_bytes};
+    bo["retx_bytes"] = Json{b.retx_bytes};
+    bo["max_active_flows"] = Json{static_cast<std::int64_t>(b.max_active_flows)};
+    bo["peak_queue_packets"] = Json{b.peak_queue_packets};
+    bursts.emplace_back(std::move(bo));
+  }
+  o["bursts"] = Json{std::move(bursts)};
+  return Json{std::move(o)};
+}
+
+HostTraceResult host_trace_from_payload(const Json& payload) {
+  HostTraceResult r;
+  r.host = static_cast<int>(payload.at("host").as_int());
+  r.snapshot = static_cast<int>(payload.at("snapshot").as_int());
+  r.alt_regime = payload.at("alt_regime").as_bool();
+  r.avg_utilization = payload.at("avg_utilization").as_double();
+  r.queue_drops = payload.at("queue_drops").as_int();
+  r.generated_bursts = payload.at("generated_bursts").as_int();
+  r.events_processed = static_cast<std::uint64_t>(payload.at("events_processed").as_int());
+  r.events_by_category = categories_from_json(payload.at("events_by_category"));
+  r.peak_events_pending =
+      static_cast<std::uint64_t>(payload.at("peak_events_pending").as_int());
+  r.slab_high_water = static_cast<std::uint64_t>(payload.at("slab_high_water").as_int());
+  r.audit_violations = static_cast<std::uint64_t>(payload.at("audit_violations").as_int());
+  r.summary.trace_seconds = payload.at("trace_seconds").as_double();
+  for (const Json& bj : payload.at("bursts").as_array()) {
+    analysis::Burst b;
+    b.first_bin = static_cast<std::size_t>(bj.at("first_bin").as_int());
+    b.num_bins = static_cast<std::size_t>(bj.at("num_bins").as_int());
+    b.bytes = bj.at("bytes").as_int();
+    b.marked_bytes = bj.at("marked_bytes").as_int();
+    b.retx_bytes = bj.at("retx_bytes").as_int();
+    b.max_active_flows = static_cast<int>(bj.at("max_active_flows").as_int());
+    b.peak_queue_packets = bj.at("peak_queue_packets").as_int();
+    r.summary.bursts.push_back(b);
+  }
+  return r;
+}
+
+Json to_journal_payload(const ResiliencePoint& point) {
+  Json::Object o;
+  o["drop_rate"] = Json{point.drop_rate};
+  o["flap_duration_ns"] = Json{point.flap_duration.ns()};
+  o["goodput_rel"] = Json{point.goodput_rel};
+  o["recovery_after_flap_ms"] = Json{point.recovery_after_flap_ms};
+  o["mode"] = Json{to_string(point.mode)};
+  const IncastExperimentResult& r = point.result;
+  o["avg_bct_ms"] = Json{r.avg_bct_ms};
+  o["max_bct_ms"] = Json{r.max_bct_ms};
+  o["timeouts"] = Json{r.timeouts};
+  o["fast_retransmits"] = Json{r.fast_retransmits};
+  o["retransmitted_packets"] = Json{r.retransmitted_packets};
+  o["queue_drops"] = Json{r.queue_drops};
+  o["injected_drops"] = Json{r.injected_drops};
+  o["injected_corruptions"] = Json{r.injected_corruptions};
+  o["events_processed"] = Json{static_cast<std::int64_t>(r.events_processed)};
+  o["events_by_category"] = categories_to_json(r.events_by_category);
+  o["peak_events_pending"] = Json{static_cast<std::int64_t>(r.peak_events_pending)};
+  o["slab_high_water"] = Json{static_cast<std::int64_t>(r.slab_high_water)};
+  o["audit_violations"] = Json{static_cast<std::int64_t>(r.audit_violations)};
+  return Json{std::move(o)};
+}
+
+ResiliencePoint resilience_point_from_payload(const Json& payload) {
+  ResiliencePoint p;
+  p.drop_rate = payload.at("drop_rate").as_double();
+  p.flap_duration = sim::Time::nanoseconds(payload.at("flap_duration_ns").as_int());
+  p.goodput_rel = payload.at("goodput_rel").as_double();
+  p.recovery_after_flap_ms = payload.at("recovery_after_flap_ms").as_double();
+  const std::string mode = payload.at("mode").as_string();
+  p.mode = mode == "collapse"  ? DctcpMode::kCollapse
+           : mode == "degenerate" ? DctcpMode::kDegenerate
+                                  : DctcpMode::kSafe;
+  IncastExperimentResult& r = p.result;
+  r.avg_bct_ms = payload.at("avg_bct_ms").as_double();
+  r.max_bct_ms = payload.at("max_bct_ms").as_double();
+  r.timeouts = payload.at("timeouts").as_int();
+  r.fast_retransmits = payload.at("fast_retransmits").as_int();
+  r.retransmitted_packets = payload.at("retransmitted_packets").as_int();
+  r.queue_drops = payload.at("queue_drops").as_int();
+  r.injected_drops = payload.at("injected_drops").as_int();
+  r.injected_corruptions = payload.at("injected_corruptions").as_int();
+  r.events_processed = static_cast<std::uint64_t>(payload.at("events_processed").as_int());
+  r.events_by_category = categories_from_json(payload.at("events_by_category"));
+  r.peak_events_pending =
+      static_cast<std::uint64_t>(payload.at("peak_events_pending").as_int());
+  r.slab_high_water = static_cast<std::uint64_t>(payload.at("slab_high_water").as_int());
+  r.audit_violations = static_cast<std::uint64_t>(payload.at("audit_violations").as_int());
+  return p;
+}
+
+}  // namespace incast::core

@@ -15,6 +15,7 @@ std::size_t Host::add_nic(sim::Bandwidth bandwidth, sim::Time propagation_delay,
 
 void Host::send(Packet p) {
   assert(has_nic_);
+  if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_injected(p.size_bytes);
   port(nic_port_).send(std::move(p));
 }
 
@@ -26,6 +27,9 @@ void Host::register_flow(FlowId flow, PacketHandler* handler) {
 void Host::unregister_flow(FlowId flow) { flows_.erase(flow); }
 
 void Host::receive(Packet p, std::size_t /*in_port*/) {
+  // Delivery counts at the NIC: corrupt and unclaimed arrivals included —
+  // the wire delivered them; what the host does next is its business.
+  if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_delivered(p.size_bytes);
   for (IngressTap* tap : taps_) {
     tap->on_ingress(p, sim_.now());
   }

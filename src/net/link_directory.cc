@@ -18,6 +18,14 @@ Port& LinkDirectory::link(const std::string& name) const {
   throw std::out_of_range(msg);
 }
 
+std::int64_t LinkDirectory::residual_buffered_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [name, port] : by_name_) {
+    total += port->queue().bytes() + port->wire_bytes();
+  }
+  return total;
+}
+
 void LinkDirectory::register_link(std::string name, Port& port) {
   const auto [it, inserted] = by_name_.emplace(std::move(name), &port);
   assert(inserted && "duplicate link name");

@@ -31,6 +31,12 @@ class LinkDirectory {
     return names_;
   }
 
+  // Bytes still buffered anywhere in the topology: queued plus in flight on
+  // the wire, summed over every registered link. This is the residual term
+  // of the auditor's conservation ledger (sim::Auditor::check_conservation);
+  // at teardown, injected == delivered + dropped + residual must hold.
+  [[nodiscard]] std::int64_t residual_buffered_bytes() const;
+
  protected:
   ~LinkDirectory() = default;
 

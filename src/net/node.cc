@@ -20,9 +20,12 @@ void Port::set_trace_label(const std::string& label) {
 
 void Port::send(Packet p) {
   assert(connected() && "port must be connected before sending");
+  const std::int64_t size = p.size_bytes;
   if (trace_hub_ == nullptr) {
     if (queue_.enqueue(std::move(p))) {
       maybe_transmit();
+    } else if (auto* a = INCAST_AUDITOR(sim_)) {
+      a->on_bytes_dropped(size);  // tail-drop at enqueue
     }
     return;
   }
@@ -39,10 +42,13 @@ void Port::send(Packet p) {
                           queue_.packets());
     }
     maybe_transmit();
-  } else if (tracing) {
-    trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
-                        drop_event_name_, obs::kQueueTid, "flow", flow, "qlen",
-                        queue_.packets());
+  } else {
+    if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_dropped(size);
+    if (tracing) {
+      trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
+                          drop_event_name_, obs::kQueueTid, "flow", flow, "qlen",
+                          queue_.packets());
+    }
   }
 }
 
@@ -50,6 +56,10 @@ void Port::maybe_transmit() {
   if (busy_) return;
   auto next = queue_.dequeue();
   if (!next.has_value()) return;
+
+  if (auto* a = INCAST_AUDITOR(sim_)) {
+    a->record_depth("port.queue", queue_.packets(), queue_.bytes());
+  }
 
   if (int_stamping_ && next->int_stack.enabled) {
     next->int_stack.push(IntHopRecord{
@@ -67,6 +77,9 @@ void Port::maybe_transmit() {
   // the wire live in the port's pool; the events carry only the handle.
   Packet* p = pool_.acquire();
   *p = std::move(*next);
+#if INCAST_AUDIT_ENABLED
+  wire_bytes_ += p->size_bytes;
+#endif
   sim_.schedule_in(serialization, [this, p] {
     busy_ = false;
     deliver(p);
@@ -81,6 +94,13 @@ void Port::deliver(Packet* p) {
   if (hook_ != nullptr) {
     const LinkHook::Verdict v = hook_->on_transmit(*p, sim_.now());
     if (v.drop) {  // lost on the wire; no buffer ever held it
+#if INCAST_AUDIT_ENABLED
+      wire_bytes_ -= p->size_bytes;
+      if (auto* a = INCAST_AUDITOR(sim_)) {
+        a->on_bytes_dropped(p->size_bytes);
+        a->record_depth("port.wire", 0, wire_bytes_);
+      }
+#endif
       pool_.release(p);
       return;
     }
@@ -93,6 +113,13 @@ void Port::deliver(Packet* p) {
     // tie-breaking delivers original-then-copy.
     Packet* copy = pool_.acquire();
     *copy = *p;
+#if INCAST_AUDIT_ENABLED
+    // A duplicated packet is a fresh injection at the duplication point —
+    // that keeps the conservation ledger balanced when the copy is later
+    // delivered or dropped like any other packet.
+    wire_bytes_ += copy->size_bytes;
+    if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_injected(copy->size_bytes);
+#endif
     sim_.schedule_in(delay, [this, p] { arrive(p); }, sim::EventCategory::kNet);
     sim_.schedule_in(delay, [this, copy] { arrive(copy); },
                      sim::EventCategory::kNet);
@@ -106,6 +133,12 @@ void Port::arrive(Packet* p) {
   // this port (a switch forwarding back out, a host ACKing) and acquire it.
   Packet delivered = std::move(*p);
   pool_.release(p);
+#if INCAST_AUDIT_ENABLED
+  wire_bytes_ -= delivered.size_bytes;
+  if (auto* a = INCAST_AUDITOR(sim_)) {
+    a->record_depth("port.wire", 0, wire_bytes_);
+  }
+#endif
   peer_->receive(std::move(delivered), peer_in_port_);
 }
 

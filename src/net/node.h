@@ -111,6 +111,12 @@ class Port {
   // historical send() path. No-op when the simulator carries no hub.
   void set_trace_label(const std::string& label);
 
+  // Bytes currently in flight on this port (being serialized or
+  // propagating) — the wire half of the auditor's residual-bytes walk.
+  // Maintained only when the audit hooks are compiled in; always 0 under
+  // -DINCAST_AUDIT=OFF.
+  [[nodiscard]] std::int64_t wire_bytes() const noexcept { return wire_bytes_; }
+
  private:
   void maybe_transmit();
   // Consults the hook (if any) and schedules the packet's arrival at the
@@ -133,6 +139,7 @@ class Port {
   std::size_t peer_in_port_{0};
   bool busy_{false};
   bool int_stamping_{false};
+  std::int64_t wire_bytes_{0};
   LinkHook* hook_{nullptr};
   std::vector<TxTap*> tx_taps_;
   obs::Hub* trace_hub_{nullptr};

@@ -57,6 +57,7 @@ void Switch::receive(Packet p, std::size_t /*in_port*/) {
   if (it == routes_.end()) {
     ++unrouted_packets_;
     ++unrouted_by_dst_[p.dst];
+    if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_dropped(p.size_bytes);
     return;
   }
   const std::vector<std::size_t>& ports = it->second.ports;

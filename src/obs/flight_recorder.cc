@@ -156,4 +156,8 @@ void FlightRecorder::notify_mode_shift(std::int64_t ts_ns, const std::string& fr
   fire(ts_ns, "mode-shift:" + from + "->" + to);
 }
 
+void FlightRecorder::force_dump(std::int64_t ts_ns, const std::string& reason) {
+  fire(ts_ns, reason);
+}
+
 }  // namespace incast::obs

@@ -77,6 +77,12 @@ class FlightRecorder {
   // Experiments report a goodput-mode classification change (kModeShift).
   void notify_mode_shift(std::int64_t ts_ns, const std::string& from, const std::string& to);
 
+  // Unconditionally dumps the ring with the given reason, bypassing trigger
+  // arming and latching. The run-hardening layer routes audit-invariant
+  // violations here so a strict abort ships a structured diagnostic of the
+  // moments leading up to it.
+  void force_dump(std::int64_t ts_ns, const std::string& reason);
+
   [[nodiscard]] int dumps() const noexcept { return dumps_; }
   [[nodiscard]] const std::string& last_reason() const noexcept { return last_reason_; }
   // Ring contents captured at the last firing (oldest first).

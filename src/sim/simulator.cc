@@ -14,6 +14,12 @@ EventId Simulator::schedule_at(Time at, Callback cb, EventCategory category) {
 void Simulator::dispatch_one() {
   auto ev = queue_.pop();
   assert(ev.at >= now_);
+#if INCAST_AUDIT_ENABLED
+  // Monotonic-time check, livelock watchdog, and execution budgets. May
+  // throw (strict violation / budget / cancellation); the event is then
+  // lost, which is fine — an aborted run's partial state is never used.
+  if (auditor_ != nullptr) auditor_->on_dispatch(now_, ev.at);
+#endif
   now_ = ev.at;
   ++events_processed_;
   ++events_by_category_[static_cast<std::size_t>(ev.category)];

@@ -21,12 +21,19 @@
 // components constructed against this Simulator can discover the hub without
 // threading it through every constructor. The kernel itself never
 // dereferences the hub — sim stays dependency-free of obs.
+//
+// Auditing: the loop likewise carries a borrowed Auditor pointer (see
+// sim/auditor.h). With one attached, every dispatch feeds the monotonic-time
+// check, the livelock watchdog, and the execution budgets; detached (the
+// default) costs a single predictable branch, and -DINCAST_AUDIT=OFF
+// removes even that.
 #ifndef INCAST_SIM_SIMULATOR_H_
 #define INCAST_SIM_SIMULATOR_H_
 
 #include <array>
 #include <cstdint>
 
+#include "sim/auditor.h"
 #include "sim/event_category.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -116,6 +123,12 @@ class Simulator {
   void set_hub(obs::Hub* hub) noexcept { hub_ = hub; }
   [[nodiscard]] obs::Hub* hub() const noexcept { return hub_; }
 
+  // Borrowed invariant auditor; nullptr (the default) means "unaudited".
+  // Components reach it through INCAST_AUDITOR(sim), which compiles to a
+  // constant nullptr under -DINCAST_AUDIT=OFF.
+  void set_auditor(Auditor* auditor) noexcept { auditor_ = auditor; }
+  [[nodiscard]] Auditor* auditor() const noexcept { return auditor_; }
+
  private:
   void dispatch_one();
 
@@ -127,6 +140,7 @@ class Simulator {
   EventCategoryCounts events_by_category_{};
   std::array<double, kNumEventCategories> wall_ns_by_category_{};
   obs::Hub* hub_{nullptr};
+  Auditor* auditor_{nullptr};
 };
 
 }  // namespace incast::sim

@@ -6,9 +6,29 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
+#include "sim/auditor.h"
+
 namespace incast::sim {
+
+const char* to_string(FailureCategory category) noexcept {
+  switch (category) {
+    case FailureCategory::kException: return "exception";
+    case FailureCategory::kAudit: return "audit";
+    case FailureCategory::kBudget: return "budget";
+    case FailureCategory::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+bool SweepRunner::RunStats::failed(std::size_t index) const noexcept {
+  const auto it = std::lower_bound(
+      failures.begin(), failures.end(), index,
+      [](const TaskFailure& f, std::size_t i) { return f.index < i; });
+  return it != failures.end() && it->index == index;
+}
 
 std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
   state += 0x9E3779B97f4A7C15ULL;
@@ -55,6 +75,32 @@ struct WorkerDeque {
 
 }  // namespace
 
+namespace {
+
+// Maps a task's exception onto the failure taxonomy, extracting the message.
+FailureCategory classify_failure(const std::exception_ptr& ep, std::string& message) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const RunCancelled& e) {
+    message = e.what();
+    return FailureCategory::kCancelled;
+  } catch (const AuditFailure& e) {
+    message = e.what();
+    return FailureCategory::kAudit;
+  } catch (const BudgetExceeded& e) {
+    message = e.what();
+    return FailureCategory::kBudget;
+  } catch (const std::exception& e) {
+    message = e.what();
+    return FailureCategory::kException;
+  } catch (...) {
+    message = "unknown exception";
+    return FailureCategory::kException;
+  }
+}
+
+}  // namespace
+
 void SweepRunner::execute(std::size_t n,
                           const std::function<void(std::size_t, TaskStats&)>& task) {
   stats_ = RunStats{};
@@ -64,18 +110,80 @@ void SweepRunner::execute(std::size_t n,
 
   const auto sweep_start = Clock::now();
 
+  auto cancelled = [this] {
+    return policy_.cancel != nullptr &&
+           policy_.cancel->load(std::memory_order_relaxed);
+  };
+
   auto run_one = [&](std::size_t index, int worker) {
     TaskStats& st = stats_.tasks[index];
     st.worker = worker;
+    st.attempts = 1;
     const auto t0 = Clock::now();
     task(index, st);
     st.wall_ms = ms_between(t0, Clock::now());
   };
 
+  // Quarantine machinery (fail_fast off): retries, the failure list, and
+  // the mutex serializing record + on_failure callback.
+  std::atomic<std::uint64_t> retries{0};
+  std::mutex failures_mu;
+  std::vector<TaskFailure> failures;
+
+  auto run_quarantined = [&](std::size_t index, int worker) {
+    TaskStats& st = stats_.tasks[index];
+    const int max_attempts = std::max(policy_.max_attempts, 1);
+    for (int attempt = 1;; ++attempt) {
+      // Each attempt starts from clean stats — a partial failed attempt
+      // must not leak event counts into the successful one.
+      st = TaskStats{};
+      st.worker = worker;
+      st.attempts = attempt;
+      const auto t0 = Clock::now();
+      try {
+        task(index, st);
+        st.wall_ms = ms_between(t0, Clock::now());
+        return;
+      } catch (...) {
+        st.wall_ms = ms_between(t0, Clock::now());
+        std::string message;
+        const FailureCategory category =
+            classify_failure(std::current_exception(), message);
+        if (category != FailureCategory::kCancelled && attempt < max_attempts &&
+            !cancelled()) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        TaskFailure failure;
+        failure.index = index;
+        failure.seed = policy_.seed_of ? policy_.seed_of(index) : 0;
+        failure.category = category;
+        failure.message = std::move(message);
+        failure.attempts = attempt;
+        {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          if (policy_.on_failure) policy_.on_failure(failure);
+          failures.push_back(std::move(failure));
+        }
+        return;
+      }
+    }
+  };
+
   if (jobs_ == 1 || n == 1) {
     // Inline sequential path: no threads, no synchronization — exactly the
     // historical behavior of the callers this class replaced.
-    for (std::size_t i = 0; i < n; ++i) run_one(i, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancelled()) {
+        stats_.tasks_not_run = n - i;
+        break;
+      }
+      if (policy_.fail_fast) {
+        run_one(i, 0);
+      } else {
+        run_quarantined(i, 0);
+      }
+    }
   } else {
     const int workers = static_cast<int>(std::min<std::size_t>(
         static_cast<std::size_t>(jobs_), n));
@@ -93,6 +201,9 @@ void SweepRunner::execute(std::size_t n,
 
     auto worker_loop = [&](int me) {
       for (;;) {
+        // Cooperative cancellation: stop picking up new work; whatever is
+        // left in the deques is counted as not run after the join.
+        if (cancelled()) return;
         std::size_t index = 0;
         bool found = false;
         {
@@ -121,11 +232,15 @@ void SweepRunner::execute(std::size_t n,
           }
         }
         if (!found) return;
-        try {
-          run_one(index, me);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+        if (policy_.fail_fast) {
+          try {
+            run_one(index, me);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        } else {
+          run_quarantined(index, me);
         }
       }
     };
@@ -136,9 +251,17 @@ void SweepRunner::execute(std::size_t n,
     worker_loop(0);  // the calling thread is worker 0
     for (auto& t : threads) t.join();
 
+    for (const WorkerDeque& d : deques) stats_.tasks_not_run += d.tasks.size();
     stats_.steals = steals.load(std::memory_order_relaxed);
     if (first_error) std::rethrow_exception(first_error);
   }
+
+  // Quarantine bookkeeping: failures sorted by index so the output is
+  // deterministic regardless of which worker recorded what first.
+  std::sort(failures.begin(), failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) { return a.index < b.index; });
+  stats_.failures = std::move(failures);
+  stats_.retries = retries.load(std::memory_order_relaxed);
 
   stats_.wall_ms = ms_between(sweep_start, Clock::now());
   for (const TaskStats& st : stats_.tasks) {

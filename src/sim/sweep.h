@@ -16,11 +16,21 @@
 //
 // jobs == 1 runs every task inline on the calling thread with no pool at
 // all, reproducing the historical sequential behavior exactly.
+//
+// Fault isolation (Policy): by default a task's exception aborts the sweep
+// (fail_fast — the historical behavior). With fail_fast off, a failing
+// task is retried up to max_attempts times with the same seed, then
+// quarantined: its failure is recorded as a structured TaskFailure in
+// RunStats::failures and every other task still runs to completion. A
+// cooperative cancellation flag lets a signal handler stop the sweep
+// between tasks; tasks that never ran are counted, not failed.
 #ifndef INCAST_SIM_SWEEP_H_
 #define INCAST_SIM_SWEEP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/event_category.h"
@@ -39,8 +49,55 @@ namespace incast::sim {
 [[nodiscard]] std::uint64_t derive_task_seed(std::uint64_t base_seed,
                                              std::uint64_t task_index) noexcept;
 
+// Why a quarantined task failed; indexes exit-code and journal categories.
+enum class FailureCategory : std::uint8_t {
+  kException = 0,  // any std::exception outside the taxonomy below
+  kAudit,          // sim::AuditFailure (strict invariant violation)
+  kBudget,         // sim::BudgetExceeded (event or wall-clock budget)
+  kCancelled,      // sim::RunCancelled (cooperative cancellation)
+};
+
+[[nodiscard]] const char* to_string(FailureCategory category) noexcept;
+
+// One quarantined sweep point: everything needed to reproduce it alone.
+struct TaskFailure {
+  std::size_t index{0};
+  std::uint64_t seed{0};  // from Policy::seed_of; 0 when no mapper is set
+  FailureCategory category{FailureCategory::kException};
+  std::string message;
+  int attempts{1};  // how many times the task was tried before quarantine
+};
+
 class SweepRunner {
  public:
+  // Fault-isolation policy for a sweep. The default reproduces the
+  // historical behavior exactly: first failure aborts the run.
+  struct Policy {
+    // true: the first task exception is rethrown from run() (after the
+    // pool drains). false: failing tasks are quarantined into
+    // RunStats::failures and the rest of the sweep completes.
+    bool fail_fast{true};
+
+    // With fail_fast off, how many times to try a task before quarantining
+    // it (same seed each time — retries only help transient failures such
+    // as wall-budget noise; deterministic failures fail identically).
+    int max_attempts{1};
+
+    // Maps a task index to its derived seed, purely for failure records
+    // (the runner never seeds tasks itself).
+    std::function<std::uint64_t(std::size_t)> seed_of;
+
+    // Observes each quarantine as it happens (journal append, log line).
+    // Called under an internal mutex: keep it cheap and do not call back
+    // into the runner.
+    std::function<void(const TaskFailure&)> on_failure;
+
+    // Cooperative cancellation: when set and *cancel becomes true, workers
+    // stop picking up new tasks (in-flight tasks finish or throw
+    // RunCancelled via their own auditor). Must outlive the run.
+    const std::atomic<bool>* cancel{nullptr};
+  };
+
   // Filled in by the runner for every task; tasks report their simulation
   // event count through the reference they receive.
   struct TaskStats {
@@ -54,6 +111,8 @@ class SweepRunner {
     // heap depth and callback-slab high-water mark (sim/event_queue.h).
     std::uint64_t peak_events_pending{0};
     std::uint64_t slab_high_water{0};
+    // Times the task was started (1 for a clean run; > 1 after retries).
+    int attempts{0};
   };
 
   struct RunStats {
@@ -69,10 +128,20 @@ class SweepRunner {
     std::uint64_t slab_high_water{0};
     std::vector<TaskStats> tasks; // indexed by task index
 
+    // Quarantined tasks, sorted by index (empty under fail_fast or when
+    // every task succeeded), total retry attempts beyond the first try,
+    // and tasks never started because cancellation was observed first.
+    std::vector<TaskFailure> failures;
+    std::uint64_t retries{0};
+    std::uint64_t tasks_not_run{0};
+
     // Aggregate simulation throughput of the sweep.
     [[nodiscard]] double events_per_second() const noexcept {
       return wall_ms > 0.0 ? static_cast<double>(total_events) / (wall_ms / 1e3) : 0.0;
     }
+
+    // True when task `index` was quarantined (binary search of failures).
+    [[nodiscard]] bool failed(std::size_t index) const noexcept;
   };
 
   // jobs <= 0 selects std::thread::hardware_concurrency().
@@ -80,12 +149,19 @@ class SweepRunner {
 
   [[nodiscard]] int jobs() const noexcept { return jobs_; }
 
+  // Installs the fault-isolation policy for subsequent run() calls.
+  void set_policy(Policy policy) { policy_ = std::move(policy); }
+  [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
+
   // Runs fn(index, stats) for every index in [0, n) and returns the results
   // ordered by task index. fn must be callable concurrently from multiple
   // threads for distinct indices and must not touch shared mutable state
   // (give each task its own Simulator/Rng seeded via derive_task_seed).
-  // The first exception thrown by any task is rethrown here after all
-  // workers have drained.
+  // Under fail_fast (the default) the first exception thrown by any task is
+  // rethrown here after all workers have drained; otherwise failing tasks
+  // leave a default-constructed Result at their index and a TaskFailure in
+  // last_run().failures — callers must consult failed(index) before using a
+  // result.
   template <typename Result, typename Fn>
   std::vector<Result> run(std::size_t n, Fn&& fn) {
     std::vector<Result> results(n);
@@ -104,6 +180,7 @@ class SweepRunner {
   void execute(std::size_t n, const std::function<void(std::size_t, TaskStats&)>& task);
 
   int jobs_;
+  Policy policy_;
   RunStats stats_;
 };
 

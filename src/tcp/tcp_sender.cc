@@ -110,6 +110,10 @@ void TcpSender::handle_packet(net::Packet p) {
     on_duplicate_ack(p.tcp.ece, p.int_stack);
   }
   // ACKs below snd_una_ are stale; ignore.
+
+  // Sanity-check the window the congestion controller just produced: a
+  // non-positive or absurd cwnd here means a CCA bug, not congestion.
+  if (auto* a = INCAST_AUDITOR(sim_)) a->check_cwnd(flow_, effective_cwnd());
 }
 
 void TcpSender::update_scoreboard(const net::TcpHeader& tcp) {
@@ -441,6 +445,7 @@ sim::Time TcpSender::current_rto() const noexcept {
 
 void TcpSender::arm_rto() {
   if (rto_timer_ != sim::kInvalidEventId) return;
+  if (auto* a = INCAST_AUDITOR(sim_)) a->check_rto(flow_, current_rto());
   rto_timer_ = sim_.schedule_in(current_rto(), [this] {
     rto_timer_ = sim::kInvalidEventId;
     on_rto();

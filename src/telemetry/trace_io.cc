@@ -50,6 +50,11 @@ std::vector<Millisampler::Bin> read_bins_csv(std::istream& in) {
   if (!std::getline(in, line)) {
     throw std::runtime_error("trace csv: missing or wrong header");
   }
+  while (!line.empty() && line.front() == '#') {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("trace csv: missing or wrong header");
+    }
+  }
   std::size_t columns = 0;
   if (line == kHeader) {
     columns = 6;
@@ -63,7 +68,9 @@ std::vector<Millisampler::Bin> read_bins_csv(std::istream& in) {
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    // '#' lines are annotations (e.g. the sweep-quarantine footer the CLI
+    // appends after an interrupted export); skip them anywhere.
+    if (line.empty() || line.front() == '#') continue;
 
     std::array<std::string_view, 6> fields;
     std::size_t field_count = 0;

@@ -1,0 +1,453 @@
+// Tests for the crash-safe checkpoint/resume layer: core::Json round-trips,
+// config fingerprints, TaskJournal load/append semantics (truncation
+// tolerance, corruption refusal, fingerprint refusal), and the end-to-end
+// guarantee — a sweep killed mid-run and resumed from its journal produces
+// results identical to an uninterrupted run. The resume suite is named
+// "SweepJournal" so the TSan CI leg exercises the journal's worker-thread
+// appends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/fleet_experiment.h"
+#include "core/json.h"
+#include "core/resilience_experiment.h"
+#include "core/task_journal.h"
+#include "workload/service_profile.h"
+
+namespace incast::core {
+namespace {
+
+using namespace incast::sim::literals;
+
+std::string temp_path(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- Json ---
+
+TEST(Json, RoundTripsScalarsAndContainers) {
+  Json::Object o;
+  o["null"] = Json{};
+  o["t"] = Json{true};
+  o["f"] = Json{false};
+  o["int"] = Json{std::int64_t{-9223372036854775807LL}};
+  o["pi"] = Json{3.141592653589793};
+  o["s"] = Json{"quote\" slash\\ tab\t newline\n"};
+  o["arr"] = Json{Json::Array{Json{1}, Json{"two"}, Json{Json::Array{}}}};
+  const Json original{std::move(o)};
+
+  const Json reparsed = Json::parse(original.dump());
+  EXPECT_EQ(reparsed.dump(), original.dump());
+  EXPECT_TRUE(reparsed.at("null").is_null());
+  EXPECT_TRUE(reparsed.at("t").as_bool());
+  EXPECT_EQ(reparsed.at("int").as_int(), -9223372036854775807LL);
+  EXPECT_DOUBLE_EQ(reparsed.at("pi").as_double(), 3.141592653589793);
+  EXPECT_EQ(reparsed.at("s").as_string(), "quote\" slash\\ tab\t newline\n");
+  EXPECT_EQ(reparsed.at("arr").as_array().size(), 3u);
+}
+
+TEST(Json, ObjectKeysSerializeSorted) {
+  Json::Object o;
+  o["zebra"] = Json{1};
+  o["alpha"] = Json{2};
+  o["mid"] = Json{3};
+  EXPECT_EQ(Json{std::move(o)}.dump(), R"({"alpha":2,"mid":3,"zebra":1})");
+}
+
+TEST(Json, IntegralDoublesStayDoublesAcrossRoundTrip) {
+  // 2.0 must not reparse as the integer 2 — the dump appends ".0".
+  const Json d{2.0};
+  EXPECT_EQ(d.dump(), "2.0");
+  EXPECT_TRUE(Json::parse(d.dump()).is_double());
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW((void)Json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\":"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("nul"), std::runtime_error);
+}
+
+TEST(Json, CheckedAccessorsThrowOnMismatch) {
+  const Json s{"text"};
+  EXPECT_THROW((void)s.as_int(), std::runtime_error);
+  EXPECT_THROW((void)s.at("key"), std::runtime_error);
+  const Json o{Json::Object{}};
+  EXPECT_THROW((void)o.at("absent"), std::runtime_error);
+  EXPECT_EQ(o.find("absent"), nullptr);
+}
+
+// --- Fingerprints ---
+
+TEST(TaskJournalFingerprint, StableForIdenticalConfigsSensitiveToKnobs) {
+  FleetConfig a;
+  a.profile = workload::service_by_name("messaging");
+  FleetConfig b = a;
+  EXPECT_EQ(fnv1a(canonical_config(a)), fnv1a(canonical_config(b)));
+
+  // Result-determining knob: fingerprint must move.
+  b.base_seed += 1;
+  EXPECT_NE(fnv1a(canonical_config(a)), fnv1a(canonical_config(b)));
+
+  // Execution knobs: fingerprint must NOT move (resuming at a different
+  // --jobs or retry policy is explicitly supported).
+  FleetConfig c = a;
+  c.jobs = 16;
+  c.sweep.fail_fast = false;
+  c.sweep.max_attempts = 5;
+  c.fail_cell_for_test = 3;
+  EXPECT_EQ(fnv1a(canonical_config(a)), fnv1a(canonical_config(c)));
+}
+
+TEST(TaskJournalFingerprint, ResilienceCoversSweepAxes) {
+  ResilienceConfig a;
+  a.drop_rates = {0.0, 0.001};
+  ResilienceConfig b = a;
+  EXPECT_EQ(fnv1a(canonical_config(a)), fnv1a(canonical_config(b)));
+  b.drop_rates.push_back(0.01);
+  EXPECT_NE(fnv1a(canonical_config(a)), fnv1a(canonical_config(b)));
+  ResilienceConfig c = a;
+  c.flap_durations = {2_ms};
+  EXPECT_NE(fnv1a(canonical_config(a)), fnv1a(canonical_config(c)));
+}
+
+// --- TaskJournal file semantics ---
+
+JournalHeader test_header(std::uint64_t fingerprint = 123, std::uint64_t tasks = 4) {
+  JournalHeader h;
+  h.command = "fleet";
+  h.fingerprint = fingerprint;
+  h.tasks = tasks;
+  return h;
+}
+
+Json payload_with(int marker) {
+  Json::Object o;
+  o["marker"] = Json{marker};
+  return Json{std::move(o)};
+}
+
+TEST(TaskJournal, RecordsPersistAcrossReopen) {
+  const std::string path = temp_path("journal_reopen.jsonl");
+  {
+    TaskJournal j;
+    j.open(path, test_header());
+    EXPECT_TRUE(j.active());
+    EXPECT_EQ(j.completed_count(), 0u);
+    j.record_ok(1, 777, payload_with(11));
+    j.record_ok(3, 778, payload_with(33));
+    sim::TaskFailure f;
+    f.index = 2;
+    f.seed = 779;
+    f.category = sim::FailureCategory::kAudit;
+    f.message = "conservation: ledger imbalance";
+    f.attempts = 1;
+    j.record_failure(f);
+  }
+  TaskJournal j;
+  j.open(path, test_header());
+  EXPECT_EQ(j.completed_count(), 2u);
+  EXPECT_TRUE(j.completed(1));
+  EXPECT_TRUE(j.completed(3));
+  // Failed tasks are NOT completed: a resume run retries them.
+  EXPECT_FALSE(j.completed(2));
+  EXPECT_FALSE(j.completed(0));
+  ASSERT_NE(j.payload(1), nullptr);
+  EXPECT_EQ(j.payload(1)->at("marker").as_int(), 11);
+  EXPECT_EQ(j.payload(0), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(TaskJournal, ToleratesTruncatedFinalLine) {
+  const std::string path = temp_path("journal_truncated.jsonl");
+  {
+    TaskJournal j;
+    j.open(path, test_header());
+    j.record_ok(0, 1, payload_with(0));
+    j.record_ok(1, 2, payload_with(1));
+  }
+  {
+    // Chop the file mid-way through the last record, as a kill -9 would.
+    std::string contents = read_file(path);
+    contents.resize(contents.size() - 10);
+    std::ofstream out{path, std::ios::trunc};
+    out << contents;
+  }
+  {
+    TaskJournal j;
+    j.open(path, test_header());
+    EXPECT_EQ(j.completed_count(), 1u);
+    EXPECT_TRUE(j.completed(0));
+    EXPECT_FALSE(j.completed(1));
+    // Appending after a truncated tail must start on a fresh line, not fuse
+    // onto the partial record.
+    j.record_ok(1, 2, payload_with(1));
+  }
+  TaskJournal j;
+  j.open(path, test_header());
+  EXPECT_EQ(j.completed_count(), 2u);
+  EXPECT_TRUE(j.completed(1));
+  std::remove(path.c_str());
+}
+
+TEST(TaskJournal, RefusesFingerprintMismatch) {
+  const std::string path = temp_path("journal_mismatch.jsonl");
+  {
+    TaskJournal j;
+    j.open(path, test_header(/*fingerprint=*/123));
+    j.record_ok(0, 1, payload_with(0));
+  }
+  TaskJournal j;
+  try {
+    j.open(path, test_header(/*fingerprint=*/456));
+    FAIL() << "expected core::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+  }
+  // Different task count is also a config mismatch.
+  TaskJournal j2;
+  try {
+    j2.open(path, test_header(/*fingerprint=*/123, /*tasks=*/9));
+    FAIL() << "expected core::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kConfig);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TaskJournal, RefusesCorruptMidFileRecord) {
+  const std::string path = temp_path("journal_corrupt.jsonl");
+  {
+    TaskJournal j;
+    j.open(path, test_header());
+    j.record_ok(0, 1, payload_with(0));
+    j.record_ok(1, 2, payload_with(1));
+  }
+  {
+    // Corrupt the middle record — unlike a truncated tail, this means the
+    // file is damaged and silently skipping it could merge wrong results.
+    std::string contents = read_file(path);
+    const std::size_t second_line = contents.find('\n') + 1;
+    contents[second_line + 5] = '\xff';
+    std::ofstream out{path, std::ios::trunc};
+    out << contents;
+  }
+  TaskJournal j;
+  try {
+    j.open(path, test_header());
+    FAIL() << "expected core::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIo);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TaskJournal, RecordOkOnCompletedIndexIsNoOp) {
+  const std::string path = temp_path("journal_noop.jsonl");
+  {
+    TaskJournal j;
+    j.open(path, test_header());
+    j.record_ok(0, 1, payload_with(0));
+  }
+  const std::string before = read_file(path);
+  {
+    // A resume run deliberately re-runs some tasks (fleet cell 0); their
+    // record_ok must not grow the journal.
+    TaskJournal j;
+    j.open(path, test_header());
+    j.record_ok(0, 1, payload_with(0));
+  }
+  EXPECT_EQ(read_file(path), before);
+  std::remove(path.c_str());
+}
+
+// --- Payload round-trips ---
+
+TEST(TaskJournal, HostTraceResultPayloadRoundTrips) {
+  HostTraceResult r;
+  r.host = 3;
+  r.snapshot = 2;
+  r.alt_regime = true;
+  r.avg_utilization = 0.3125;
+  r.queue_drops = 17;
+  r.generated_bursts = 42;
+  r.events_processed = 123456789;
+  r.peak_events_pending = 512;
+  r.slab_high_water = 1024;
+  r.audit_violations = 1;
+  analysis::Burst b;
+  b.first_bin = 5;
+  b.num_bins = 3;
+  b.bytes = 100000;
+  b.marked_bytes = 5000;
+  b.retx_bytes = 120;
+  b.max_active_flows = 9;
+  b.peak_queue_packets = 77;
+  r.summary.bursts.push_back(b);
+  r.summary.trace_seconds = 0.25;
+
+  // Through a real serialize -> dump -> parse -> deserialize cycle.
+  const HostTraceResult back =
+      host_trace_from_payload(Json::parse(to_journal_payload(r).dump()));
+  EXPECT_EQ(back.host, r.host);
+  EXPECT_EQ(back.snapshot, r.snapshot);
+  EXPECT_EQ(back.alt_regime, r.alt_regime);
+  EXPECT_DOUBLE_EQ(back.avg_utilization, r.avg_utilization);
+  EXPECT_EQ(back.queue_drops, r.queue_drops);
+  EXPECT_EQ(back.generated_bursts, r.generated_bursts);
+  EXPECT_EQ(back.events_processed, r.events_processed);
+  EXPECT_EQ(back.peak_events_pending, r.peak_events_pending);
+  EXPECT_EQ(back.slab_high_water, r.slab_high_water);
+  EXPECT_EQ(back.audit_violations, r.audit_violations);
+  ASSERT_EQ(back.summary.bursts.size(), 1u);
+  EXPECT_EQ(back.summary.bursts[0].bytes, b.bytes);
+  EXPECT_EQ(back.summary.bursts[0].peak_queue_packets, b.peak_queue_packets);
+  EXPECT_DOUBLE_EQ(back.summary.trace_seconds, r.summary.trace_seconds);
+}
+
+TEST(TaskJournal, ResiliencePointPayloadRoundTrips) {
+  ResiliencePoint p;
+  p.drop_rate = 0.001;
+  p.flap_duration = 2_ms;
+  p.goodput_rel = 0.875;
+  p.recovery_after_flap_ms = 1.5;
+  p.mode = DctcpMode::kCollapse;
+  p.result.avg_bct_ms = 3.25;
+  p.result.max_bct_ms = 9.5;
+  p.result.timeouts = 4;
+  p.result.fast_retransmits = 11;
+  p.result.retransmitted_packets = 23;
+  p.result.queue_drops = 7;
+  p.result.injected_drops = 19;
+  p.result.injected_corruptions = 2;
+  p.result.events_processed = 987654;
+
+  const ResiliencePoint back =
+      resilience_point_from_payload(Json::parse(to_journal_payload(p).dump()));
+  EXPECT_DOUBLE_EQ(back.drop_rate, p.drop_rate);
+  EXPECT_EQ(back.flap_duration.ns(), p.flap_duration.ns());
+  EXPECT_DOUBLE_EQ(back.goodput_rel, p.goodput_rel);
+  EXPECT_DOUBLE_EQ(back.recovery_after_flap_ms, p.recovery_after_flap_ms);
+  EXPECT_EQ(back.mode, DctcpMode::kCollapse);
+  EXPECT_DOUBLE_EQ(back.result.avg_bct_ms, p.result.avg_bct_ms);
+  EXPECT_EQ(back.result.timeouts, p.result.timeouts);
+  EXPECT_EQ(back.result.retransmitted_packets, p.result.retransmitted_packets);
+  EXPECT_EQ(back.result.injected_drops, p.result.injected_drops);
+  EXPECT_EQ(back.result.events_processed, p.result.events_processed);
+}
+
+// --- End-to-end: kill mid-sweep, resume, byte-identical results. Suite is
+// --- named "SweepJournal" so the TSan leg covers concurrent appends.
+
+FleetConfig journal_fleet(int jobs) {
+  FleetConfig cfg;
+  cfg.profile = workload::service_by_name("messaging");
+  cfg.profile.max_flows = 40;
+  cfg.profile.body_median_flows = 20.0;
+  cfg.num_hosts = 3;
+  cfg.num_snapshots = 2;
+  cfg.trace_duration = 40_ms;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+std::string fleet_results_fingerprint(const std::vector<HostTraceResult>& results) {
+  // The deterministic observables a resumed run must reproduce exactly —
+  // serialized through the same payload path the journal itself uses.
+  std::string all;
+  for (const auto& r : results) all += to_journal_payload(r).dump() + "\n";
+  return all;
+}
+
+TEST(SweepJournalResume, KilledSweepResumesByteIdentical) {
+  // Reference: uninterrupted sequential run.
+  const auto reference = FleetExperiment{journal_fleet(1)}.run_all();
+  const std::string want = fleet_results_fingerprint(reference);
+
+  for (const int jobs : {1, 4}) {
+    const std::string path = temp_path("journal_resume_e2e.jsonl");
+    JournalHeader header;
+    header.command = "fleet";
+    header.tasks = 6;
+    header.fingerprint = fnv1a(canonical_config(journal_fleet(jobs)));
+
+    // Phase 1: "crash" after three cells — the journal only ever sees three
+    // records, then the process is gone (journal destructor = kill point).
+    {
+      TaskJournal journal;
+      journal.open(path, header);
+      auto cfg = journal_fleet(jobs);
+      cfg.sweep.fail_fast = false;
+      std::atomic<int> recorded{0};
+      cfg.on_result = [&](std::size_t index, std::uint64_t seed,
+                          const HostTraceResult& r) {
+        if (recorded.fetch_add(1) < 3) {
+          journal.record_ok(index, seed, to_journal_payload(r));
+        }
+      };
+      (void)FleetExperiment{cfg}.run_all();
+    }
+
+    // Phase 2: resume. Cells in the journal replay from their payloads;
+    // the rest run fresh. Merged output must match the reference exactly.
+    {
+      TaskJournal journal;
+      journal.open(path, header);
+      EXPECT_EQ(journal.completed_count(), 3u) << "jobs=" << jobs;
+      auto cfg = journal_fleet(jobs);
+      std::atomic<int> replayed{0};
+      cfg.resume = [&](std::size_t index, HostTraceResult& out) {
+        const Json* payload = journal.payload(index);
+        if (payload == nullptr) return false;
+        out = host_trace_from_payload(*payload);
+        replayed.fetch_add(1);
+        return true;
+      };
+      cfg.on_result = [&](std::size_t index, std::uint64_t seed,
+                          const HostTraceResult& r) {
+        journal.record_ok(index, seed, to_journal_payload(r));
+      };
+      const auto resumed = FleetExperiment{cfg}.run_all();
+      EXPECT_EQ(replayed.load(), 3) << "jobs=" << jobs;
+      EXPECT_EQ(fleet_results_fingerprint(resumed), want) << "jobs=" << jobs;
+    }
+
+    // Phase 3: the journal is now complete; a further resume replays
+    // everything and still matches.
+    {
+      TaskJournal journal;
+      journal.open(path, header);
+      EXPECT_EQ(journal.completed_count(), 6u) << "jobs=" << jobs;
+      auto cfg = journal_fleet(jobs);
+      cfg.resume = [&](std::size_t index, HostTraceResult& out) {
+        const Json* payload = journal.payload(index);
+        if (payload == nullptr) return false;
+        out = host_trace_from_payload(*payload);
+        return true;
+      };
+      const auto replay = FleetExperiment{cfg}.run_all();
+      EXPECT_EQ(fleet_results_fingerprint(replay), want) << "jobs=" << jobs;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace incast::core

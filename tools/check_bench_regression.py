@@ -13,7 +13,8 @@ gated.
 Usage:
   check_bench_regression.py --baseline tools/bench_baseline.json \
       --current BENCH_micro.json [--threshold 0.25] \
-      [--require BM_SimulatorEventDispatch]
+      [--require BM_SimulatorEventDispatch] \
+      [--ratio BM_AuditorOverhead/relaxed:BM_AuditorOverhead/off:0.03]
   check_bench_regression.py --baseline tools/bench_baseline.json \
       --current BENCH_micro.json --update   # refresh the baseline in place
 
@@ -25,12 +26,18 @@ regressions). ``--require NAME`` (repeatable) hardens this for benches that
 must never silently disappear: a required bench missing from either file —
 e.g. because it errored out, like the dispatch bench does when its
 zero-allocation check trips — fails the gate just like a regression.
+``--ratio A:B:MAX`` (repeatable) gates a *relative* pair within the current
+run only: benchmark A's throughput must be at least (1 - MAX) of benchmark
+B's. Unlike the baseline comparison this is machine-independent — it pins an
+overhead contract (e.g. relaxed auditing <= 3% over audit-off) rather than
+an absolute speed. Either bench missing from the current run fails the gate.
 Absolute numbers differ across machines — the baseline should be refreshed
 (--update) from the CI runner class it gates.
 """
 
 import argparse
 import json
+import re
 import shutil
 import sys
 
@@ -53,6 +60,10 @@ def load_throughputs(path):
         name = bench.get("name")
         if not name:
             continue
+        # Benches that pin ->Repetitions(N) grow a "/repeats:N" segment;
+        # strip it so gate names stay stable (and free of ':', which the
+        # --ratio A:B:MAX syntax reserves).
+        name = re.sub(r"/repeats:\d+", "", name)
         items = bench.get("items_per_second")
         if items is None:
             real = bench.get("real_time")
@@ -80,7 +91,23 @@ def main():
                         metavar="NAME",
                         help="benchmark that must be present in both files "
                              "(repeatable); missing = gate failure")
+    parser.add_argument("--ratio", action="append", default=[],
+                        metavar="A:B:MAX",
+                        help="within the current run, bench A must be at most "
+                             "MAX (fraction) slower than bench B (repeatable)")
     args = parser.parse_args()
+
+    ratio_gates = []
+    for spec in args.ratio:
+        parts = spec.rsplit(":", 2)
+        try:
+            if len(parts) != 3:
+                raise ValueError(spec)
+            ratio_gates.append((parts[0], parts[1], float(parts[2])))
+        except ValueError:
+            print(f"error: bad --ratio spec {spec!r} (want A:B:MAX)",
+                  file=sys.stderr)
+            return 2
 
     if args.update:
         shutil.copyfile(args.current, args.baseline)
@@ -109,7 +136,23 @@ def main():
     missing_required = [name for name in args.require
                         if name not in baseline or name not in current]
 
-    if regressions or missing_required:
+    ratio_failures = []
+    for num, den, max_slowdown in ratio_gates:
+        if num not in current or den not in current:
+            missing = num if num not in current else den
+            ratio_failures.append(
+                f"--ratio {num}:{den}: {missing} missing from current run")
+            continue
+        ratio = current[num] / current[den]
+        verdict = "ok" if ratio >= 1.0 - max_slowdown else "FAIL"
+        print(f"ratio {num} / {den} = {ratio:.3f} "
+              f"(floor {1.0 - max_slowdown:.3f}) {verdict}")
+        if ratio < 1.0 - max_slowdown:
+            ratio_failures.append(
+                f"{num} is {(1 - ratio):.1%} slower than {den} "
+                f"(allowed {max_slowdown:.0%})")
+
+    if regressions or missing_required or ratio_failures:
         if regressions:
             print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
                   f"than {args.threshold:.0%}:", file=sys.stderr)
@@ -120,6 +163,8 @@ def main():
             where = "baseline" if name not in baseline else "current run"
             print(f"FAIL: required benchmark {name} missing from {where} "
                   f"(errored out or filtered?)", file=sys.stderr)
+        for message in ratio_failures:
+            print(f"FAIL: {message}", file=sys.stderr)
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
           f"({len(baseline)} gated)")

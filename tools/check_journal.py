@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validator for incast task journals (the --journal JSONL files).
+
+Checks the invariants the writer (core::TaskJournal) promises and a resume
+run depends on:
+
+  * line 1 is a header object: ``journal`` == "incast-task-journal",
+    ``version`` == 1, a non-empty ``command``, a ``fingerprint`` string that
+    parses as an unsigned 64-bit decimal, and an integer ``tasks`` >= 0;
+  * every following line is a record object with ``status`` "ok" or "fail",
+    an integer ``task`` in [0, tasks), and a u64-decimal ``seed`` string;
+  * "ok" records carry an object ``payload``; "fail" records carry a
+    ``category`` from the failure taxonomy (exception/audit/budget/
+    cancelled), a string ``message``, and an integer ``attempts`` >= 1;
+  * no task index has two "ok" records (the writer skips completed
+    indices, so a duplicate means corruption or a mixed-up file);
+  * at most the FINAL line may be truncated/unparseable — that is the
+    crash-tolerance contract; garbage anywhere else is a hard failure.
+
+``--expect-complete`` additionally requires an "ok" record for every task
+index — the post-run check CI uses after an uninterrupted sweep.
+
+Flight-recorder dumps are Chrome trace-event JSON and are validated by the
+sibling ``check_trace.py``; run both in CI.
+
+Usage:  check_journal.py [--expect-complete] J1.journal [J2.journal ...]
+Exit codes: 0 all valid, 1 invariant violated, 2 unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+CATEGORIES = {"exception", "audit", "budget", "cancelled"}
+U64_MAX = 2**64 - 1
+
+
+def fail(path, line_no, message):
+    print(f"{path}:{line_no}: {message}", file=sys.stderr)
+    return False
+
+
+def is_u64_string(value):
+    if not isinstance(value, str) or not value.isdigit():
+        return False
+    return int(value) <= U64_MAX
+
+
+def check_header(path, header):
+    if not isinstance(header, dict):
+        return fail(path, 1, "header is not an object"), 0
+    if header.get("journal") != "incast-task-journal":
+        return fail(path, 1, "missing journal magic 'incast-task-journal'"), 0
+    if header.get("version") != 1:
+        return fail(path, 1, f"unsupported version {header.get('version')!r}"), 0
+    if not isinstance(header.get("command"), str) or not header["command"]:
+        return fail(path, 1, "missing or empty 'command'"), 0
+    if not is_u64_string(header.get("fingerprint")):
+        return fail(path, 1, "'fingerprint' must be a u64 decimal string"), 0
+    tasks = header.get("tasks")
+    if not isinstance(tasks, int) or isinstance(tasks, bool) or tasks < 0:
+        return fail(path, 1, "'tasks' must be a non-negative integer"), 0
+    return True, tasks
+
+
+def check_record(path, line_no, record, tasks):
+    if not isinstance(record, dict):
+        return fail(path, line_no, "record is not an object"), None
+    task = record.get("task")
+    if not isinstance(task, int) or isinstance(task, bool) or task < 0:
+        return fail(path, line_no, "'task' must be a non-negative integer"), None
+    if task >= tasks:
+        return fail(path, line_no,
+                    f"task index {task} out of range (header says {tasks})"), None
+    if not is_u64_string(record.get("seed")):
+        return fail(path, line_no, "'seed' must be a u64 decimal string"), None
+    status = record.get("status")
+    if status == "ok":
+        if not isinstance(record.get("payload"), dict):
+            return fail(path, line_no, "'ok' record missing object 'payload'"), None
+    elif status == "fail":
+        category = record.get("category")
+        if category not in CATEGORIES:
+            return fail(path, line_no,
+                        f"unknown failure category {category!r}"), None
+        if not isinstance(record.get("message"), str):
+            return fail(path, line_no, "'fail' record missing string 'message'"), None
+        attempts = record.get("attempts")
+        if not isinstance(attempts, int) or isinstance(attempts, bool) or attempts < 1:
+            return fail(path, line_no, "'attempts' must be an integer >= 1"), None
+    else:
+        return fail(path, line_no, f"unknown status {status!r}"), None
+    return True, (task, status)
+
+
+def check_journal(path, expect_complete):
+    try:
+        with open(path) as f:
+            # keepends=False; the writer terminates every complete line.
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    if not lines:
+        return fail(path, 1, "empty file (no header)")
+
+    try:
+        header = json.loads(lines[0])
+    except ValueError as e:
+        return fail(path, 1, f"unparseable header: {e}")
+    ok, tasks = check_header(path, header)
+    if not ok:
+        return False
+
+    completed = set()
+    failed = set()
+    truncated_tail = False
+    for i, line in enumerate(lines[1:], start=2):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as e:
+            if i == len(lines):
+                # The crash-tolerance contract: only the final line may be
+                # cut short by a kill.
+                truncated_tail = True
+                continue
+            return fail(path, i, f"unparseable record (not the final line): {e}")
+        ok, parsed = check_record(path, i, record, tasks)
+        if not ok:
+            return False
+        task, status = parsed
+        if status == "ok":
+            if task in completed:
+                return fail(path, i, f"duplicate 'ok' record for task {task}")
+            completed.add(task)
+        else:
+            failed.add(task)
+
+    if expect_complete:
+        missing = sorted(set(range(tasks)) - completed)
+        if missing:
+            shown = ", ".join(map(str, missing[:10]))
+            more = "" if len(missing) <= 10 else f" (+{len(missing) - 10} more)"
+            return fail(path, len(lines),
+                        f"--expect-complete: {len(missing)} task(s) without an "
+                        f"'ok' record: {shown}{more}")
+
+    tail = " (truncated final line)" if truncated_tail else ""
+    print(f"{path}: OK — {header['command']}, {len(completed)}/{tasks} task(s) "
+          f"complete, {len(failed)} distinct failure(s){tail}")
+    return True
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--expect-complete", action="store_true",
+                        help="require an 'ok' record for every task index")
+    parser.add_argument("journals", nargs="+", metavar="JOURNAL")
+    args = parser.parse_args(argv[1:])
+
+    all_ok = True
+    for path in args.journals:
+        all_ok = check_journal(path, args.expect_complete) and all_ok
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -53,6 +53,43 @@
 //   incast_sim trace --input trace.csv [--line-rate 10Gbps]
 //       Runs the burst detector on a previously exported trace.
 //
+//   incast_sim chaos [--configs 25] [--seed 7] [--jobs N]
+//                    [--max-events 20000000] [--max-wall-ms 0]
+//                    [--journal run.journal]
+//       Fuzzes the simulator: K seeded random configurations (bursts,
+//       faulty bursts, fleet traces) each run under the strict invariant
+//       auditor with an event budget. Any violation or budget blowout is
+//       quarantined and reported; exit code 4 if any config failed. The
+//       same seed always generates the same configs.
+//
+//   Run-hardening flags, shared by burst / faults / fabric / fleet / chaos:
+//     --audit off|relaxed|strict  invariant auditor mode (default relaxed:
+//                                 violations are counted, never fatal;
+//                                 strict aborts with exit 4 and dumps the
+//                                 flight recorder when one is armed)
+//     --max-events N              per-simulation event budget (0 = none)
+//     --max-wall-ms MS            per-simulation wall-clock budget (0 = none)
+//
+//   Sweep fault-isolation flags (faults, fleet, chaos):
+//     --fail-fast                 abort the whole sweep on the first task
+//                                 failure (historical behavior). Default:
+//                                 quarantine the failing point, retry it
+//                                 --retries times, and keep going.
+//     --retries N                 same-seed retry attempts for a failed
+//                                 task before quarantining it (default 1;
+//                                 ignored under --fail-fast)
+//     --journal PATH              append-only checkpoint journal. A killed
+//                                 run (crash, ^C, SIGTERM) resumes by
+//                                 rerunning the command with the same
+//                                 --journal: completed points are skipped,
+//                                 and the merged output is byte-identical
+//                                 to an uninterrupted run. A journal from a
+//                                 different configuration is refused.
+//
+//   Exit codes: 0 success; 2 bad invocation or config/journal mismatch;
+//   3 file I/O failure; 4 audit violation or budget exceeded (strict) or
+//   chaos failures; 5 internal error; 130/143 after SIGINT/SIGTERM.
+//
 //   Observability flags, shared by burst / faults / fabric / fleet:
 //     --trace-out FILE          write a Chrome trace-event JSON of the run
 //                               (load in Perfetto / chrome://tracing;
@@ -67,6 +104,8 @@
 //   For faults, the baseline run is the observed one (sweep points run in
 //   parallel); for fleet, the (host 0, snapshot 0) cell is. Trace and
 //   metrics bytes are identical for every --jobs value.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -76,12 +115,15 @@
 #include <vector>
 
 #include "analysis/burst_detector.h"
+#include "core/chaos.h"
 #include "core/cli_args.h"
+#include "core/error.h"
 #include "core/fabric_experiment.h"
 #include "core/fleet_experiment.h"
 #include "core/incast_experiment.h"
 #include "core/report.h"
 #include "core/resilience_experiment.h"
+#include "core/task_journal.h"
 #include "obs/hub.h"
 #include "telemetry/trace_io.h"
 
@@ -90,9 +132,21 @@ namespace {
 using namespace incast;
 using namespace incast::sim::literals;
 
+// Cooperative cancellation: the signal handler only flips atomics; every
+// simulation polls g_cancel through its auditor (every 8192 events) and the
+// sweep runner stops handing out tasks, so journals and partial exports are
+// flushed through the normal paths before exit.
+std::atomic<bool> g_cancel{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void handle_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: incast_sim <burst|faults|fabric|fleet|trace> [--key value ...]\n"
+               "usage: incast_sim <burst|faults|fabric|fleet|trace|chaos> [--key value ...]\n"
                "       see the header of tools/incast_sim.cc for all flags\n");
   return 2;
 }
@@ -214,6 +268,58 @@ struct ObsCli {
   }
 };
 
+// The run-hardening flags shared by every simulation subcommand: auditor
+// mode and budgets, plus (for sweeps) quarantine/retry and the checkpoint
+// journal. Must run before finish(args) so the flags are consumed.
+struct HardeningCli {
+  sim::AuditMode audit_mode{sim::AuditMode::kRelaxed};
+  sim::Auditor::Config audit{};
+  std::string journal_path;
+  bool fail_fast{false};
+  int max_attempts{2};
+
+  bool parse(core::CliArgs& args, bool sweep_flags) {
+    const std::string mode_name = args.get_or("audit", "relaxed");
+    if (!sim::parse_audit_mode(mode_name, audit_mode)) {
+      std::fprintf(stderr, "error: unknown --audit '%s' (off|relaxed|strict)\n",
+                   mode_name.c_str());
+      return false;
+    }
+    audit.max_events =
+        static_cast<std::uint64_t>(args.int_or("max-events", 0, 0, 1'000'000'000'000));
+    audit.max_wall_ms = args.double_or("max-wall-ms", 0.0, 0.0, 1e9);
+    audit.cancel = &g_cancel;
+    if (sweep_flags) {
+      journal_path = args.get_or("journal", "");
+      fail_fast = args.bool_or("fail-fast", false);
+      max_attempts = 1 + static_cast<int>(args.int_or("retries", 1, 0, 16));
+    }
+    return true;
+  }
+
+  [[nodiscard]] sim::SweepRunner::Policy policy() const {
+    sim::SweepRunner::Policy p;
+    p.fail_fast = fail_fast;
+    p.max_attempts = max_attempts;
+    p.cancel = &g_cancel;
+    return p;
+  }
+};
+
+// Printed after a signal-interrupted sweep so the operator knows the state
+// on disk is resumable, then the 128+signo exit happens in main().
+void print_resume_hint(const core::TaskJournal& journal) {
+  if (g_signal.load(std::memory_order_relaxed) == 0) return;
+  if (journal.active()) {
+    std::fprintf(stderr,
+                 "interrupted: journal %s holds %zu completed task(s); rerun the same "
+                 "command to resume\n",
+                 journal.path().c_str(), journal.completed_count());
+  } else {
+    std::fprintf(stderr, "interrupted: no --journal, completed work is discarded\n");
+  }
+}
+
 // Shared between `burst` and `faults` so the two subcommands agree on every
 // default — `faults` with all fault knobs at zero must reproduce `burst`.
 bool parse_incast_config(core::CliArgs& args, core::IncastExperimentConfig& cfg,
@@ -273,10 +379,14 @@ int run_burst(core::CliArgs& args) {
   core::IncastExperimentConfig cfg;
   std::string cc_name;
   if (!parse_incast_config(args, cfg, cc_name)) return 2;
+  HardeningCli hard;
+  if (!hard.parse(args, /*sweep_flags=*/false)) return 2;
   ObsCli obs_cli;
   if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
   cfg.hub = obs_cli.hub.get();
+  cfg.audit_mode = hard.audit_mode;
+  cfg.audit = hard.audit;
 
   std::printf("burst: %d x %s bursts of a %d-flow %s incast (seed %llu)\n",
               cfg.num_bursts, cfg.burst_duration.to_string().c_str(), cfg.num_flows,
@@ -334,16 +444,45 @@ int run_faults(core::CliArgs& args) {
   cfg.fault_template.ge_drop_bad = args.double_or("ge-loss-bad", 1.0, 0.0, 1.0);
   cfg.fault_template.ge_drop_good = args.double_or("ge-loss-good", 0.0, 0.0, 1.0);
   cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
+  HardeningCli hard;
+  if (!hard.parse(args, /*sweep_flags=*/true)) return 2;
   ObsCli obs_cli;
   if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
   // Only the baseline is observed: sweep points run on worker threads and
   // must not share the hub (run_resilience_experiment nulls it for them).
   cfg.base.hub = obs_cli.hub.get();
+  cfg.base.audit_mode = hard.audit_mode;
+  cfg.base.audit = hard.audit;
+  cfg.sweep = hard.policy();
+
+  const std::size_t n_points = cfg.drop_rates.size() + cfg.flap_durations.size();
+  core::TaskJournal journal;
+  if (!hard.journal_path.empty()) {
+    journal.open(hard.journal_path,
+                 {"faults", core::fnv1a(core::canonical_config(cfg)), n_points});
+    if (journal.completed_count() > 0) {
+      std::printf("journal %s: resuming, %zu/%zu point(s) already complete "
+                  "(the baseline always re-runs)\n",
+                  journal.path().c_str(), journal.completed_count(), n_points);
+    }
+    cfg.sweep.on_failure = [&journal](const sim::TaskFailure& f) {
+      journal.record_failure(f);
+    };
+    cfg.resume = [&journal](std::size_t index, core::ResiliencePoint& out) {
+      const core::Json* payload = journal.payload(index);
+      if (payload == nullptr) return false;
+      out = core::resilience_point_from_payload(*payload);
+      return true;
+    };
+    cfg.on_result = [&journal](std::size_t index, std::uint64_t seed,
+                               const core::ResiliencePoint& point) {
+      journal.record_ok(index, seed, core::to_journal_payload(point));
+    };
+  }
 
   std::printf("faults: %d-flow %s incast, baseline + %zu fault point(s) (seed %llu)\n",
-              cfg.base.num_flows, cc_name.c_str(),
-              cfg.drop_rates.size() + cfg.flap_durations.size(),
+              cfg.base.num_flows, cc_name.c_str(), n_points,
               static_cast<unsigned long long>(cfg.base.seed));
 
   const auto report = core::run_resilience_experiment(cfg);
@@ -355,7 +494,11 @@ int run_faults(core::CliArgs& args) {
 
   core::Table t{{"drop-rate", "flap", "avg BCT", "max BCT", "goodput", "timeouts",
                  "fast-rtx", "cong-drops", "inj-drops", "corrupt", "recovery", "mode"}};
-  for (const auto& p : report.points) {
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    // Quarantined or never-run points hold default-constructed results;
+    // their story is told by the quarantine block below, not a row of zeros.
+    if (report.sweep.failed(i) || report.sweep.tasks[i].attempts == 0) continue;
+    const auto& p = report.points[i];
     const auto& r = p.result;
     t.add_row({core::fmt(p.drop_rate, 6),
                p.flap_duration > sim::Time::zero() ? p.flap_duration.to_string() : "-",
@@ -369,7 +512,9 @@ int run_faults(core::CliArgs& args) {
   }
   t.print();
 
-  for (const auto& p : report.points) {
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    if (report.sweep.failed(i) || report.sweep.tasks[i].attempts == 0) continue;
+    const auto& p = report.points[i];
     if (p.mode != report.baseline_mode) {
       std::printf("\nmode boundary shifted: baseline %s -> %s at drop-rate %s%s\n",
                   core::to_string(report.baseline_mode), core::to_string(p.mode),
@@ -382,6 +527,7 @@ int run_faults(core::CliArgs& args) {
   }
   std::printf("\n");
   core::print_sweep_stats(report.sweep);
+  print_resume_hint(journal);
   return obs_cli.write_outputs();
 }
 
@@ -453,10 +599,14 @@ int run_fabric(core::CliArgs& args) {
                                       : workload::BurstSchedule::kAfterCompletion;
 
   const std::string telemetry_prefix = args.get_or("export-telemetry", "");
+  HardeningCli hard;
+  if (!hard.parse(args, /*sweep_flags=*/false)) return 2;
   ObsCli obs_cli;
   if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
   cfg.hub = obs_cli.hub.get();
+  cfg.audit_mode = hard.audit_mode;
+  cfg.audit = hard.audit;
 
   const int num_leaves = cfg.fabric.num_pods * cfg.fabric.leaves_per_pod;
   const int uplinks = cfg.fabric.aggs_per_pod > 0 ? cfg.fabric.aggs_per_pod
@@ -566,12 +716,48 @@ int run_fleet(core::CliArgs& args) {
   }
   const std::string csv_path = args.get_or("export-csv", "");
   cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
+  HardeningCli hard;
+  if (!hard.parse(args, /*sweep_flags=*/true)) return 2;
   ObsCli obs_cli;
   if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
   // The hub observes the (host 0, snapshot 0) cell only, so trace and
   // metrics output is byte-identical at any --jobs value.
   cfg.hub = obs_cli.hub.get();
+  cfg.audit_mode = hard.audit_mode;
+  cfg.audit = hard.audit;
+  cfg.sweep = hard.policy();
+
+  const auto n_cells =
+      static_cast<std::size_t>(cfg.num_hosts) * static_cast<std::size_t>(cfg.num_snapshots);
+  core::TaskJournal journal;
+  if (!hard.journal_path.empty()) {
+    journal.open(hard.journal_path,
+                 {"fleet", core::fnv1a(core::canonical_config(cfg)), n_cells});
+    if (journal.completed_count() > 0) {
+      std::printf("journal %s: resuming, %zu/%zu cell(s) already complete "
+                  "(cell 0 always re-runs: it owns the exported trace)\n",
+                  journal.path().c_str(), journal.completed_count(), n_cells);
+    }
+    cfg.sweep.on_failure = [&journal](const sim::TaskFailure& f) {
+      journal.record_failure(f);
+    };
+    cfg.resume = [&journal](std::size_t index, core::HostTraceResult& out) {
+      // Cell 0 is the observed/exported cell: its Millisampler bins and any
+      // trace/metrics output are not journaled, so it re-runs (determinism
+      // makes the re-run free of surprises, and the grid's other N-1 cells
+      // are where the time goes).
+      if (index == 0) return false;
+      const core::Json* payload = journal.payload(index);
+      if (payload == nullptr) return false;
+      out = core::host_trace_from_payload(*payload);
+      return true;
+    };
+    cfg.on_result = [&journal](std::size_t index, std::uint64_t seed,
+                               const core::HostTraceResult& r) {
+      journal.record_ok(index, seed, core::to_journal_payload(r));
+    };
+  }
 
   std::printf("fleet: %d host(s) x %d snapshot(s) of '%s', %s traces\n", cfg.num_hosts,
               cfg.num_snapshots, service.c_str(), cfg.trace_duration.to_string().c_str());
@@ -584,10 +770,17 @@ int run_fleet(core::CliArgs& args) {
   // of trace (host 0, snapshot 0) — is byte-identical at any --jobs value.
   const auto results = exp.run_all();
 
+  const auto& sweep = exp.last_sweep();
   analysis::Cdf freq, dur, flows, marked, retx;
   double util = 0.0;
   std::int64_t drops = 0;
-  for (const auto& r : results) {
+  std::size_t healthy = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // Quarantined or cancelled-before-start cells hold default-constructed
+    // results; keep them out of the aggregates.
+    if (sweep.failed(i) || sweep.tasks[i].attempts == 0) continue;
+    const auto& r = results[i];
+    ++healthy;
     util += r.avg_utilization;
     drops += r.queue_drops;
     freq.add(r.summary.bursts_per_second());
@@ -600,6 +793,18 @@ int run_fleet(core::CliArgs& args) {
   }
   if (!csv_path.empty() && !results.empty()) {
     if (telemetry::write_bins_csv_file(results.front().bins, csv_path)) {
+      // Footer: annotate a partial export so downstream tooling (and
+      // humans) can tell "clean sweep" from "some cells missing". '#'
+      // lines are skipped by read_bins_csv.
+      if (!sweep.failures.empty() || sweep.tasks_not_run > 0) {
+        std::ofstream footer{csv_path, std::ios::app};
+        footer << "# quarantined: " << sweep.failures.size() << " cell(s) failed, "
+               << sweep.tasks_not_run << " not run\n";
+        for (const sim::TaskFailure& f : sweep.failures) {
+          footer << "# cell " << f.index << " (seed " << f.seed << ") ["
+                 << sim::to_string(f.category) << "]: " << f.message << '\n';
+        }
+      }
       std::printf("exported host 0 trace to %s\n", csv_path.c_str());
     } else {
       std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
@@ -608,7 +813,8 @@ int run_fleet(core::CliArgs& args) {
 
   core::Table t{{"metric", "value"}};
   t.add_row({"avg utilization",
-             core::fmt(util / (cfg.num_hosts * cfg.num_snapshots) * 100, 1) + " %"});
+             core::fmt(healthy > 0 ? util / static_cast<double>(healthy) * 100 : 0.0, 1) +
+             " %"});
   t.add_row({"bursts/second (mean)", core::fmt(freq.mean(), 1)});
   t.add_row({"burst duration p50/p99",
              core::fmt(dur.percentile(50), 0) + " / " + core::fmt(dur.percentile(99), 0) +
@@ -621,8 +827,82 @@ int run_fleet(core::CliArgs& args) {
   t.add_row({"ToR drops", std::to_string(drops)});
   t.print();
   std::printf("\n");
-  core::print_sweep_stats(exp.last_sweep());
+  core::print_sweep_stats(sweep);
+  print_resume_hint(journal);
   return obs_cli.write_outputs();
+}
+
+int run_chaos(core::CliArgs& args) {
+  core::ChaosConfig cfg;
+  cfg.num_configs = static_cast<int>(args.int_or("configs", 25, 1, 100'000));
+  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 7));
+  cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
+  cfg.max_events_per_run = static_cast<std::uint64_t>(
+      args.int_or("max-events", 20'000'000, 1, 1'000'000'000'000));
+  cfg.max_wall_ms_per_run = args.double_or("max-wall-ms", 0.0, 0.0, 1e9);
+  const std::string journal_path = args.get_or("journal", "");
+  if (const int rc = finish(args); rc != 0) return rc;
+  cfg.cancel = &g_cancel;
+
+  core::TaskJournal journal;
+  if (!journal_path.empty()) {
+    // The chaos config is tiny; its canonical string is inlined here.
+    std::string canonical = "chaos|seed=" + std::to_string(cfg.seed) +
+                            "|configs=" + std::to_string(cfg.num_configs) +
+                            "|max_events=" + std::to_string(cfg.max_events_per_run);
+    journal.open(journal_path, {"chaos", core::fnv1a(canonical),
+                                static_cast<std::uint64_t>(cfg.num_configs)});
+    if (journal.completed_count() > 0) {
+      std::printf("journal %s: resuming, %zu/%d config(s) already survived\n",
+                  journal.path().c_str(), journal.completed_count(), cfg.num_configs);
+    }
+    cfg.on_failure = [&journal](const sim::TaskFailure& f) { journal.record_failure(f); };
+    cfg.resume = [&journal](std::size_t index, core::ChaosRunResult& out) {
+      const core::Json* payload = journal.payload(index);
+      if (payload == nullptr) return false;
+      out.description = payload->at("description").as_string();
+      out.seed = std::stoull(payload->at("seed").as_string());
+      out.events_processed =
+          static_cast<std::uint64_t>(payload->at("events_processed").as_int());
+      return true;
+    };
+    cfg.on_result = [&journal](std::size_t index, std::uint64_t seed,
+                               const core::ChaosRunResult& r) {
+      core::Json::Object o;
+      o["description"] = core::Json{r.description};
+      o["seed"] = core::Json{std::to_string(r.seed)};
+      o["events_processed"] = core::Json{static_cast<std::int64_t>(r.events_processed)};
+      journal.record_ok(index, seed, core::Json{std::move(o)});
+    };
+  }
+
+  std::printf("chaos: %d random config(s), seed %llu, strict auditor, "
+              "budget %llu events/run\n",
+              cfg.num_configs, static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(cfg.max_events_per_run));
+
+  const core::ChaosReport report = core::run_chaos(cfg);
+
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    if (report.sweep.failed(i) || report.sweep.tasks[i].attempts == 0) continue;
+    std::printf("  ok   #%-3zu %-90s %llu events\n", i, report.runs[i].description.c_str(),
+                static_cast<unsigned long long>(report.runs[i].events_processed));
+  }
+  for (const sim::TaskFailure& f : report.sweep.failures) {
+    std::printf("  FAIL #%-3zu (seed %llu) [%s]: %s\n", f.index,
+                static_cast<unsigned long long>(f.seed), sim::to_string(f.category),
+                f.message.c_str());
+  }
+  std::printf("\n");
+  core::print_sweep_stats(report.sweep);
+  print_resume_hint(journal);
+
+  if (!report.sweep.failures.empty()) {
+    std::fprintf(stderr, "chaos: %zu of %d config(s) violated an invariant or budget\n",
+                 report.sweep.failures.size(), cfg.num_configs);
+    return 4;
+  }
+  return 0;
 }
 
 int run_trace(core::CliArgs& args) {
@@ -635,10 +915,15 @@ int run_trace(core::CliArgs& args) {
       args.bandwidth_or("line-rate", sim::Bandwidth::gigabits_per_second(10));
   if (const int rc = finish(args); rc != 0) return rc;
 
-  // read_bins_csv_file throws on malformed input; the top-level handler in
-  // main turns that into an error message and exit 1.
-  const std::vector<telemetry::Millisampler::Bin> bins =
-      telemetry::read_bins_csv_file(*input);
+  // read_bins_csv_file throws std::runtime_error on missing/malformed
+  // input; re-categorize as an I/O failure (exit 3) for the top-level
+  // handler in main.
+  std::vector<telemetry::Millisampler::Bin> bins;
+  try {
+    bins = telemetry::read_bins_csv_file(*input);
+  } catch (const std::runtime_error& e) {
+    throw core::Error{core::ErrorCategory::kIo, e.what()};
+  }
 
   const analysis::BurstDetector detector;
   const auto bursts = detector.detect(bins, line_rate.bytes_in(1_ms));
@@ -664,18 +949,38 @@ int dispatch(int argc, char** argv) {
   if (command == "fabric") return run_fabric(args);
   if (command == "fleet") return run_fleet(args);
   if (command == "trace") return run_trace(args);
+  if (command == "chaos") return run_chaos(args);
   return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Anything the subcommands throw (a malformed --input CSV, an allocation
-  // failure) becomes a clean diagnostic instead of std::terminate.
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  // Anything the subcommands throw becomes a clean diagnostic with a
+  // documented exit code instead of std::terminate. See the exit-code table
+  // in the header comment.
   try {
-    return dispatch(argc, argv);
+    const int rc = dispatch(argc, argv);
+    if (const int sig = g_signal.load(std::memory_order_relaxed); sig != 0) {
+      return 128 + sig;  // 130 = SIGINT, 143 = SIGTERM
+    }
+    return rc;
+  } catch (const core::Error& e) {
+    std::fprintf(stderr, "error [%s]: %s\n", core::to_string(e.category()), e.what());
+    return core::exit_code(e.category());
+  } catch (const sim::RunCancelled&) {
+    const int sig = g_signal.load(std::memory_order_relaxed);
+    return sig != 0 ? 128 + sig : core::exit_code(core::ErrorCategory::kAudit);
+  } catch (const sim::AuditFailure& e) {
+    std::fprintf(stderr, "error [audit]: %s\n", e.what());
+    return core::exit_code(core::ErrorCategory::kAudit);
+  } catch (const sim::BudgetExceeded& e) {
+    std::fprintf(stderr, "error [budget]: %s\n", e.what());
+    return core::exit_code(core::ErrorCategory::kAudit);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "error [internal]: %s\n", e.what());
+    return core::exit_code(core::ErrorCategory::kInternal);
   }
 }
