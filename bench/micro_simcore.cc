@@ -152,6 +152,25 @@ void BM_QueueEnqueueDequeue(benchmark::State& state) {
 }
 BENCHMARK(BM_QueueEnqueueDequeue);
 
+void BM_CompositeQueueTrim(benchmark::State& state) {
+  // The trimming hot path: a CompositeQueue whose data ring is kept full,
+  // so half of every batch is admitted and half is trimmed onto the
+  // strict-priority header ring. Covers the admission check, the trim
+  // (payload cut + CE mark), and the two-ring dequeue order.
+  net::DropTailQueue::Config cfg;
+  cfg.capacity_packets = 32;
+  cfg.ecn_threshold_packets = 0;
+  cfg.discipline = net::QueueDiscipline::kTrimming;
+  net::CompositeQueue q{cfg};
+  const net::Packet p = net::make_data_packet(0, 1, 1, 0, 1460);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) (void)q.enqueue(p);
+    while (auto out = q.dequeue()) benchmark::DoNotOptimize(*out);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CompositeQueueTrim);
+
 void BM_EndToEndTcpTransfer(benchmark::State& state) {
   // Packets/second through the full stack: dumbbell topology, DCTCP flow,
   // 1 MB transfers.
@@ -184,6 +203,31 @@ void BM_IncastBurst100Flows(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncastBurst100Flows)->Unit(benchmark::kMillisecond);
+
+void BM_PfcIncast(benchmark::State& state) {
+  // The lossless data path under load: the same incast shape as
+  // BM_IncastBurst100Flows but on a PFC-enabled dumbbell with DCQCN, so
+  // every hop charges VIQs, emits pause/resume frames, and rides the
+  // strict-priority control path. Events/sec here prices the per-packet
+  // PFC accounting against the drop-tail rows.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::IncastExperimentConfig cfg;
+    cfg.num_flows = 64;
+    cfg.burst_duration = 2_ms;
+    cfg.num_bursts = 2;
+    cfg.discard_bursts = 1;
+    cfg.queue_sample_every = 100_us;
+    cfg.topology.pfc = net::LosslessInputQueue::Config{};
+    cfg.topology.switch_queue.capacity_packets = 100'000;
+    cfg.tcp.cc = tcp::CcAlgorithm::kDcqcn;
+    const auto r = core::run_incast_experiment(cfg);
+    events += r.events_processed;
+    benchmark::DoNotOptimize(r.avg_bct_ms);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PfcIncast)->Unit(benchmark::kMillisecond);
 
 void BM_TracerOverhead(benchmark::State& state, bool traced) {
   // The same 100-flow incast as BM_IncastBurst100Flows, with the

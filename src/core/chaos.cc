@@ -25,6 +25,7 @@ const char* cc_name(tcp::CcAlgorithm cc) noexcept {
     case tcp::CcAlgorithm::kCubic: return "cubic";
     case tcp::CcAlgorithm::kSwift: return "swift";
     case tcp::CcAlgorithm::kHpcc: return "hpcc";
+    case tcp::CcAlgorithm::kDcqcn: return "dcqcn";
   }
   return "?";
 }
@@ -61,6 +62,28 @@ ChaosRunResult chaos_burst(const ChaosConfig& config, std::uint64_t seed, bool f
                                     static_cast<double>(queue) * rng.uniform(0.05, 0.8)));
   cfg.max_sim_time = sim::Time::seconds(10);
 
+  // Queue-discipline mix: drop-tail, NDP trimming, PFC lossless (2:1:1).
+  // Trimming and PFC exercise the auditor's trimmed-byte and control-frame
+  // ledgers; PFC draws randomized XOFF/XON/headroom so hysteresis corners
+  // (tight thresholds, scarce headroom) get fuzzed too.
+  const std::int64_t qmode = rng.uniform_int(0, 3);
+  const char* qmode_name = "droptail";
+  if (qmode == 2) {
+    cfg.topology.switch_queue.discipline = net::QueueDiscipline::kTrimming;
+    qmode_name = "trim";
+  } else if (qmode == 3) {
+    net::LosslessInputQueue::Config pfc;
+    pfc.xoff_bytes = rng.uniform_int(32, 256) * 1024;
+    pfc.xon_bytes = pfc.xoff_bytes - rng.uniform_int(8, 64) * 1024;
+    if (pfc.xon_bytes < 1024) pfc.xon_bytes = 1024;
+    pfc.headroom_bytes = rng.uniform_int(128, 512) * 1024;
+    cfg.topology.pfc = pfc;
+    // PFC backpressure, not tail drop, should be the binding constraint.
+    cfg.topology.switch_queue.capacity_packets = 100'000;
+    if (rng.bernoulli(0.5)) cfg.tcp.cc = tcp::CcAlgorithm::kDcqcn;
+    qmode_name = "pfc";
+  }
+
   std::string faults;
   if (faulty) {
     cfg.faults.forward.drop_rate = rng.bernoulli(0.7) ? rng.uniform(0.0, 0.03) : 0.0;
@@ -91,9 +114,10 @@ ChaosRunResult chaos_burst(const ChaosConfig& config, std::uint64_t seed, bool f
   cfg.audit.max_wall_ms = config.max_wall_ms_per_run;
   cfg.audit.cancel = config.cancel;
 
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "cc=%s flows=%d dur=%lldus queue=%lld ecn=%lld bursts=%d%s",
-                cc_name(cfg.tcp.cc), cfg.num_flows,
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "cc=%s qmode=%s flows=%d dur=%lldus queue=%lld ecn=%lld bursts=%d%s",
+                cc_name(cfg.tcp.cc), qmode_name, cfg.num_flows,
                 static_cast<long long>(cfg.burst_duration.ns() / 1000),
                 static_cast<long long>(queue),
                 static_cast<long long>(cfg.topology.switch_queue.ecn_threshold_packets),

@@ -6,6 +6,7 @@
 
 #include "fault/fault_injector.h"
 #include "net/queue.h"
+#include "net/switch.h"
 #include "obs/hub.h"
 #include "sim/auditor.h"
 #include "sim/simulator.h"
@@ -22,6 +23,7 @@ ExperimentObserver::~ExperimentObserver() {
   hub_->metrics().unregister_prefix("core.incast.");
   hub_->metrics().unregister_prefix("sim.events.");
   hub_->metrics().unregister_prefix("sim.audit.");
+  hub_->metrics().unregister_prefix("net.pfc.");
 }
 
 void ExperimentObserver::watch_simulator(const sim::Simulator& sim) {
@@ -65,6 +67,40 @@ void ExperimentObserver::watch_faults(const fault::FaultInjector& injector) {
                      [&injector] { return injector.total().reordered; });
 }
 
+void ExperimentObserver::watch_pfc(const std::string& name, const net::Switch& sw) {
+  if (hub_ == nullptr || sw.num_viqs() == 0) return;
+  const std::string prefix = "net.pfc." + name + ".";
+  auto& m = hub_->metrics();
+  m.register_counter(prefix + "pause_frames", [&sw] {
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < sw.num_viqs(); ++i) {
+      if (const auto* viq = sw.viq(i)) total += viq->stats().pause_frames;
+    }
+    return total;
+  });
+  m.register_counter(prefix + "resume_frames", [&sw] {
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < sw.num_viqs(); ++i) {
+      if (const auto* viq = sw.viq(i)) total += viq->stats().resume_frames;
+    }
+    return total;
+  });
+  m.register_counter(prefix + "overflow_drops", [&sw] {
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < sw.num_viqs(); ++i) {
+      if (const auto* viq = sw.viq(i)) total += viq->stats().overflow_dropped_packets;
+    }
+    return total;
+  });
+  m.register_counter(prefix + "paused_ns", [&sw] {
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < sw.num_ports(); ++i) {
+      total += sw.port(i).paused_ns();
+    }
+    return total;
+  });
+}
+
 void ExperimentObserver::watch_auditor(sim::Auditor& auditor, const sim::Simulator& sim) {
   if (hub_ == nullptr) return;
   auto& m = hub_->metrics();
@@ -84,6 +120,12 @@ void ExperimentObserver::watch_auditor(sim::Auditor& auditor, const sim::Simulat
                      [&auditor] { return auditor.delivered_bytes(); });
   m.register_counter("sim.audit.dropped_bytes",
                      [&auditor] { return auditor.dropped_bytes(); });
+  m.register_counter("sim.audit.trimmed_bytes",
+                     [&auditor] { return auditor.trimmed_bytes(); });
+  m.register_counter("sim.audit.control_injected_bytes",
+                     [&auditor] { return auditor.control_injected_bytes(); });
+  m.register_counter("sim.audit.control_consumed_bytes",
+                     [&auditor] { return auditor.control_consumed_bytes(); });
 
   // Violations are exactly the anomalies the flight recorder exists for:
   // dump the ring on every one, strict or relaxed. The sink runs before

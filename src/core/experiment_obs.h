@@ -18,6 +18,7 @@
 
 namespace incast::net {
 class DropTailQueue;
+class Switch;
 }  // namespace incast::net
 
 namespace incast::fault {
@@ -60,8 +61,16 @@ class ExperimentObserver {
   // outlive this object.
   void watch_faults(const fault::FaultInjector& injector);
 
+  // Registers net.pfc.<name>.{pause_frames,resume_frames,overflow_drops,
+  // paused_ns} pull sources summing the switch's VIQ counters (pauses this
+  // switch *sent*) and its egress ports' paused time (pauses it *obeyed*).
+  // No-op for a switch without PFC enabled. The switch must outlive this
+  // object.
+  void watch_pfc(const std::string& name, const net::Switch& sw);
+
   // Registers sim.audit.{violations,violations.<invariant>,injected_bytes,
-  // delivered_bytes,dropped_bytes} pull sources reading the run-hardening
+  // delivered_bytes,dropped_bytes,trimmed_bytes,control_injected_bytes,
+  // control_consumed_bytes} pull sources reading the run-hardening
   // auditor's counters, and routes every violation into the flight recorder
   // as a forced dump (relaxed mode included — a violation is exactly the
   // anomaly the recorder exists for). The auditor must outlive this object.

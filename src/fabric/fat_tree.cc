@@ -189,6 +189,9 @@ FatTree::FatTree(sim::Simulator& sim, const FatTreeConfig& config) : config_{con
   if (config_.shared_buffer.has_value()) {
     for (auto& lf : leaves_) lf->enable_shared_buffer(*config_.shared_buffer);
   }
+  if (config_.pfc.has_value()) {
+    for (net::Switch* sw : switches()) sw->enable_pfc(*config_.pfc);
+  }
 }
 
 net::Host& FatTree::host(int pod, int leaf_index, int slot) {

@@ -62,6 +62,11 @@ struct FatTreeConfig {
   // If set, every leaf shares one buffer pool across its egress queues.
   std::optional<net::SharedBufferPool::Config> shared_buffer;
 
+  // If set, every switch in the fabric runs PFC lossless Ethernet
+  // (per-ingress VIQs pausing the upstream hop at XOFF) — the lossless
+  // column of the scenario matrix.
+  std::optional<net::LosslessInputQueue::Config> pfc;
+
   // Seed for every switch's ECMP flow hash. Distinct seeds yield distinct
   // collision patterns; a fixed seed reproduces the exact path assignment.
   std::uint64_t ecmp_seed{1};

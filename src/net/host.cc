@@ -26,7 +26,19 @@ void Host::register_flow(FlowId flow, PacketHandler* handler) {
 
 void Host::unregister_flow(FlowId flow) { flows_.erase(flow); }
 
-void Host::receive(Packet p, std::size_t /*in_port*/) {
+void Host::receive(Packet p, std::size_t in_port) {
+  if (p.is_ctrl()) [[unlikely]] {
+    // PFC pause/resume from the ToR: applied to the NIC and consumed at
+    // the MAC layer — the host stack (taps included) never sees it.
+    if (auto* a = INCAST_AUDITOR(sim_)) a->on_control_consumed(p.size_bytes);
+    ++pfc_frames_received_;
+    if (p.ctrl.type == CtrlType::kPfcPause) {
+      port(in_port).pause_for(sim::Time::nanoseconds(p.ctrl.pause_ns));
+    } else if (p.ctrl.type == CtrlType::kPfcResume) {
+      port(in_port).resume();
+    }
+    return;
+  }
   // Delivery counts at the NIC: corrupt and unclaimed arrivals included —
   // the wire delivered them; what the host does next is its business.
   if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_delivered(p.size_bytes);

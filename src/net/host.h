@@ -63,6 +63,14 @@ class Host : public Node {
     return corrupt_dropped_packets_;
   }
 
+  // PFC pause/resume frames the NIC consumed (lossless fabrics only).
+  [[nodiscard]] std::int64_t pfc_frames_received() const noexcept {
+    return pfc_frames_received_;
+  }
+  // Cumulative time the NIC spent PFC-paused — the host-side HoL-blocking
+  // measure the collateral experiment reports.
+  [[nodiscard]] std::int64_t nic_paused_ns() const { return port(nic_port_).paused_ns(); }
+
  private:
   std::size_t nic_port_{0};
   bool has_nic_{false};
@@ -70,6 +78,7 @@ class Host : public Node {
   std::vector<IngressTap*> taps_;
   std::int64_t unclaimed_packets_{0};
   std::int64_t corrupt_dropped_packets_{0};
+  std::int64_t pfc_frames_received_{0};
 };
 
 }  // namespace incast::net

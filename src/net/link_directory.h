@@ -17,6 +17,8 @@
 
 namespace incast::net {
 
+class LosslessInputQueue;
+
 class LinkDirectory {
  public:
   // The named link's egress port, or nullptr if no such name is registered.
@@ -30,6 +32,18 @@ class LinkDirectory {
   [[nodiscard]] const std::vector<std::string>& link_names() const noexcept {
     return names_;
   }
+
+  // Uniform naming for PFC virtual input queues: the VIQ charged by
+  // traffic arriving over link "a->b" is "a->b:viq<n>", where n is b's
+  // ingress port index for that link. find_viq resolves such a name to the
+  // receiving switch's LosslessInputQueue; nullptr when the name is
+  // unknown, the index does not match the wiring, or the receiving node is
+  // not a PFC-enabled switch.
+  [[nodiscard]] const LosslessInputQueue* find_viq(const std::string& viq_name) const;
+
+  // Every VIQ name currently live (duplex-registered links whose receiving
+  // node is a PFC-enabled switch), in link registration order.
+  [[nodiscard]] std::vector<std::string> viq_names() const;
 
   // Bytes still buffered anywhere in the topology: queued plus in flight on
   // the wire, summed over every registered link. This is the residual term
@@ -48,8 +62,15 @@ class LinkDirectory {
   void register_duplex(Node& a, std::size_t ap, Node& b, std::size_t bp);
 
  private:
+  // Receiving side of a duplex-registered link, for VIQ resolution.
+  struct Ingress {
+    Node* node{nullptr};
+    std::size_t in_port{0};
+  };
+
   std::vector<std::string> names_;
   std::unordered_map<std::string, Port*> by_name_;
+  std::unordered_map<std::string, Ingress> ingress_by_link_;
 };
 
 }  // namespace incast::net

@@ -16,13 +16,21 @@ void Port::set_trace_label(const std::string& label) {
   trace_hub_ = hub;
   drop_event_name_ = label + ".drop";
   mark_event_name_ = label + ".ecn_mark";
+  trim_event_name_ = label + ".trim";
+  pause_event_name_ = label + ".pfc_pause";
+  resume_event_name_ = label + ".pfc_resume";
 }
 
 void Port::send(Packet p) {
   assert(connected() && "port must be connected before sending");
   const std::int64_t size = p.size_bytes;
+  const std::int64_t trims_before = queue_->stats().trimmed_bytes;
   if (trace_hub_ == nullptr) {
-    if (queue_.enqueue(std::move(p))) {
+    if (queue_->enqueue(std::move(p))) {
+      if (auto* a = INCAST_AUDITOR(sim_)) {
+        const std::int64_t cut = queue_->stats().trimmed_bytes - trims_before;
+        if (cut > 0) a->on_bytes_trimmed(cut);
+      }
       maybe_transmit();
     } else if (auto* a = INCAST_AUDITOR(sim_)) {
       a->on_bytes_dropped(size);  // tail-drop at enqueue
@@ -30,16 +38,24 @@ void Port::send(Packet p) {
     return;
   }
 
-  // Traced path: detect this enqueue's drop/ECN-mark outcome from the queue
-  // stats delta and emit an instant on the queue track.
+  // Traced path: detect this enqueue's drop/trim/ECN-mark outcome from the
+  // queue stats delta and emit an instant on the queue track.
   const bool tracing = trace_hub_->tracing();
-  const std::int64_t marks_before = queue_.stats().ecn_marked_packets;
+  const std::int64_t marks_before = queue_->stats().ecn_marked_packets;
   const FlowId flow = p.tcp.flow_id;
-  if (queue_.enqueue(std::move(p))) {
-    if (tracing && queue_.stats().ecn_marked_packets > marks_before) {
+  if (queue_->enqueue(std::move(p))) {
+    const std::int64_t cut = queue_->stats().trimmed_bytes - trims_before;
+    if (cut > 0) {
+      if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_trimmed(cut);
+      if (tracing) {
+        trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
+                            trim_event_name_, obs::kQueueTid, "flow", flow, "qlen",
+                            queue_->packets());
+      }
+    } else if (tracing && queue_->stats().ecn_marked_packets > marks_before) {
       trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
                           mark_event_name_, obs::kQueueTid, "flow", flow, "qlen",
-                          queue_.packets());
+                          queue_->packets());
     }
     maybe_transmit();
   } else {
@@ -47,27 +63,97 @@ void Port::send(Packet p) {
     if (tracing) {
       trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
                           drop_event_name_, obs::kQueueTid, "flow", flow, "qlen",
-                          queue_.packets());
+                          queue_->packets());
     }
   }
 }
 
+void Port::send_control(Packet p) {
+  assert(connected() && "port must be connected before sending");
+  assert(p.is_ctrl());
+  if (auto* a = INCAST_AUDITOR(sim_)) a->on_control_injected(p.size_bytes);
+  // Compact the drained prefix before appending, keeping the FIFO bounded
+  // by the number of in-flight control frames.
+  if (ctrl_head_ > 0 && ctrl_head_ == ctrl_fifo_.size()) {
+    ctrl_fifo_.clear();
+    ctrl_head_ = 0;
+  }
+  ctrl_fifo_.push_back(std::move(p));
+  maybe_transmit();
+}
+
+void Port::pause_for(sim::Time duration) {
+  if (!paused_) {
+    paused_ = true;
+    ++pause_count_;
+    pause_started_ns_ = sim_.now().ns();
+    if (trace_hub_ != nullptr && trace_hub_->tracing()) {
+      trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
+                          pause_event_name_, obs::kQueueTid, "pause_ns",
+                          duration.ns(), "qlen", queue_->packets());
+    }
+  }
+  // (Re)arm the auto-expiry; a newer pause supersedes any pending one.
+  const std::uint64_t epoch = ++pause_epoch_;
+  sim_.schedule_in(duration, [this, epoch] {
+    if (paused_ && epoch == pause_epoch_) finish_pause();
+  }, sim::EventCategory::kNet);
+}
+
+void Port::resume() {
+  if (!paused_) return;
+  finish_pause();
+}
+
+void Port::finish_pause() {
+  paused_ = false;
+  ++pause_epoch_;  // invalidate any pending auto-expiry
+  paused_ns_total_ += sim_.now().ns() - pause_started_ns_;
+  if (trace_hub_ != nullptr && trace_hub_->tracing()) {
+    trace_hub_->instant(sim_.now().ns(), obs::TraceCategory::kQueue,
+                        resume_event_name_, obs::kQueueTid, "paused_ns",
+                        sim_.now().ns() - pause_started_ns_, "qlen",
+                        queue_->packets());
+  }
+  maybe_transmit();
+}
+
+std::int64_t Port::paused_ns() const noexcept {
+  std::int64_t total = paused_ns_total_;
+  if (paused_) total += sim_.now().ns() - pause_started_ns_;
+  return total;
+}
+
 void Port::maybe_transmit() {
   if (busy_) return;
-  auto next = queue_.dequeue();
-  if (!next.has_value()) return;
+  std::optional<Packet> next;
+  if (ctrl_head_ < ctrl_fifo_.size()) {
+    // Control frames preempt data and ignore the pause state.
+    next = std::move(ctrl_fifo_[ctrl_head_]);
+    ++ctrl_head_;
+    if (ctrl_head_ == ctrl_fifo_.size()) {
+      ctrl_fifo_.clear();
+      ctrl_head_ = 0;
+    }
+  } else {
+    if (paused_) return;
+    next = queue_->dequeue();
+    if (!next.has_value()) return;
 
-  if (auto* a = INCAST_AUDITOR(sim_)) {
-    a->record_depth("port.queue", queue_.packets(), queue_.bytes());
-  }
+    if (auto* a = INCAST_AUDITOR(sim_)) {
+      a->record_depth("port.queue", queue_->packets(), queue_->bytes());
+    }
 
-  if (int_stamping_ && next->int_stack.enabled) {
-    next->int_stack.push(IntHopRecord{
-        .qlen_bytes = queue_.bytes(),
-        .tx_bytes = queue_.stats().dequeued_bytes,
-        .link_bps = bandwidth_.bps(),
-        .timestamp_ns = sim_.now().ns(),
-    });
+    if (dequeue_tap_ != nullptr) dequeue_tap_->on_dequeue(*next, sim_.now());
+
+    if (int_stamping_ && next->int_stack.enabled) {
+      next->int_stack.push(IntHopRecord{
+          .qlen_bytes = queue_->bytes(),
+          .tx_bytes = queue_->stats().dequeued_bytes,
+          .link_bps = bandwidth_.bps(),
+          .timestamp_ns = sim_.now().ns(),
+      });
+    }
   }
 
   busy_ = true;

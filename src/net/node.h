@@ -59,6 +59,16 @@ class TxTap {
   virtual void on_transmit(const Packet& p, sim::Time now) = 0;
 };
 
+// Observes every packet the moment it is pulled off the egress queue for
+// serialization (control frames excluded — they never entered the queue).
+// This is how a PFC switch credits the ingress virtual input queue a
+// departing packet was charged to.
+class DequeueTap {
+ public:
+  virtual ~DequeueTap() = default;
+  virtual void on_dequeue(const Packet& p, sim::Time now) = 0;
+};
+
 class Port {
  public:
   Port(sim::Simulator& sim, sim::Bandwidth bandwidth, sim::Time propagation_delay,
@@ -66,7 +76,7 @@ class Port {
       : sim_{sim},
         bandwidth_{bandwidth},
         propagation_delay_{propagation_delay},
-        queue_{queue_config} {}
+        queue_{make_queue(queue_config)} {}
 
   Port(const Port&) = delete;
   Port& operator=(const Port&) = delete;
@@ -79,13 +89,32 @@ class Port {
   }
 
   [[nodiscard]] bool connected() const noexcept { return peer_ != nullptr; }
+  [[nodiscard]] Node* peer() const noexcept { return peer_; }
 
   // Queues `p` for transmission, starting the transmitter if idle. The
-  // queue may ECN-mark or drop the packet.
+  // queue may ECN-mark, trim, or drop the packet.
   void send(Packet p);
 
-  [[nodiscard]] DropTailQueue& queue() noexcept { return queue_; }
-  [[nodiscard]] const DropTailQueue& queue() const noexcept { return queue_; }
+  // Queues a MAC control frame (PFC pause/resume) for transmission on a
+  // strict-priority path: control frames bypass the egress queue entirely
+  // and are emitted even while the port itself is paused — otherwise a
+  // congestion tree could never be torn down.
+  void send_control(Packet p);
+
+  // PFC pause of this port's data transmission. pause_for() (re)arms an
+  // auto-expiry at now + duration — real PFC quanta time out, which is the
+  // deadlock watchdog: a lost resume frame degrades into a shorter pause,
+  // never a hang. resume() lifts the pause early (the resume frame case).
+  void pause_for(sim::Time duration);
+  void resume();
+  [[nodiscard]] bool pfc_paused() const noexcept { return paused_; }
+  // Times this port entered the paused state.
+  [[nodiscard]] std::int64_t pause_count() const noexcept { return pause_count_; }
+  // Cumulative time spent paused, including the currently open pause.
+  [[nodiscard]] std::int64_t paused_ns() const noexcept;
+
+  [[nodiscard]] DropTailQueue& queue() noexcept { return *queue_; }
+  [[nodiscard]] const DropTailQueue& queue() const noexcept { return *queue_; }
   [[nodiscard]] sim::Bandwidth bandwidth() const noexcept { return bandwidth_; }
   [[nodiscard]] sim::Time propagation_delay() const noexcept { return propagation_delay_; }
   [[nodiscard]] bool busy() const noexcept { return busy_; }
@@ -104,6 +133,10 @@ class Port {
   // Adds a read-only observer of transmitted packets (e.g. a PortSampler).
   // Taps must outlive the port's traffic.
   void add_tx_tap(TxTap* tap) { tx_taps_.push_back(tap); }
+
+  // Installs (or clears) the dequeue observer. At most one; it must
+  // outlive the port's traffic.
+  void set_dequeue_tap(DequeueTap* tap) noexcept { dequeue_tap_ = tap; }
 
   // Names this port for the observability layer: drop and ECN-mark events
   // are then emitted as "<label>.drop" / "<label>.ecn_mark" instants on the
@@ -126,11 +159,13 @@ class Port {
   // Fires when a packet finishes propagating: moves it out of the pool and
   // hands it to the peer.
   void arrive(Packet* p);
+  // Closes the open pause interval and restarts transmission.
+  void finish_pause();
 
   sim::Simulator& sim_;
   sim::Bandwidth bandwidth_;
   sim::Time propagation_delay_;
-  DropTailQueue queue_;
+  std::unique_ptr<DropTailQueue> queue_;
   // Storage for packets in flight on this port (being serialized or
   // propagating). Closures capture {this, Packet*} — 16 bytes — instead of
   // moving the full struct (INT stack included) through the event kernel.
@@ -142,9 +177,25 @@ class Port {
   std::int64_t wire_bytes_{0};
   LinkHook* hook_{nullptr};
   std::vector<TxTap*> tx_taps_;
+  DequeueTap* dequeue_tap_{nullptr};
+  // Pending control frames, strictly ahead of the data queue. Control
+  // traffic is rare (state transitions only), so a plain vector FIFO is
+  // fine here.
+  std::vector<Packet> ctrl_fifo_;
+  std::size_t ctrl_head_{0};
+  // PFC pause state. The epoch invalidates stale auto-expiry events when a
+  // refresh or an early resume supersedes them.
+  bool paused_{false};
+  std::uint64_t pause_epoch_{0};
+  std::int64_t pause_started_ns_{0};
+  std::int64_t pause_count_{0};
+  std::int64_t paused_ns_total_{0};
   obs::Hub* trace_hub_{nullptr};
   std::string drop_event_name_;
   std::string mark_event_name_;
+  std::string trim_event_name_;
+  std::string pause_event_name_;
+  std::string resume_event_name_;
 };
 
 class Node {

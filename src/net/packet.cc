@@ -42,4 +42,37 @@ Packet make_ack_packet(NodeId src, NodeId dst, FlowId flow, std::int64_t ack, bo
   return p;
 }
 
+Packet make_nack_packet(NodeId src, NodeId dst, FlowId flow, std::int64_t seq, bool ece) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = 0;
+  p.size_bytes = kHeaderBytes;
+  p.ecn = Ecn::kNotEct;
+  p.tcp.flow_id = flow;
+  p.tcp.seq = seq;
+  p.tcp.nack = true;
+  p.tcp.ece = ece;
+  return p;
+}
+
+Packet make_pause_frame(NodeId src, NodeId dst, std::int64_t pause_ns) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.size_bytes = kPfcFrameBytes;
+  p.ctrl.type = CtrlType::kPfcPause;
+  p.ctrl.pause_ns = pause_ns;
+  return p;
+}
+
+Packet make_resume_frame(NodeId src, NodeId dst) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.size_bytes = kPfcFrameBytes;
+  p.ctrl.type = CtrlType::kPfcResume;
+  return p;
+}
+
 }  // namespace incast::net

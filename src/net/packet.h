@@ -77,10 +77,33 @@ struct TcpHeader {
   bool has_ack{false};  // ACK flag
   bool ece{false};      // ECN-Echo: receiver -> sender congestion signal
   bool cwr{false};      // Congestion Window Reduced: sender -> receiver
+  // NDP-style negative acknowledgment: the receiver saw a trimmed header
+  // for the segment starting at `seq` and asks for an immediate
+  // retransmission (no RTO involved).
+  bool nack{false};
   // SACK option: up to kMaxSackBlocks ranges, most recently changed first.
   std::uint8_t num_sack{0};
   std::array<SackBlock, kMaxSackBlocks> sack{};
 };
+
+// MAC-layer control frames (IEEE 802.1Qbb priority flow control). A pause
+// frame asks the immediate upstream neighbor to stop transmitting data on
+// the reverse direction of the link it arrived on; a resume frame (pause
+// with zero quanta, in real PFC) lifts the pause early. Control frames are
+// consumed by the neighbor, never forwarded, and bypass egress queues on a
+// strict-priority control path — a paused port still emits them.
+enum class CtrlType : std::uint8_t { kNone = 0, kPfcPause, kPfcResume };
+
+struct CtrlHeader {
+  CtrlType type{CtrlType::kNone};
+  // Pause duration (the PFC quanta field, converted to time). The paused
+  // port auto-resumes when it expires, so a lost resume frame degrades
+  // into a shorter pause instead of a deadlock.
+  std::int64_t pause_ns{0};
+};
+
+// Wire size charged to a PFC pause/resume frame (minimum Ethernet frame).
+inline constexpr std::int64_t kPfcFrameBytes = 64;
 
 // Receiver-driven credit transport messages (Homa/pHost/ExpressPass-style;
 // the "receiver-based" class the paper's Section 5 discusses). kRts
@@ -114,7 +137,15 @@ struct Packet {
   Ecn ecn{Ecn::kNotEct};
   TcpHeader tcp{};
   RdtHeader rdt{};
+  CtrlHeader ctrl{};
   IntStack int_stack{};
+  // Ingress virtual input queue this packet is charged to at the current
+  // PFC-enabled switch (-1 = unaccounted). Re-tagged at every lossless hop;
+  // meaningless elsewhere.
+  std::int16_t viq{-1};
+  // Payload removed by a trimming queue (net::CompositeQueue): only the
+  // header survived and the receiver should NACK for the missing bytes.
+  bool trimmed{false};
   bool is_retransmit{false};  // set by the sender on retransmitted data
   // Payload mangled in flight (fault injection): the frame arrives but its
   // checksum fails, so the receiving NIC discards it without any protocol
@@ -124,6 +155,7 @@ struct Packet {
   std::uint64_t uid{0};       // unique per packet (diagnostics)
 
   [[nodiscard]] bool is_data() const noexcept { return payload_bytes > 0; }
+  [[nodiscard]] bool is_ctrl() const noexcept { return ctrl.type != CtrlType::kNone; }
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -138,6 +170,16 @@ inline constexpr std::int64_t kHeaderBytes = 40;
 // Builds a pure ACK (no payload).
 [[nodiscard]] Packet make_ack_packet(NodeId src, NodeId dst, FlowId flow, std::int64_t ack,
                                      bool ece);
+
+// Builds an NDP-style NACK asking for the segment at `seq` again. `ece`
+// echoes a CE mark observed on the trimmed header.
+[[nodiscard]] Packet make_nack_packet(NodeId src, NodeId dst, FlowId flow, std::int64_t seq,
+                                      bool ece);
+
+// Builds a PFC pause (pause_ns > 0) or resume (kPfcResume) control frame
+// for the hop src -> dst.
+[[nodiscard]] Packet make_pause_frame(NodeId src, NodeId dst, std::int64_t pause_ns);
+[[nodiscard]] Packet make_resume_frame(NodeId src, NodeId dst);
 
 }  // namespace incast::net
 

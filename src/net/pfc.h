@@ -1,0 +1,104 @@
+// LosslessInputQueue: per-ingress PFC accounting (IEEE 802.1Qbb).
+//
+// A lossless switch tracks, per ingress port, how many bytes of that port's
+// traffic are still buffered inside the switch — the "virtual input queue"
+// (VIQ). When a VIQ crosses its XOFF threshold the switch sends a pause
+// frame upstream; the in-flight bytes that keep arriving until the pause
+// takes effect must fit in the VIQ's headroom, or losslessness is violated
+// (a headroom overflow drop — a misconfiguration, not normal operation).
+// When the VIQ drains below XON the switch sends a resume.
+//
+// This class is pure accounting: it holds no packets (the bytes live in the
+// egress queues / shared pool) and touches no clock. The owning Switch maps
+// its Actions onto real pause/resume frames via Port::send_control, and
+// credits it from the egress DequeueTap. XOFF > XON gives the hysteresis
+// band that keeps pause traffic from oscillating per packet.
+#ifndef INCAST_NET_PFC_H_
+#define INCAST_NET_PFC_H_
+
+#include <cstdint>
+
+namespace incast::net {
+
+class LosslessInputQueue {
+ public:
+  struct Config {
+    // Pause when the VIQ occupancy reaches this many bytes...
+    std::int64_t xoff_bytes{150 * 1024};
+    // ...and resume once it has drained back to this many.
+    std::int64_t xon_bytes{100 * 1024};
+    // Bytes of post-XOFF arrivals the VIQ absorbs (upstream in-flight data
+    // plus pause propagation). Arrivals beyond xoff + headroom are dropped
+    // — the event PFC is configured to make impossible.
+    std::int64_t headroom_bytes{256 * 1024};
+    // Duration carried by each pause frame (the PFC quanta field). The
+    // paused port auto-resumes when it expires; while the VIQ stays above
+    // XOFF, post-expiry arrivals refresh the pause.
+    std::int64_t pause_ns{100'000};
+  };
+
+  struct Stats {
+    std::int64_t pause_frames{0};
+    std::int64_t resume_frames{0};
+    std::int64_t overflow_dropped_packets{0};
+    std::int64_t overflow_dropped_bytes{0};
+    std::int64_t peak_bytes{0};
+  };
+
+  // What the owning switch must do after an arrival or departure.
+  enum class Action : std::uint8_t {
+    kNone = 0,
+    kSendPause,     // occupancy at/above XOFF: (re)pause upstream
+    kSendResume,    // drained below XON while upstream is paused
+    kDropOverflow,  // arrival beyond xoff + headroom: not charged, drop it
+  };
+
+  explicit LosslessInputQueue(const Config& config) noexcept : config_{config} {}
+
+  // Charges an arriving packet to this VIQ. Returns kSendPause on every
+  // charge that leaves the VIQ at/above XOFF — not just the crossing —
+  // because any arrival while we believe upstream is paused means the
+  // pause expired (or its frame was lost) and must be refreshed.
+  Action on_arrival(std::int64_t bytes) noexcept {
+    if (bytes_ + bytes > config_.xoff_bytes + config_.headroom_bytes) {
+      ++stats_.overflow_dropped_packets;
+      stats_.overflow_dropped_bytes += bytes;
+      return Action::kDropOverflow;
+    }
+    bytes_ += bytes;
+    if (bytes_ > stats_.peak_bytes) stats_.peak_bytes = bytes_;
+    if (bytes_ >= config_.xoff_bytes) {
+      paused_upstream_ = true;
+      ++stats_.pause_frames;
+      return Action::kSendPause;
+    }
+    return Action::kNone;
+  }
+
+  // Credits a departing packet. Returns kSendResume when the drain brings
+  // a paused VIQ back under XON.
+  Action on_departure(std::int64_t bytes) noexcept {
+    bytes_ -= bytes;
+    if (paused_upstream_ && bytes_ <= config_.xon_bytes) {
+      paused_upstream_ = false;
+      ++stats_.resume_frames;
+      return Action::kSendResume;
+    }
+    return Action::kNone;
+  }
+
+  [[nodiscard]] std::int64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool paused_upstream() const noexcept { return paused_upstream_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Config config_;
+  std::int64_t bytes_{0};
+  bool paused_upstream_{false};
+  Stats stats_;
+};
+
+}  // namespace incast::net
+
+#endif  // INCAST_NET_PFC_H_

@@ -52,13 +52,84 @@ SharedBufferPool& Switch::enable_shared_buffer(const SharedBufferPool::Config& c
   return *pool_;
 }
 
-void Switch::receive(Packet p, std::size_t /*in_port*/) {
+void Switch::enable_pfc(const LosslessInputQueue::Config& config) {
+  assert(viqs_.empty() && "PFC already enabled");
+  viqs_.assign(num_ports(), LosslessInputQueue{config});
+  for (std::size_t i = 0; i < num_ports(); ++i) {
+    port(i).set_dequeue_tap(this);
+  }
+  if (pool_ != nullptr) {
+    // Real lossless ToRs carve PFC headroom out of the shared buffer; the
+    // remaining pool is what egress queues compete over. Clamped to half
+    // the pool so a misconfigured headroom degrades instead of wedging
+    // every queue.
+    const std::int64_t reserve =
+        std::min(static_cast<std::int64_t>(num_ports()) * config.headroom_bytes,
+                 pool_->total_bytes() / 2);
+    pool_->set_external_usage(reserve);
+  }
+}
+
+void Switch::apply_ctrl(const Packet& p, std::size_t in_port) {
+  // The duplex wiring convention pairs in-port i with this switch's egress
+  // port i toward the same neighbor, so the pause lands exactly on the
+  // offending hop — the VIQ property that distinguishes PFC collateral
+  // damage from a full-port stall.
+  if (p.ctrl.type == CtrlType::kPfcPause) {
+    port(in_port).pause_for(sim::Time::nanoseconds(p.ctrl.pause_ns));
+  } else if (p.ctrl.type == CtrlType::kPfcResume) {
+    port(in_port).resume();
+  }
+}
+
+void Switch::credit_viq(std::size_t viq, std::int64_t bytes) {
+  if (viq >= viqs_.size()) return;
+  if (viqs_[viq].on_departure(bytes) == LosslessInputQueue::Action::kSendResume) {
+    Port& upstream = port(viq);
+    const NodeId peer = upstream.peer() != nullptr ? upstream.peer()->id() : kInvalidNodeId;
+    upstream.send_control(make_resume_frame(id(), peer));
+  }
+}
+
+void Switch::on_dequeue(const Packet& p, sim::Time /*now*/) {
+  if (p.viq >= 0) credit_viq(static_cast<std::size_t>(p.viq), p.size_bytes);
+}
+
+void Switch::receive(Packet p, std::size_t in_port) {
+  if (p.is_ctrl()) [[unlikely]] {
+    // MAC control frames are consumed by the immediate neighbor — us.
+    if (auto* a = INCAST_AUDITOR(sim_)) a->on_control_consumed(p.size_bytes);
+    apply_ctrl(p, in_port);
+    return;
+  }
   const auto it = routes_.find(p.dst);
   if (it == routes_.end()) {
     ++unrouted_packets_;
     ++unrouted_by_dst_[p.dst];
     if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_dropped(p.size_bytes);
     return;
+  }
+  if (!viqs_.empty() && in_port < viqs_.size()) {
+    // Lossless ingress accounting: charge the packet to its VIQ and pause
+    // upstream when the VIQ saturates. Charged bytes are credited back by
+    // on_dequeue when the packet leaves an egress queue (or immediately
+    // below, if the egress refuses or trims it).
+    switch (viqs_[in_port].on_arrival(p.size_bytes)) {
+      case LosslessInputQueue::Action::kDropOverflow:
+        // Headroom exhausted — losslessness is violated by configuration.
+        if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_dropped(p.size_bytes);
+        return;
+      case LosslessInputQueue::Action::kSendPause: {
+        Port& upstream = port(in_port);
+        const NodeId peer =
+            upstream.peer() != nullptr ? upstream.peer()->id() : kInvalidNodeId;
+        upstream.send_control(
+            make_pause_frame(id(), peer, viqs_[in_port].config().pause_ns));
+        break;
+      }
+      default: break;
+    }
+    p.viq = static_cast<std::int16_t>(in_port);
   }
   const std::vector<std::size_t>& ports = it->second.ports;
   std::size_t out;
@@ -75,7 +146,26 @@ void Switch::receive(Packet p, std::size_t /*in_port*/) {
       pos->second = out;
     }
   }
+  if (viqs_.empty()) {
+    port(out).send(std::move(p));
+    return;
+  }
+  // PFC: a packet the egress queue refuses (drops) or trims never reaches
+  // on_dequeue with its full size, so the VIQ charge must be unwound here
+  // or it leaks and the pause never lifts.
+  const std::int16_t viq = p.viq;
+  const std::int64_t size = p.size_bytes;
+  const DropTailQueue::Stats& egress = port(out).queue().stats();
+  const std::int64_t drops_before = egress.dropped_packets;
+  const std::int64_t trim_bytes_before = egress.trimmed_bytes;
   port(out).send(std::move(p));
+  if (viq >= 0) {
+    if (egress.dropped_packets > drops_before) {
+      credit_viq(static_cast<std::size_t>(viq), size);
+    } else if (egress.trimmed_bytes > trim_bytes_before) {
+      credit_viq(static_cast<std::size_t>(viq), egress.trimmed_bytes - trim_bytes_before);
+    }
+  }
 }
 
 std::vector<std::int64_t> Switch::ecmp_flows_by_port() const {

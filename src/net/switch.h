@@ -21,11 +21,12 @@
 #include <vector>
 
 #include "net/node.h"
+#include "net/pfc.h"
 #include "net/shared_buffer.h"
 
 namespace incast::net {
 
-class Switch : public Node {
+class Switch : public Node, private DequeueTap {
  public:
   using Node::Node;
 
@@ -55,6 +56,22 @@ class Switch : public Node {
 
   [[nodiscard]] SharedBufferPool* shared_buffer() noexcept { return pool_.get(); }
 
+  // Turns on PFC lossless operation: one LosslessInputQueue per *current*
+  // port (the full-duplex wiring convention means in-port index i pairs
+  // with egress port i toward the same neighbor), this switch installed as
+  // every port's DequeueTap so departures credit the right VIQ, and — when
+  // a shared buffer is attached — the VIQ headroom carved out of the pool,
+  // as real lossless ToRs reserve it. Call after all ports exist (and
+  // after enable_shared_buffer, if used).
+  void enable_pfc(const LosslessInputQueue::Config& config);
+
+  [[nodiscard]] bool pfc_enabled() const noexcept { return !viqs_.empty(); }
+  // The VIQ accounting for ingress port `i`; nullptr when PFC is off.
+  [[nodiscard]] const LosslessInputQueue* viq(std::size_t i) const noexcept {
+    return i < viqs_.size() ? &viqs_[i] : nullptr;
+  }
+  [[nodiscard]] std::size_t num_viqs() const noexcept { return viqs_.size(); }
+
   void receive(Packet p, std::size_t in_port) override;
 
   // Packets that arrived with no matching route (a topology bug).
@@ -82,8 +99,19 @@ class Switch : public Node {
 
   [[nodiscard]] std::uint64_t flow_key(NodeId src, NodeId dst, FlowId flow) const noexcept;
 
+  // DequeueTap: a packet left egress port — credit the VIQ it was charged
+  // to on arrival (if any).
+  void on_dequeue(const Packet& p, sim::Time now) override;
+  // Credits `bytes` back to VIQ `viq`, sending the resume frame upstream
+  // when the credit crosses XON.
+  void credit_viq(std::size_t viq, std::int64_t bytes);
+  // Applies an arriving pause/resume control frame to the egress port
+  // facing the neighbor that sent it.
+  void apply_ctrl(const Packet& p, std::size_t in_port);
+
   std::unordered_map<NodeId, RouteEntry> routes_;
   std::unique_ptr<SharedBufferPool> pool_;
+  std::vector<LosslessInputQueue> viqs_;
   std::uint64_t ecmp_seed_{1};
   // Flow key -> last chosen port, recorded only for multi-port groups.
   std::unordered_map<std::uint64_t, std::size_t> ecmp_chosen_;

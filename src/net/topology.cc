@@ -63,6 +63,11 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const DumbbellConfig& config) : config_{
     tor_r_->enable_shared_buffer(*config_.shared_buffer);
   }
 
+  if (config_.pfc.has_value()) {
+    tor_s_->enable_pfc(*config_.pfc);
+    tor_r_->enable_pfc(*config_.pfc);
+  }
+
   // Switch egress ports stamp INT telemetry onto packets that request it
   // (needed by INT-based CCAs like HPCC; free for everything else).
   for (Switch* sw : {tor_s_.get(), tor_r_.get()}) {

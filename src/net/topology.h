@@ -44,6 +44,11 @@ struct DumbbellConfig {
   // If set, the receiver-side ToR shares one buffer pool across its egress
   // queues (Dynamic Threshold), as production ToRs do.
   std::optional<SharedBufferPool::Config> shared_buffer;
+  // If set, both ToRs run PFC lossless Ethernet: per-ingress virtual input
+  // queues that pause the upstream hop (hosts included) at XOFF. Combine
+  // with large switch_queue capacities so PFC backpressure, not tail drop,
+  // is the binding constraint.
+  std::optional<LosslessInputQueue::Config> pfc;
 };
 
 class Dumbbell : public LinkDirectory {

@@ -120,13 +120,18 @@ void Auditor::periodic_check() {
 }
 
 void Auditor::check_conservation(std::int64_t residual_bytes) {
-  const std::int64_t accounted = delivered_bytes_ + dropped_bytes_ + residual_bytes;
-  if (injected_bytes_ != accounted) {
+  const std::int64_t in = injected_bytes_ + control_injected_bytes_;
+  const std::int64_t accounted = delivered_bytes_ + control_consumed_bytes_ +
+                                 dropped_bytes_ + trimmed_bytes_ + residual_bytes;
+  if (in != accounted) {
     violate(AuditInvariant::kConservation,
             "injected " + std::to_string(injected_bytes_) + " bytes (" +
-                std::to_string(injected_packets_) + " pkts) != delivered " +
-                std::to_string(delivered_bytes_) + " + dropped " +
-                std::to_string(dropped_bytes_) + " + residual " +
+                std::to_string(injected_packets_) + " pkts) + control " +
+                std::to_string(control_injected_bytes_) + " != delivered " +
+                std::to_string(delivered_bytes_) + " + control_consumed " +
+                std::to_string(control_consumed_bytes_) + " + dropped " +
+                std::to_string(dropped_bytes_) + " + trimmed " +
+                std::to_string(trimmed_bytes_) + " + residual " +
                 std::to_string(residual_bytes) + " = " + std::to_string(accounted));
   }
 }

@@ -199,6 +199,25 @@ class Auditor {
     dropped_bytes_ += bytes;
     ++dropped_packets_;
   }
+  // A trimming queue cut a packet's payload: `bytes` is the wire size
+  // removed (original size minus the surviving header). The header travels
+  // on and is delivered/dropped like any packet, so trimmed bytes are their
+  // own conservation bucket.
+  void on_bytes_trimmed(std::int64_t bytes) noexcept {
+    trimmed_bytes_ += bytes;
+    ++trimmed_packets_;
+  }
+  // A node emitted a MAC control frame (PFC pause/resume) onto a link.
+  // Control frames are injected mid-network and consumed by the immediate
+  // neighbor, so they get a ledger separate from host traffic.
+  void on_control_injected(std::int64_t bytes) noexcept {
+    control_injected_bytes_ += bytes;
+    ++control_frames_;
+  }
+  // The neighbor consumed a control frame (applied the pause/resume).
+  void on_control_consumed(std::int64_t bytes) noexcept {
+    control_consumed_bytes_ += bytes;
+  }
 
   // Depth sample from a queue or a port's wire ledger; negative values are
   // accounting corruption. `where` names the component for the diagnostic.
@@ -235,7 +254,10 @@ class Auditor {
 
   // End-of-run conservation check. `residual_bytes` is what is still
   // buffered in the network (queue bytes + in-flight wire bytes, summed
-  // over every link — see net::residual_buffered_bytes).
+  // over every link — see net::residual_buffered_bytes). The full ledger:
+  //
+  //   injected + control_injected ==
+  //       delivered + control_consumed + dropped + trimmed + residual
   void check_conservation(std::int64_t residual_bytes);
 
   // --- Counters (exported as sim.audit.* metrics by the obs layer) --------
@@ -254,6 +276,15 @@ class Auditor {
   [[nodiscard]] std::int64_t injected_packets() const noexcept { return injected_packets_; }
   [[nodiscard]] std::int64_t delivered_packets() const noexcept { return delivered_packets_; }
   [[nodiscard]] std::int64_t dropped_packets() const noexcept { return dropped_packets_; }
+  [[nodiscard]] std::int64_t trimmed_bytes() const noexcept { return trimmed_bytes_; }
+  [[nodiscard]] std::int64_t trimmed_packets() const noexcept { return trimmed_packets_; }
+  [[nodiscard]] std::int64_t control_injected_bytes() const noexcept {
+    return control_injected_bytes_;
+  }
+  [[nodiscard]] std::int64_t control_consumed_bytes() const noexcept {
+    return control_consumed_bytes_;
+  }
+  [[nodiscard]] std::int64_t control_frames() const noexcept { return control_frames_; }
   // Exact mid-run: the base counter advances only at countdown boundaries,
   // so the in-flight chunk is reconstructed from the countdown itself.
   [[nodiscard]] std::uint64_t events_seen() const noexcept {
@@ -291,6 +322,11 @@ class Auditor {
   std::int64_t injected_packets_{0};
   std::int64_t delivered_packets_{0};
   std::int64_t dropped_packets_{0};
+  std::int64_t trimmed_bytes_{0};
+  std::int64_t trimmed_packets_{0};
+  std::int64_t control_injected_bytes_{0};
+  std::int64_t control_consumed_bytes_{0};
+  std::int64_t control_frames_{0};
 
   std::uint64_t events_seen_{0};
   // Livelock window state: the timestamp seen at the previous periodic

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tcp/cc/dcqcn.h"
 #include "tcp/cc/hpcc.h"
 #include "tcp/cc/swift.h"
 
@@ -97,6 +98,8 @@ std::unique_ptr<CongestionControl> make_congestion_control(CcAlgorithm algo,
       hpcc.min_cwnd_segments = config.hpcc_min_cwnd_segments;
       return make_hpcc(hpcc);
     }
+    case CcAlgorithm::kDcqcn:
+      return make_dcqcn(config);
   }
   return make_dctcp(config);
 }
@@ -115,6 +118,8 @@ const char* to_string(CcAlgorithm algo) noexcept {
       return "swift";
     case CcAlgorithm::kHpcc:
       return "hpcc";
+    case CcAlgorithm::kDcqcn:
+      return "dcqcn";
   }
   return "unknown";
 }

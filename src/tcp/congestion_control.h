@@ -79,6 +79,13 @@ struct CcConfig {
   double swift_beta{0.8};
   double swift_max_mdf{0.5};
   double swift_min_cwnd_segments{0.01};
+  // DCQCN parameters (see tcp/cc/dcqcn.h): the SIGCOMM'15 defaults — a slow
+  // gain (1/256 vs DCTCP's 1/16) on a 55 us alpha timer, decreases gated to
+  // one per 50 us.
+  double dcqcn_gain{1.0 / 256.0};
+  double dcqcn_initial_alpha{1.0};
+  sim::Time dcqcn_alpha_update_interval{sim::Time::microseconds(55)};
+  sim::Time dcqcn_rate_decrease_interval{sim::Time::microseconds(50)};
   // HPCC parameters (see tcp/cc/hpcc.h). Requires TcpConfig.int_telemetry.
   double hpcc_eta{0.95};
   int hpcc_max_stage{5};
@@ -94,7 +101,7 @@ struct CcConfig {
 [[nodiscard]] std::unique_ptr<CongestionControl> make_cubic(const CcConfig& config);
 
 // Named CCA selection for experiment configs.
-enum class CcAlgorithm { kReno, kRenoEcn, kDctcp, kCubic, kSwift, kHpcc };
+enum class CcAlgorithm { kReno, kRenoEcn, kDctcp, kCubic, kSwift, kHpcc, kDcqcn };
 
 [[nodiscard]] std::unique_ptr<CongestionControl> make_congestion_control(CcAlgorithm algo,
                                                                          const CcConfig& config);

@@ -17,6 +17,18 @@ TcpReceiver::~TcpReceiver() {
 }
 
 void TcpReceiver::handle_packet(net::Packet p) {
+  if (p.trimmed) [[unlikely]] {
+    // A trimming queue cut this segment's payload and forwarded just the
+    // header. The header names exactly what was lost, so NACK it back and
+    // the sender retransmits in one RTT — no dup-ACK threshold, no RTO
+    // (NDP-style receiver-driven recovery). A CE mark on the trimmed
+    // header still feeds the sender's ECN accounting via the echo bit.
+    ++stats_.trimmed_headers_received;
+    ++stats_.nacks_sent;
+    local_.send(net::make_nack_packet(local_.id(), remote_, flow_, p.tcp.seq,
+                                      p.ecn == net::Ecn::kCe));
+    return;
+  }
   if (!p.is_data()) return;  // the receiver side only consumes data
 
   ++stats_.data_packets_received;

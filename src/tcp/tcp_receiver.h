@@ -29,6 +29,10 @@ class TcpReceiver final : public net::PacketHandler {
     std::int64_t acks_sent{0};
     std::int64_t dup_acks_sent{0};
     std::int64_t out_of_order_packets{0};
+    // Trimmed headers received (CompositeQueue cut the payload in the
+    // fabric); each one elicits an immediate NACK naming the lost segment.
+    std::int64_t trimmed_headers_received{0};
+    std::int64_t nacks_sent{0};
   };
 
   // Registers for `flow` on `local`; ACKs are addressed to `remote`.

@@ -94,6 +94,10 @@ std::int64_t TcpSender::effective_cwnd() const noexcept {
 }
 
 void TcpSender::handle_packet(net::Packet p) {
+  if (p.tcp.nack) [[unlikely]] {
+    on_nack(p);
+    return;
+  }
   if (!p.tcp.has_ack) return;
 
   ++stats_.acks_received;
@@ -114,6 +118,35 @@ void TcpSender::handle_packet(net::Packet p) {
   // Sanity-check the window the congestion controller just produced: a
   // non-positive or absurd cwnd here means a CCA bug, not congestion.
   if (auto* a = INCAST_AUDITOR(sim_)) a->check_cwnd(flow_, effective_cwnd());
+}
+
+void TcpSender::on_nack(const net::Packet& p) {
+  // Receiver-driven recovery for trimmed packets: the NACK names exactly
+  // the segment whose payload a trimming queue cut, so retransmit it
+  // immediately — no dup-ACK threshold, no RTO. The CE echo is counted but
+  // deliberately NOT fed to the CCA: a trimming queue marks its data ring
+  // at the ECN threshold below the trim point, so the congestion signal
+  // already reaches the sender byte-weighted through surviving ACKs.
+  // Triggering DCTCP's once-per-window decrease again for each trimmed
+  // packet double-counts the same queue excursion and collapses senders
+  // that NDP-style recovery is meant to keep at line rate.
+  ++stats_.nacks_received;
+  if (p.tcp.ece) ++stats_.ece_acks_received;
+
+  const std::int64_t seq = p.tcp.seq;
+  if (seq < snd_una_ || seq >= snd_nxt_) return;  // already acked or stale
+
+  // Skip if the range has since been SACKed (a retransmit already landed).
+  const std::int64_t len =
+      std::min(config_.mss_bytes, std::min(max_sent_, app_limit_) - seq);
+  if (len <= 0) return;
+  for (const auto& [s, e] : sacked_) {
+    if (s <= seq && e >= seq + len) return;
+  }
+
+  ++stats_.nack_retransmits;
+  send_segment(seq, len);
+  rearm_rto();
 }
 
 void TcpSender::update_scoreboard(const net::TcpHeader& tcp) {

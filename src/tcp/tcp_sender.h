@@ -42,6 +42,8 @@ class TcpSender final : public net::PacketHandler {
     std::int64_t sack_blocks_processed{0};
     std::int64_t limited_transmits{0};  // segments released by RFC 3042
     std::int64_t tlp_probes{0};         // tail loss probes sent
+    std::int64_t nacks_received{0};     // trim NACKs from the receiver
+    std::int64_t nack_retransmits{0};   // segments resent on a NACK
   };
 
   TcpSender(sim::Simulator& sim, net::Host& local, net::NodeId remote, net::FlowId flow,
@@ -102,6 +104,7 @@ class TcpSender final : public net::PacketHandler {
   }
 
  private:
+  void on_nack(const net::Packet& p);
   void on_new_ack(std::int64_t ack, bool ece, const net::IntStack& int_stack);
   void on_duplicate_ack(bool ece, const net::IntStack& int_stack);
   void update_scoreboard(const net::TcpHeader& tcp);

@@ -44,7 +44,23 @@
 //       Runs Section 3 production-like traces and prints per-burst
 //       statistics; optionally exports the first host's Millisampler bins.
 //
-//   --jobs N (fleet, faults) runs the independent simulations of a sweep on
+//   incast_sim collateral [--modes droptail,pfc,trim,credit] [--degrees 64]
+//                         [--bursts 4] [--duration 15ms] [--gap 10ms]
+//                         [--cc dctcp] [--pfc-cc dcqcn] [--queue 1333]
+//                         [--ecn-threshold 65] [--trim-queue 400]
+//                         [--shared-buffer 0] [--dt-alpha 1.0]
+//                         [--core-link 20Gbps] [--victim-cwnd-cap 131072]
+//                         [--min-rto 200ms] [--max-sim-time 30s] [--seed 1]
+//                         [--jobs N] [--export-csv points.csv]
+//       Runs the htsim "collateral damage" scenario family: one long-lived
+//       victim flow beside an incast, across the four queue modes
+//       (drop-tail+ECN, PFC lossless + DCQCN, NDP packet trimming, and the
+//       rdt:: receiver-driven credit transport). Reports per-point victim
+//       throughput, PFC pause time (HoL blocking), trims/NACKs, and incast
+//       BCTs. Expected victim-throughput ordering:
+//       trim ~ credit > droptail > pfc.
+//
+//   --jobs N (fleet, faults, collateral) runs the independent simulations of a sweep on
 //   N worker threads (work-stealing; default: all hardware threads). Seeds
 //   derive from (base seed, task index), so any N — including --jobs 1,
 //   which reproduces the historical sequential behavior — yields
@@ -117,6 +133,7 @@
 #include "analysis/burst_detector.h"
 #include "core/chaos.h"
 #include "core/cli_args.h"
+#include "core/collateral_experiment.h"
 #include "core/error.h"
 #include "core/fabric_experiment.h"
 #include "core/fleet_experiment.h"
@@ -146,7 +163,8 @@ extern "C" void handle_signal(int sig) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: incast_sim <burst|faults|fabric|fleet|trace|chaos> [--key value ...]\n"
+               "usage: incast_sim <burst|faults|fabric|fleet|collateral|trace|chaos> "
+               "[--key value ...]\n"
                "       see the header of tools/incast_sim.cc for all flags\n");
   return 2;
 }
@@ -158,6 +176,7 @@ std::optional<tcp::CcAlgorithm> parse_cc(const std::string& name) {
   if (name == "cubic") return tcp::CcAlgorithm::kCubic;
   if (name == "swift") return tcp::CcAlgorithm::kSwift;
   if (name == "hpcc") return tcp::CcAlgorithm::kHpcc;
+  if (name == "dcqcn") return tcp::CcAlgorithm::kDcqcn;
   return std::nullopt;
 }
 
@@ -832,6 +851,117 @@ int run_fleet(core::CliArgs& args) {
   return obs_cli.write_outputs();
 }
 
+int run_collateral(core::CliArgs& args) {
+  core::CollateralConfig cfg;
+
+  cfg.modes.clear();
+  for (const auto& field : split_list(args.get_or("modes", "droptail,pfc,trim,credit"))) {
+    core::QueueMode mode;
+    if (!core::parse_queue_mode(field, mode)) {
+      std::fprintf(stderr, "error: --modes: unknown mode '%s' (droptail|pfc|trim|credit)\n",
+                   field.c_str());
+      return 2;
+    }
+    cfg.modes.push_back(mode);
+  }
+  cfg.degrees.clear();
+  for (const auto& field : split_list(args.get_or("degrees", "64"))) {
+    char* end = nullptr;
+    const long v = std::strtol(field.c_str(), &end, 10);
+    if (end != field.c_str() + field.size() || v < 1 || v > 100'000) {
+      std::fprintf(stderr, "error: --degrees: bad fan-in '%s'\n", field.c_str());
+      return 2;
+    }
+    cfg.degrees.push_back(static_cast<int>(v));
+  }
+
+  cfg.num_bursts = static_cast<int>(args.int_or("bursts", 4, 1, 10'000));
+  cfg.burst_duration = args.time_or("duration", 15_ms, 1_ns);
+  cfg.inter_burst_gap = args.time_or("gap", 10_ms, sim::Time::zero());
+  cfg.queue_capacity_packets =
+      static_cast<int>(args.int_or("queue", 1333, 1, 10'000'000));
+  cfg.ecn_threshold_packets =
+      static_cast<int>(args.int_or("ecn-threshold", 65, 0, 10'000'000));
+  cfg.trim_queue_capacity_packets =
+      static_cast<int>(args.int_or("trim-queue", cfg.trim_queue_capacity_packets, 1,
+                                   10'000'000));
+  cfg.shared_buffer_bytes =
+      args.int_or("shared-buffer", cfg.shared_buffer_bytes, 0, 1'000'000'000);
+  cfg.shared_buffer_alpha = args.double_or("dt-alpha", cfg.shared_buffer_alpha, 0.01, 64.0);
+  cfg.topology.core_link = args.bandwidth_or("core-link", cfg.topology.core_link);
+  cfg.victim_cwnd_cap_bytes =
+      args.int_or("victim-cwnd-cap", cfg.victim_cwnd_cap_bytes, 0, 1'000'000'000);
+  cfg.max_sim_time = args.time_or("max-sim-time", sim::Time::seconds(30), 1_ns);
+  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+  cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
+  cfg.tcp.rtt.min_rto = args.time_or("min-rto", 200_ms, 1_ns);
+
+  const std::string cc_name = args.get_or("cc", "dctcp");
+  const auto cc = parse_cc(cc_name);
+  if (!cc) {
+    std::fprintf(stderr, "error: unknown --cc '%s'\n", cc_name.c_str());
+    return 2;
+  }
+  cfg.tcp.cc = *cc;
+  const std::string pfc_cc_name = args.get_or("pfc-cc", "dcqcn");
+  const auto pfc_cc = parse_cc(pfc_cc_name);
+  if (!pfc_cc) {
+    std::fprintf(stderr, "error: unknown --pfc-cc '%s'\n", pfc_cc_name.c_str());
+    return 2;
+  }
+  cfg.pfc_cc = *pfc_cc;
+
+  const std::string csv_path = args.get_or("export-csv", "");
+  HardeningCli hard;
+  if (!hard.parse(args, /*sweep_flags=*/true)) return 2;
+  ObsCli obs_cli;
+  if (!obs_cli.parse(args)) return 2;
+  if (const int rc = finish(args); rc != 0) return rc;
+  if (!hard.journal_path.empty()) {
+    std::fprintf(stderr, "note: collateral does not checkpoint; --journal ignored\n");
+  }
+  cfg.hub = obs_cli.hub.get();
+  cfg.audit_mode = hard.audit_mode;
+  cfg.audit = hard.audit;
+  cfg.sweep = hard.policy();
+
+  std::printf("collateral: victim flow vs %d x %s incast bursts, %zu mode(s) x %zu "
+              "degree(s) (seed %llu)\n",
+              cfg.num_bursts, cfg.burst_duration.to_string().c_str(), cfg.modes.size(),
+              cfg.degrees.size(), static_cast<unsigned long long>(cfg.seed));
+
+  const auto report = core::run_collateral_experiment(cfg);
+
+  core::Table t{{"mode", "degree", "victim", "paused", "v-retx", "v-nacks", "avg BCT",
+                 "max BCT", "drops", "trims", "pauses", "audit"}};
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    if (report.sweep.failed(i) || report.sweep.tasks[i].attempts == 0) continue;
+    const auto& p = report.points[i];
+    t.add_row({core::to_string(p.mode), std::to_string(p.degree),
+               core::fmt(p.victim_goodput_gbps, 3) + " Gbps",
+               core::fmt(p.victim_paused_ms, 2) + " ms",
+               std::to_string(p.victim_retransmits), std::to_string(p.victim_nacks),
+               core::fmt(p.incast_avg_bct_ms, 2) + " ms",
+               core::fmt(p.incast_max_bct_ms, 2) + " ms", std::to_string(p.queue_drops),
+               std::to_string(p.trimmed_packets), std::to_string(p.pfc_pause_frames),
+               std::to_string(static_cast<long long>(p.audit_violations))});
+  }
+  t.print();
+  std::printf("\n");
+  core::print_sweep_stats(report.sweep);
+
+  if (!csv_path.empty()) {
+    std::ofstream out{csv_path};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 3;
+    }
+    out << core::collateral_csv(report);
+    std::printf("wrote %zu point(s) to %s\n", report.points.size(), csv_path.c_str());
+  }
+  return obs_cli.write_outputs();
+}
+
 int run_chaos(core::CliArgs& args) {
   core::ChaosConfig cfg;
   cfg.num_configs = static_cast<int>(args.int_or("configs", 25, 1, 100'000));
@@ -948,6 +1078,7 @@ int dispatch(int argc, char** argv) {
   if (command == "faults") return run_faults(args);
   if (command == "fabric") return run_fabric(args);
   if (command == "fleet") return run_fleet(args);
+  if (command == "collateral") return run_collateral(args);
   if (command == "trace") return run_trace(args);
   if (command == "chaos") return run_chaos(args);
   return usage();
