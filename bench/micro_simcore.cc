@@ -312,6 +312,76 @@ BENCHMARK_CAPTURE(BM_AuditorOverhead, relaxed, true)
     ->UseManualTime()
     ->Repetitions(7);
 
+// Terminal node for BM_SwitchEcmpRoute: counts arrivals, drops the packet.
+struct SinkNode final : net::Node {
+  using net::Node::Node;
+  std::int64_t received{0};
+  void receive(net::Packet /*p*/, std::size_t /*in_port*/) override { ++received; }
+};
+
+void BM_SwitchEcmpRoute(benchmark::State& state) {
+  // The switch routing hot path: receive() over a 6-way ECMP group, flat
+  // route tables + the open-addressed flow table. Beyond timing, this
+  // asserts the routing zero-allocation contract at two levels:
+  //
+  //  * new_flow_allocs — after reserve_flows(), even the FIRST packet of a
+  //    never-seen flow routes without heap traffic. This is exactly where
+  //    the old unordered_map ECMP state allocated a node per flow.
+  //  * steady_allocs   — the timed loop (warm table, warm pools, warm
+  //    slab) must never allocate at all.
+  constexpr int kPorts = 6;
+  constexpr int kFlows = 4096;
+  constexpr net::NodeId kSinkId = 1;
+
+  sim::Simulator sim;
+  net::Switch sw{sim, 0, "sw"};
+  SinkNode sink{sim, kSinkId, "sink"};
+  (void)sink.add_port(sim::Bandwidth::gigabits_per_second(100), 100_ns,
+                      {.capacity_packets = 1 << 20});
+  std::vector<std::size_t> uplinks;
+  for (int i = 0; i < kPorts; ++i) {
+    const std::size_t p = sw.add_port(sim::Bandwidth::gigabits_per_second(100), 100_ns,
+                                      {.capacity_packets = 1 << 20});
+    sw.port(p).connect(sink, 0);
+    uplinks.push_back(p);
+  }
+  sw.set_ecmp_route(kSinkId, uplinks);
+  sw.reserve_flows(2 * kFlows);
+
+  auto pump = [&](net::FlowId flow_base) {
+    for (int f = 0; f < kFlows; ++f) {
+      sw.receive(net::make_data_packet(static_cast<net::NodeId>(100 + f), kSinkId,
+                                       flow_base + static_cast<net::FlowId>(f), 0, 1460),
+                 0);
+    }
+    sim.run();
+  };
+
+  pump(1);  // warm-up: packet pools, queue rings, event slab, first kFlows flows
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  pump(kFlows + 1);  // kFlows previously-unseen flows through the warm switch
+  const std::uint64_t new_flow_allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - before;
+
+  std::uint64_t steady_allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t b = g_heap_allocs.load(std::memory_order_relaxed);
+    pump(1);
+    steady_allocs += g_heap_allocs.load(std::memory_order_relaxed) - b;
+  }
+  benchmark::DoNotOptimize(sink.received);
+  state.SetItemsProcessed(state.iterations() * kFlows);
+  state.counters["new_flow_allocs"] = static_cast<double>(new_flow_allocs);
+  state.counters["steady_allocs"] = static_cast<double>(steady_allocs);
+  if (new_flow_allocs != 0) {
+    state.SkipWithError("routing a fresh flow allocated on the heap");
+  }
+  if (steady_allocs != 0) {
+    state.SkipWithError("steady-state ECMP routing allocated on the heap");
+  }
+}
+BENCHMARK(BM_SwitchEcmpRoute);
+
 void BM_FatTreeIncast(benchmark::State& state) {
   // Events/second through a small two-tier fat-tree (2x2 leaves x 8 hosts,
   // 2 spines) running a cross-rack incast — the fabric substrate's

@@ -102,6 +102,10 @@ void print_sweep_stats(const sim::SweepRunner::RunStats& stats, std::size_t max_
                  static_cast<unsigned long long>(stats.peak_events_pending),
                  static_cast<unsigned long long>(stats.slab_high_water));
   }
+  if (stats.peak_rss_bytes > 0) {
+    std::fprintf(out, "memory: peak RSS %.1f MiB\n",
+                 static_cast<double>(stats.peak_rss_bytes) / (1024.0 * 1024.0));
+  }
   if (!stats.failures.empty() || stats.retries > 0 || stats.tasks_not_run > 0) {
     std::fprintf(out,
                  "quarantine: %zu task(s) failed, %llu retr%s, %llu task(s) not run\n",

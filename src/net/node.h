@@ -17,6 +17,7 @@
 #include "net/packet_pool.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
+#include "sim/stable_arena.h"
 #include "sim/units.h"
 
 namespace incast::obs {
@@ -150,6 +151,10 @@ class Port {
   // -DINCAST_AUDIT=OFF.
   [[nodiscard]] std::int64_t wire_bytes() const noexcept { return wire_bytes_; }
 
+  // Peak number of packets simultaneously in flight on this port — the
+  // in-flight pool's slot count, for bytes-per-flow accounting.
+  [[nodiscard]] std::size_t pool_high_water() const noexcept { return pool_.high_water(); }
+
  private:
   void maybe_transmit();
   // Consults the hook (if any) and schedules the packet's arrival at the
@@ -213,13 +218,12 @@ class Node {
   // Adds an egress port. Returns its index.
   std::size_t add_port(sim::Bandwidth bandwidth, sim::Time propagation_delay,
                        const DropTailQueue::Config& queue_config) {
-    ports_.push_back(
-        std::make_unique<Port>(sim_, bandwidth, propagation_delay, queue_config));
+    ports_.emplace_back(sim_, bandwidth, propagation_delay, queue_config);
     return ports_.size() - 1;
   }
 
-  [[nodiscard]] Port& port(std::size_t i) { return *ports_.at(i); }
-  [[nodiscard]] const Port& port(std::size_t i) const { return *ports_.at(i); }
+  [[nodiscard]] Port& port(std::size_t i) { return ports_[i]; }
+  [[nodiscard]] const Port& port(std::size_t i) const { return ports_[i]; }
   [[nodiscard]] std::size_t num_ports() const noexcept { return ports_.size(); }
 
   [[nodiscard]] NodeId id() const noexcept { return id_; }
@@ -232,7 +236,11 @@ class Node {
  private:
   NodeId id_;
   std::string name_;
-  std::vector<std::unique_ptr<Port>> ports_;
+  // Ports are address-pinned (their closures capture `this`), so they live
+  // in a chunked arena: stable addresses, 8 ports per heap allocation
+  // instead of one each, and chunk-local contiguity for the port walks the
+  // auditor and telemetry layers do.
+  sim::StableChunkArena<Port, 8> ports_;
 };
 
 // Connects a full-duplex link: a.port(ap) -> b as b's in-port bp, and

@@ -20,11 +20,42 @@ namespace {
   return x ^ (x >> 31);
 }
 
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
+
+void Switch::store_route(NodeId dst, const std::size_t* ports, std::size_t count) {
+  assert(count > 0 && "a route needs at least one member");
+  assert(dst != kInvalidNodeId && "cannot route to the invalid node id");
+  if (static_cast<std::size_t>(dst) >= route_ref_.size()) {
+    route_ref_.resize(static_cast<std::size_t>(dst) + 1);
+  }
+  RouteRef& ref = route_ref_[dst];
+  if (ref.count == static_cast<std::uint32_t>(count)) {
+    // Same group width: overwrite the existing slice in place.
+    for (std::size_t i = 0; i < count; ++i) {
+      route_ports_[ref.offset + i] = static_cast<std::uint32_t>(ports[i]);
+    }
+    return;
+  }
+  ref.offset = static_cast<std::uint32_t>(route_ports_.size());
+  ref.count = static_cast<std::uint32_t>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    route_ports_.push_back(static_cast<std::uint32_t>(ports[i]));
+  }
+}
+
+void Switch::set_route(NodeId dst, std::size_t out_port) {
+  store_route(dst, &out_port, 1);
+}
 
 void Switch::set_ecmp_route(NodeId dst, std::vector<std::size_t> out_ports) {
   assert(!out_ports.empty() && "an ECMP group needs at least one member");
-  routes_[dst] = RouteEntry{std::move(out_ports)};
+  store_route(dst, out_ports.data(), out_ports.size());
 }
 
 std::uint64_t Switch::flow_key(NodeId src, NodeId dst, FlowId flow) const noexcept {
@@ -37,11 +68,68 @@ std::uint64_t Switch::flow_key(NodeId src, NodeId dst, FlowId flow) const noexce
 }
 
 std::optional<std::size_t> Switch::route_port(NodeId src, NodeId dst, FlowId flow) const {
-  const auto it = routes_.find(dst);
-  if (it == routes_.end()) return std::nullopt;
-  const std::vector<std::size_t>& ports = it->second.ports;
-  if (ports.size() == 1) return ports.front();
-  return ports[static_cast<std::size_t>(flow_key(src, dst, flow) % ports.size())];
+  if (static_cast<std::size_t>(dst) >= route_ref_.size()) return std::nullopt;
+  const RouteRef ref = route_ref_[dst];
+  if (ref.count == 0) return std::nullopt;
+  if (ref.count == 1) return route_ports_[ref.offset];
+  return route_ports_[ref.offset +
+                      static_cast<std::size_t>(flow_key(src, dst, flow) % ref.count)];
+}
+
+void Switch::reserve_flows(std::size_t flows) {
+  // 50% max load: give every expected key an empty partner slot.
+  const std::size_t slots = next_pow2(std::max<std::size_t>(flows * 2, 16));
+  if (slots > flow_keys_.size()) rehash_flows(slots);
+}
+
+void Switch::rehash_flows(std::size_t slots) {
+  assert((slots & (slots - 1)) == 0 && "flow table capacity must be a power of two");
+  std::vector<std::uint64_t> old_keys = std::move(flow_keys_);
+  std::vector<std::uint32_t> old_ports = std::move(flow_ports_);
+  flow_keys_.assign(slots, 0);
+  flow_ports_.assign(slots, kEmptyFlowSlot);
+  const std::size_t mask = slots - 1;
+  for (std::size_t i = 0; i < old_ports.size(); ++i) {
+    if (old_ports[i] == kEmptyFlowSlot) continue;
+    std::size_t j = static_cast<std::size_t>(old_keys[i]) & mask;
+    while (flow_ports_[j] != kEmptyFlowSlot) j = (j + 1) & mask;
+    flow_keys_[j] = old_keys[i];
+    flow_ports_[j] = old_ports[i];
+  }
+}
+
+void Switch::record_flow_choice(std::uint64_t key, std::uint32_t out) {
+  if (flow_keys_.empty()) rehash_flows(16);
+  std::size_t mask = flow_keys_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(key) & mask;
+  while (flow_ports_[i] != kEmptyFlowSlot && flow_keys_[i] != key) {
+    i = (i + 1) & mask;
+  }
+  if (flow_ports_[i] != kEmptyFlowSlot) {
+    // Known flow: update only. No growth check here — repeat traffic on a
+    // table sitting exactly at the load ceiling must stay allocation-free.
+    if (flow_ports_[i] != out) {
+      ++ecmp_path_changes_;
+      flow_ports_[i] = out;
+    }
+    return;
+  }
+  if ((flow_count_ + 1) * 2 > flow_keys_.size()) {
+    rehash_flows(flow_keys_.size() * 2);
+    mask = flow_keys_.size() - 1;
+    i = static_cast<std::size_t>(key) & mask;
+    while (flow_ports_[i] != kEmptyFlowSlot) i = (i + 1) & mask;
+  }
+  flow_keys_[i] = key;
+  flow_ports_[i] = out;
+  ++flow_count_;
+}
+
+std::size_t Switch::routing_bytes() const noexcept {
+  return route_ref_.capacity() * sizeof(RouteRef) +
+         route_ports_.capacity() * sizeof(std::uint32_t) +
+         flow_keys_.capacity() * sizeof(std::uint64_t) +
+         flow_ports_.capacity() * sizeof(std::uint32_t);
 }
 
 SharedBufferPool& Switch::enable_shared_buffer(const SharedBufferPool::Config& config) {
@@ -102,8 +190,10 @@ void Switch::receive(Packet p, std::size_t in_port) {
     apply_ctrl(p, in_port);
     return;
   }
-  const auto it = routes_.find(p.dst);
-  if (it == routes_.end()) {
+  const RouteRef ref = static_cast<std::size_t>(p.dst) < route_ref_.size()
+                           ? route_ref_[p.dst]
+                           : RouteRef{};
+  if (ref.count == 0) [[unlikely]] {
     ++unrouted_packets_;
     ++unrouted_by_dst_[p.dst];
     if (auto* a = INCAST_AUDITOR(sim_)) a->on_bytes_dropped(p.size_bytes);
@@ -131,20 +221,15 @@ void Switch::receive(Packet p, std::size_t in_port) {
     }
     p.viq = static_cast<std::int16_t>(in_port);
   }
-  const std::vector<std::size_t>& ports = it->second.ports;
   std::size_t out;
-  if (ports.size() == 1) {
+  if (ref.count == 1) {
     // Single-path routes skip hashing and per-flow bookkeeping entirely, so
     // a fabric degenerated to one path costs what the static switch did.
-    out = ports.front();
+    out = route_ports_[ref.offset];
   } else {
     const std::uint64_t key = flow_key(p.src, p.dst, p.tcp.flow_id);
-    out = ports[static_cast<std::size_t>(key % ports.size())];
-    const auto [pos, inserted] = ecmp_chosen_.try_emplace(key, out);
-    if (!inserted && pos->second != out) {
-      ++ecmp_path_changes_;
-      pos->second = out;
-    }
+    out = route_ports_[ref.offset + static_cast<std::size_t>(key % ref.count)];
+    record_flow_choice(key, static_cast<std::uint32_t>(out));
   }
   if (viqs_.empty()) {
     port(out).send(std::move(p));
@@ -170,8 +255,9 @@ void Switch::receive(Packet p, std::size_t in_port) {
 
 std::vector<std::int64_t> Switch::ecmp_flows_by_port() const {
   std::vector<std::int64_t> counts(num_ports(), 0);
-  for (const auto& [key, port_index] : ecmp_chosen_) {
-    if (port_index < counts.size()) ++counts[port_index];
+  for (std::size_t i = 0; i < flow_ports_.size(); ++i) {
+    if (flow_ports_[i] == kEmptyFlowSlot) continue;
+    if (flow_ports_[i] < counts.size()) ++counts[flow_ports_[i]];
   }
   return counts;
 }

@@ -9,6 +9,13 @@
 // in (src, dst): a flow's ACKs hash identically to its data, so switches
 // with equally-sized groups pick the same member index in both directions.
 //
+// Routing is flat and allocation-free on the hot path (docs/PERFORMANCE.md):
+// set_route()/set_ecmp_route() write straight into a per-destination
+// next-hop array indexed by the dense NodeIds the topology builders assign,
+// and the per-flow ECMP bookkeeping lives in an open-addressed table that
+// only allocates when it grows — steady-state receive() touches no
+// node-based container and performs no hashing beyond the flow mix itself.
+//
 // Egress queues apply ECN marking and tail drop; optionally all of a
 // switch's queues can share one SharedBufferPool, modelling the dynamically
 // shared buffers of production ToRs.
@@ -31,9 +38,7 @@ class Switch : public Node, private DequeueTap {
   using Node::Node;
 
   // Routes packets destined to `dst` out of `out_port`.
-  void set_route(NodeId dst, std::size_t out_port) {
-    routes_[dst] = RouteEntry{{out_port}};
-  }
+  void set_route(NodeId dst, std::size_t out_port);
 
   // Routes packets destined to `dst` across an ECMP group. Member order is
   // part of the route: two switches programmed with their members in the
@@ -49,6 +54,10 @@ class Switch : public Node, private DequeueTap {
   // nullopt if dst has no route. Pure: consults no per-flow state.
   [[nodiscard]] std::optional<std::size_t> route_port(NodeId src, NodeId dst,
                                                       FlowId flow) const;
+
+  // Pre-sizes the per-flow ECMP table for `flows` distinct flow keys, so a
+  // simulation whose fan-in is known up front never grows it mid-run.
+  void reserve_flows(std::size_t flows);
 
   // Creates a shared buffer pool and attaches it to every *current* port's
   // queue. Call after all ports have been added.
@@ -91,13 +100,33 @@ class Switch : public Node, private DequeueTap {
   [[nodiscard]] std::int64_t ecmp_path_changes() const noexcept {
     return ecmp_path_changes_;
   }
+  // Distinct flow keys observed crossing multi-port groups.
+  [[nodiscard]] std::size_t ecmp_flow_count() const noexcept { return flow_count_; }
+
+  // Bytes held by the routing structures (flat next-hop arrays plus the
+  // per-flow ECMP table) — this switch's contribution to the experiment
+  // bytes-per-flow budget.
+  [[nodiscard]] std::size_t routing_bytes() const noexcept;
 
  private:
-  struct RouteEntry {
-    std::vector<std::size_t> ports;  // never empty
+  // One destination's slice of route_ports_; count == 0 means unrouted.
+  struct RouteRef {
+    std::uint32_t offset{0};
+    std::uint32_t count{0};
   };
 
   [[nodiscard]] std::uint64_t flow_key(NodeId src, NodeId dst, FlowId flow) const noexcept;
+
+  // Grows route_ref_ to cover `dst` and points it at a fresh group slice.
+  // Re-programming a destination abandons its old slice (construction-time
+  // only; topology builders program each (switch, dst) exactly once).
+  void store_route(NodeId dst, const std::size_t* ports, std::size_t count);
+
+  // Records `out` as the chosen port for `key` in the open-addressed flow
+  // table, bumping ecmp_path_changes_ when a key re-resolves differently.
+  void record_flow_choice(std::uint64_t key, std::uint32_t out);
+  // Rebuilds the flow table at `slots` capacity (power of two).
+  void rehash_flows(std::size_t slots);
 
   // DequeueTap: a packet left egress port — credit the VIQ it was charged
   // to on arrival (if any).
@@ -109,12 +138,26 @@ class Switch : public Node, private DequeueTap {
   // facing the neighbor that sent it.
   void apply_ctrl(const Packet& p, std::size_t in_port);
 
-  std::unordered_map<NodeId, RouteEntry> routes_;
+  // Flat routing: route_ref_[dst] slices route_ports_ (group members in
+  // programmed order). Memory is proportional to the highest routed NodeId,
+  // which the topology builders keep dense.
+  std::vector<RouteRef> route_ref_;
+  std::vector<std::uint32_t> route_ports_;
+
   std::unique_ptr<SharedBufferPool> pool_;
   std::vector<LosslessInputQueue> viqs_;
   std::uint64_t ecmp_seed_{1};
+
   // Flow key -> last chosen port, recorded only for multi-port groups.
-  std::unordered_map<std::uint64_t, std::size_t> ecmp_chosen_;
+  // Open-addressed linear probing over parallel arrays; flow_ports_[i] ==
+  // kEmptyFlowSlot marks a free slot (keys are already avalanche-mixed, so
+  // key & mask is the probe start). Grows by doubling at 50% load — the
+  // only allocation the routing path can ever perform.
+  static constexpr std::uint32_t kEmptyFlowSlot = 0xffffffffu;
+  std::vector<std::uint64_t> flow_keys_;
+  std::vector<std::uint32_t> flow_ports_;
+  std::size_t flow_count_{0};
+
   std::int64_t ecmp_path_changes_{0};
   std::int64_t unrouted_packets_{0};
   std::unordered_map<NodeId, std::int64_t> unrouted_by_dst_;

@@ -130,6 +130,9 @@ class EventQueue {
   // Slab high-water mark: the most slots ever in existence, i.e. the peak
   // number of concurrently scheduled events the queue has sized itself for.
   [[nodiscard]] std::size_t slab_high_water() const noexcept { return slots_.size(); }
+  // Bytes one slab slot occupies — multiply by slab_high_water() for the
+  // event kernel's contribution to a memory budget.
+  [[nodiscard]] static constexpr std::size_t slot_bytes() noexcept;
 
  private:
   // 24 bytes; sift operations shuffle these, never the callbacks. seq is
@@ -234,6 +237,8 @@ class EventQueue {
   std::size_t live_{0};
   std::size_t peak_pending_{0};
 };
+
+constexpr std::size_t EventQueue::slot_bytes() noexcept { return sizeof(Slot); }
 
 }  // namespace incast::sim
 

@@ -11,7 +11,31 @@
 
 #include "sim/auditor.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace incast::sim {
+
+namespace {
+
+// Process-wide peak RSS in bytes (0 where unavailable). Linux reports
+// ru_maxrss in kilobytes, macOS in bytes.
+[[nodiscard]] std::uint64_t peak_rss_bytes_now() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 const char* to_string(FailureCategory category) noexcept {
   switch (category) {
@@ -264,6 +288,7 @@ void SweepRunner::execute(std::size_t n,
   stats_.retries = retries.load(std::memory_order_relaxed);
 
   stats_.wall_ms = ms_between(sweep_start, Clock::now());
+  stats_.peak_rss_bytes = peak_rss_bytes_now();
   for (const TaskStats& st : stats_.tasks) {
     stats_.total_events += st.events;
     for (std::size_t c = 0; c < kNumEventCategories; ++c) {

@@ -135,6 +135,12 @@ class SweepRunner {
     std::uint64_t retries{0};
     std::uint64_t tasks_not_run{0};
 
+    // Peak resident set size of the whole process at the end of the sweep
+    // (getrusage ru_maxrss; 0 on platforms without it). Informational only:
+    // RSS depends on allocator and OS behavior, so it never feeds the
+    // deterministic CSV outputs — use it for memory budgeting and CI gates.
+    std::uint64_t peak_rss_bytes{0};
+
     // Aggregate simulation throughput of the sweep.
     [[nodiscard]] double events_per_second() const noexcept {
       return wall_ms > 0.0 ? static_cast<double>(total_events) / (wall_ms / 1e3) : 0.0;

@@ -40,9 +40,13 @@ class Bandwidth {
 
   // Time to serialize `bytes` onto a link of this rate.
   [[nodiscard]] constexpr Time serialization_time(std::int64_t bytes) const noexcept {
-    // bytes * 8 bits / (bps bits/sec) seconds, in ns. Order of operations
-    // avoids overflow for realistic sizes (bytes < 2^40).
-    return Time::nanoseconds(bytes * 8 * 1'000'000'000 / bps_);
+    // bytes * 8 bits / (bps bits/sec) seconds, in ns. The intermediate
+    // product is 128-bit: the int64 form overflows past ~1.07 GB, which
+    // aggregate sizes (e.g. a whole incast's worth of wire bytes in the
+    // scaling experiment's optimal-FCT math) do reach. Identical results
+    // for every non-overflowing input.
+    return Time::nanoseconds(static_cast<std::int64_t>(
+        static_cast<__int128>(bytes) * 8 * 1'000'000'000 / bps_));
   }
 
   // Bytes transferred over `duration` at this rate.

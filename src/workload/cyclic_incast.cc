@@ -42,14 +42,12 @@ CyclicIncastDriver::CyclicIncastDriver(sim::Simulator& sim, const Endpoints& end
                               config_.num_flows);
   burst_started_.assign(static_cast<std::size_t>(config_.num_bursts), sim::Time::zero());
 
-  connections_.reserve(static_cast<std::size_t>(config_.num_flows));
   for (int i = 0; i < config_.num_flows; ++i) {
-    auto conn = std::make_unique<tcp::TcpConnection>(
+    tcp::TcpConnection& conn = connections_.emplace_back(
         sim_, *endpoints.senders[static_cast<std::size_t>(i)], *endpoints.receiver,
         static_cast<net::FlowId>(i) + 1, tcp_config);
-    conn->sender().set_on_ack_advance(
+    conn.sender().set_on_ack_advance(
         [this, i](std::int64_t snd_una) { on_flow_progress(snd_una, i); });
-    connections_.push_back(std::move(conn));
   }
 }
 
@@ -71,10 +69,10 @@ void CyclicIncastDriver::start_burst() {
                       config_.num_flows);
   }
 
-  for (auto& conn : connections_) {
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
     const sim::Time jitter =
         rng_.uniform_time(sim::Time::zero(), config_.start_jitter_max);
-    tcp::TcpSender* sender = &conn->sender();
+    tcp::TcpSender* sender = &connections_[i].sender();
     sim_.schedule_in(jitter,
                      [sender, demand = demand_per_flow_] { sender->add_app_data(demand); },
                      sim::EventCategory::kWorkload);
@@ -124,7 +122,9 @@ void CyclicIncastDriver::complete_burst(int index) {
 std::vector<tcp::TcpSender*> CyclicIncastDriver::senders() {
   std::vector<tcp::TcpSender*> out;
   out.reserve(connections_.size());
-  for (auto& conn : connections_) out.push_back(&conn->sender());
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    out.push_back(&connections_[i].sender());
+  }
   return out;
 }
 

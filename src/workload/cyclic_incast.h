@@ -23,11 +23,11 @@
 #define INCAST_WORKLOAD_CYCLIC_INCAST_H_
 
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "net/topology.h"
 #include "sim/random.h"
+#include "sim/stable_arena.h"
 #include "tcp/tcp_connection.h"
 
 namespace incast::obs {
@@ -99,7 +99,13 @@ class CyclicIncastDriver {
 
   [[nodiscard]] std::vector<tcp::TcpSender*> senders();
   [[nodiscard]] tcp::TcpConnection& connection(int i) {
-    return *connections_.at(static_cast<std::size_t>(i));
+    return connections_[static_cast<std::size_t>(i)];
+  }
+
+  // Bytes of connection-arena storage — the workload's per-flow state
+  // contribution to a bytes-per-flow budget.
+  [[nodiscard]] std::size_t connection_bytes() const noexcept {
+    return connections_.bytes();
   }
 
   // Invoked after each burst completes (argument: burst index, 0-based).
@@ -120,7 +126,9 @@ class CyclicIncastDriver {
   // kFixedPeriod bursts can overlap in time.
   obs::Hub* hub_{nullptr};
   std::int64_t demand_per_flow_{0};
-  std::vector<std::unique_ptr<tcp::TcpConnection>> connections_;
+  // Contiguous chunked flow state: connections are address-pinned, so the
+  // arena gives stable addresses without one heap object per flow.
+  sim::StableChunkArena<tcp::TcpConnection, 8> connections_;
 
   int started_bursts_{0};
   int completed_bursts_{0};

@@ -12,6 +12,16 @@
 //       category) so event-mix regressions are visible next to the raw
 //       throughput numbers. CI archives the file as an artifact so the
 //       perf trajectory is comparable across commits.
+//   bench_report scaling [--out BENCH_scaling.json] [--degrees 64,512,2000]
+//                        [--bytes 270000] [--jobs 4] [--seed 1]
+//       Runs the incast-degree scaling ladder (core::IncastScalingExperiment
+//       on the 432-host fat-tree) sequentially, then re-runs it at --jobs
+//       workers and byte-compares the CSVs (exit 1 on divergence). Emits
+//       google-benchmark-shaped JSON — one "BM_ScalingIncast/<degree>" entry
+//       per rung with events/sec, the deterministic peak bytes-per-flow
+//       decomposition, and FCT overhead — so tools/check_bench_regression.py
+//       gates both throughput and the --memory bytes-per-flow budget from
+//       the same artifact.
 #include <array>
 #include <cstdio>
 #include <sstream>
@@ -20,6 +30,7 @@
 
 #include "core/cli_args.h"
 #include "core/fleet_experiment.h"
+#include "core/scaling_experiment.h"
 #include "sim/event_category.h"
 #include "telemetry/trace_io.h"
 #include "workload/service_profile.h"
@@ -180,17 +191,97 @@ int run_sweep_report(core::CliArgs& args) {
   return identical ? 0 : 1;
 }
 
+int run_scaling_report(core::CliArgs& args) {
+  const std::string out_path = args.get_or("out", "BENCH_scaling.json");
+  const int check_jobs = static_cast<int>(args.int_or("jobs", 4, 2, 1024));
+
+  core::ScalingConfig cfg;
+  cfg.degrees.clear();
+  {
+    std::istringstream in{args.get_or("degrees", "64,512,2000")};
+    std::string field;
+    while (std::getline(in, field, ',')) {
+      const int v = std::atoi(field.c_str());
+      if (v < 1 || v > 100'000) {
+        std::fprintf(stderr, "error: --degrees: bad fan-in '%s'\n", field.c_str());
+        return 2;
+      }
+      cfg.degrees.push_back(v);
+    }
+  }
+  cfg.bytes_per_flow = args.int_or("bytes", cfg.bytes_per_flow, 1, 1'000'000'000);
+  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+  cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+  cfg.tcp.rtt.min_rto = 200_ms;
+  args.reject_unknown();
+  for (const auto& err : args.errors()) std::fprintf(stderr, "error: %s\n", err.c_str());
+  if (!args.errors().empty()) return 2;
+
+  // Sequential reference run: its per-point wall times are the throughput
+  // numbers (no worker contention), its CSV the determinism baseline.
+  cfg.jobs = 1;
+  const core::ScalingReport report = core::run_scaling_experiment(cfg);
+  const std::string sequential_csv = core::scaling_csv(report);
+
+  // The determinism check: the same ladder on a thread pool must produce
+  // the identical artifact, byte for byte.
+  cfg.jobs = check_jobs;
+  const core::ScalingReport parallel = core::run_scaling_experiment(cfg);
+  const bool identical = core::scaling_csv(parallel) == sequential_csv;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"context\": {\"benchmark\": \"incast_scaling\", "
+                    "\"bytes_per_flow\": %lld, \"identical_at_jobs_%d\": %s},\n",
+               static_cast<long long>(cfg.bytes_per_flow), check_jobs,
+               identical ? "true" : "false");
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const core::ScalingPoint& p = report.points[i];
+    const double wall_ms = report.sweep.tasks[i].wall_ms;
+    const double events_per_sec =
+        wall_ms > 0.0 ? static_cast<double>(p.events_processed) / (wall_ms / 1e3) : 0.0;
+    std::fprintf(out,
+                 "    {\"name\": \"BM_ScalingIncast/%d\", \"run_type\": \"iteration\", "
+                 "\"real_time\": %.1f, \"time_unit\": \"ns\", "
+                 "\"items_per_second\": %.1f, \"peak_bytes_per_flow\": %llu, "
+                 "\"fct_overhead_pct\": %.2f, \"fct_ms\": %.4f, \"events\": %llu}%s\n",
+                 p.degree, wall_ms * 1e6, events_per_sec,
+                 static_cast<unsigned long long>(p.bytes_per_flow), p.overhead_pct,
+                 p.fct_ms, static_cast<unsigned long long>(p.events_processed),
+                 i + 1 < report.points.size() ? "," : "");
+    std::printf("degree=%d: %.2f ms FCT (%.1f%% overhead), %.0f events/s, "
+                "%llu bytes/flow\n",
+                p.degree, p.fct_ms, p.overhead_pct, events_per_sec,
+                static_cast<unsigned long long>(p.bytes_per_flow));
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  std::printf("peak RSS %.1f MiB, results identical at --jobs %d: %s -> %s\n",
+              static_cast<double>(report.sweep.peak_rss_bytes) / (1024.0 * 1024.0),
+              check_jobs, identical ? "yes" : "NO", out_path.c_str());
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    if (argc < 2 || std::string{argv[1]} != "sweep") {
-      std::fprintf(stderr, "usage: bench_report sweep [--out BENCH_sweep.json] "
-                           "[--jobs N] [--hosts H] [--snapshots S] [--trace 100ms]\n");
+    const std::string command = argc >= 2 ? argv[1] : "";
+    if (command != "sweep" && command != "scaling") {
+      std::fprintf(stderr,
+                   "usage: bench_report sweep [--out BENCH_sweep.json] "
+                   "[--jobs N] [--hosts H] [--snapshots S] [--trace 100ms]\n"
+                   "       bench_report scaling [--out BENCH_scaling.json] "
+                   "[--degrees 64,512,2000] [--bytes 270000] [--jobs 4]\n");
       return 2;
     }
     incast::core::CliArgs args{argc - 1, argv + 1};
-    return run_sweep_report(args);
+    return command == "sweep" ? run_sweep_report(args) : run_scaling_report(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -60,7 +60,19 @@
 //       BCTs. Expected victim-throughput ordering:
 //       trim ~ credit > droptail > pfc.
 //
-//   --jobs N (fleet, faults, collateral) runs the independent simulations of a sweep on
+//   incast_sim scaling [--degrees 1,2,...,8000] [--bytes 270000]
+//                      [--pods 12] [--leaves 6] [--hosts-per-leaf 6]
+//                      [--aggs 6] [--spines 36] [--cc dctcp]
+//                      [--min-rto 200ms] [--max-sim-time 120s] [--seed 1]
+//                      [--jobs N] [--export-csv scaling.csv]
+//       Runs the htsim incast_scaling sweep: N senders each push one
+//       fixed-size transfer to a single receiver on a 432-host three-tier
+//       fat-tree, for N from 1 to 8000. Reports FCT overhead versus the
+//       optimal (base RTT + bottleneck serialization) per degree, plus a
+//       deterministic bytes-per-flow memory decomposition (flow state,
+//       packet pools, routing tables, event-kernel slab).
+//
+//   --jobs N (fleet, faults, collateral, scaling) runs the independent simulations of a sweep on
 //   N worker threads (work-stealing; default: all hardware threads). Seeds
 //   derive from (base seed, task index), so any N — including --jobs 1,
 //   which reproduces the historical sequential behavior — yields
@@ -140,6 +152,7 @@
 #include "core/incast_experiment.h"
 #include "core/report.h"
 #include "core/resilience_experiment.h"
+#include "core/scaling_experiment.h"
 #include "core/task_journal.h"
 #include "obs/hub.h"
 #include "telemetry/trace_io.h"
@@ -163,7 +176,7 @@ extern "C" void handle_signal(int sig) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: incast_sim <burst|faults|fabric|fleet|collateral|trace|chaos> "
+               "usage: incast_sim <burst|faults|fabric|fleet|collateral|scaling|trace|chaos> "
                "[--key value ...]\n"
                "       see the header of tools/incast_sim.cc for all flags\n");
   return 2;
@@ -962,6 +975,95 @@ int run_collateral(core::CliArgs& args) {
   return obs_cli.write_outputs();
 }
 
+int run_scaling(core::CliArgs& args) {
+  core::ScalingConfig cfg;
+
+  cfg.degrees.clear();
+  const std::string default_degrees = "1,2,4,8,16,32,64,128,256,512,1024,2000,4000,8000";
+  for (const auto& field : split_list(args.get_or("degrees", default_degrees))) {
+    char* end = nullptr;
+    const long v = std::strtol(field.c_str(), &end, 10);
+    if (end != field.c_str() + field.size() || v < 1 || v > 100'000) {
+      std::fprintf(stderr, "error: --degrees: bad fan-in '%s'\n", field.c_str());
+      return 2;
+    }
+    cfg.degrees.push_back(static_cast<int>(v));
+  }
+
+  cfg.fabric.num_pods = static_cast<int>(args.int_or("pods", cfg.fabric.num_pods, 1, 64));
+  cfg.fabric.leaves_per_pod =
+      static_cast<int>(args.int_or("leaves", cfg.fabric.leaves_per_pod, 1, 64));
+  cfg.fabric.hosts_per_leaf =
+      static_cast<int>(args.int_or("hosts-per-leaf", cfg.fabric.hosts_per_leaf, 1, 256));
+  cfg.fabric.aggs_per_pod =
+      static_cast<int>(args.int_or("aggs", cfg.fabric.aggs_per_pod, 0, 64));
+  cfg.fabric.num_spines =
+      static_cast<int>(args.int_or("spines", cfg.fabric.num_spines, 1, 256));
+  cfg.bytes_per_flow = args.int_or("bytes", cfg.bytes_per_flow, 1, 1'000'000'000);
+  cfg.max_sim_time = args.time_or("max-sim-time", sim::Time::seconds(120), 1_ns);
+  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 1));
+  cfg.jobs = static_cast<int>(args.int_or("jobs", 0, 0, 1024));
+  cfg.tcp.rtt.min_rto = args.time_or("min-rto", 200_ms, 1_ns);
+
+  const std::string cc_name = args.get_or("cc", "dctcp");
+  const auto cc = parse_cc(cc_name);
+  if (!cc) {
+    std::fprintf(stderr, "error: unknown --cc '%s'\n", cc_name.c_str());
+    return 2;
+  }
+  cfg.tcp.cc = *cc;
+
+  const std::string csv_path = args.get_or("export-csv", "");
+  HardeningCli hard;
+  if (!hard.parse(args, /*sweep_flags=*/true)) return 2;
+  ObsCli obs_cli;
+  if (!obs_cli.parse(args)) return 2;
+  if (const int rc = finish(args); rc != 0) return rc;
+  if (!hard.journal_path.empty()) {
+    std::fprintf(stderr, "note: scaling does not checkpoint; --journal ignored\n");
+  }
+  cfg.hub = obs_cli.hub.get();
+  cfg.audit_mode = hard.audit_mode;
+  cfg.audit = hard.audit;
+  cfg.sweep = hard.policy();
+
+  const int hosts =
+      cfg.fabric.num_pods * cfg.fabric.leaves_per_pod * cfg.fabric.hosts_per_leaf;
+  std::printf("scaling: %zu degree(s) of %lld-byte incast into 1 of %d hosts "
+              "(seed %llu)\n",
+              cfg.degrees.size(), static_cast<long long>(cfg.bytes_per_flow), hosts,
+              static_cast<unsigned long long>(cfg.seed));
+
+  const auto report = core::run_scaling_experiment(cfg);
+
+  core::Table t{{"degree", "FCT", "optimal", "overhead", "done", "timeouts", "retx",
+                 "drops", "B/flow", "audit"}};
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    if (report.sweep.failed(i) || report.sweep.tasks[i].attempts == 0) continue;
+    const auto& p = report.points[i];
+    t.add_row({std::to_string(p.degree), core::fmt(p.fct_ms, 2) + " ms",
+               core::fmt(p.optimal_ms, 2) + " ms", core::fmt(p.overhead_pct, 1) + " %",
+               std::to_string(p.completed_flows), std::to_string(p.timeouts),
+               std::to_string(p.retransmits), std::to_string(p.queue_drops),
+               std::to_string(static_cast<long long>(p.bytes_per_flow)),
+               std::to_string(static_cast<long long>(p.audit_violations))});
+  }
+  t.print();
+  std::printf("\n");
+  core::print_sweep_stats(report.sweep);
+
+  if (!csv_path.empty()) {
+    std::ofstream out{csv_path};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 3;
+    }
+    out << core::scaling_csv(report);
+    std::printf("wrote %zu point(s) to %s\n", report.points.size(), csv_path.c_str());
+  }
+  return obs_cli.write_outputs();
+}
+
 int run_chaos(core::CliArgs& args) {
   core::ChaosConfig cfg;
   cfg.num_configs = static_cast<int>(args.int_or("configs", 25, 1, 100'000));
@@ -1079,6 +1181,7 @@ int dispatch(int argc, char** argv) {
   if (command == "fabric") return run_fabric(args);
   if (command == "fleet") return run_fleet(args);
   if (command == "collateral") return run_collateral(args);
+  if (command == "scaling") return run_scaling(args);
   if (command == "trace") return run_trace(args);
   if (command == "chaos") return run_chaos(args);
   return usage();
