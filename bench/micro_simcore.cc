@@ -312,6 +312,57 @@ BENCHMARK_CAPTURE(BM_AuditorOverhead, relaxed, true)
     ->UseManualTime()
     ->Repetitions(7);
 
+void BM_FlowTraceOverhead(benchmark::State& state, int variant) {
+  // The tail autopsy's price at its three operating points, on the same
+  // 100-flow incast as BM_IncastBurst100Flows:
+  //
+  //   off  — no tracer attached: every hook is a cached-nullptr branch
+  //   idle — tracer attached but sampling 1-in-1e9: senders cache nullptr
+  //          at construction, ports test a false `flow_traced` bit per
+  //          packet — the cost a sampled production run pays for the flows
+  //          it does NOT trace
+  //   on   — every flow traced: the honest price of full attribution
+  //
+  // CI gates idle within 3% of off (check_bench_regression.py --ratio), so
+  // enabling sampled tracing fleet-wide stays effectively free. Like
+  // BM_AuditorOverhead, a 3% signal drowns in frequency/thermal noise if
+  // the rows run at different times — so ALL THREE variants run in every
+  // iteration of every row, back to back, each row manually reporting only
+  // its own variant's time.
+  for (auto _ : state) {
+    double elapsed[3] = {0.0, 0.0, 0.0};
+    for (int pass = 0; pass < 3; ++pass) {  // 0 = off, 1 = idle, 2 = on
+      core::IncastExperimentConfig cfg;
+      cfg.num_flows = 100;
+      cfg.burst_duration = 2_ms;
+      cfg.num_bursts = 2;
+      cfg.discard_bursts = 1;
+      cfg.queue_sample_every = 100_us;
+      cfg.tcp.cc = tcp::CcAlgorithm::kDctcp;
+      cfg.flow_trace = pass > 0;
+      cfg.flow_trace_sample_every = pass == 1 ? 1'000'000'000 : 1;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = core::run_incast_experiment(cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      elapsed[pass] = std::chrono::duration<double>(t1 - t0).count();
+      benchmark::DoNotOptimize(r.avg_bct_ms);
+    }
+    state.SetIterationTime(elapsed[variant]);
+  }
+}
+BENCHMARK_CAPTURE(BM_FlowTraceOverhead, off, 0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Repetitions(7);
+BENCHMARK_CAPTURE(BM_FlowTraceOverhead, idle, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Repetitions(7);
+BENCHMARK_CAPTURE(BM_FlowTraceOverhead, on, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Repetitions(7);
+
 // Terminal node for BM_SwitchEcmpRoute: counts arrivals, drops the packet.
 struct SinkNode final : net::Node {
   using net::Node::Node;

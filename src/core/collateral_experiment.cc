@@ -161,6 +161,15 @@ CollateralPoint run_collateral_point(const CollateralConfig& config, QueueMode m
     sim.set_auditor(&*auditor);
   }
 #endif
+  // Tail autopsy: attached before topology/sender construction. Seeded
+  // with the *base* config seed (not the per-point derived seed) so every
+  // grid point samples the same flow ids.
+  std::optional<obs::FlowTracer> flow_tracer;
+  if (config.flow_trace) {
+    flow_tracer.emplace(
+        obs::FlowTracer::Config{config.seed, config.flow_trace_sample_every}, hub);
+    sim.set_flow_tracer(&*flow_tracer);
+  }
   sim.reserve_events(static_cast<std::size_t>(degree) * 8 + 4096);
 
   net::Dumbbell dumbbell{sim, make_topology(config, mode, degree)};
@@ -243,6 +252,43 @@ CollateralPoint run_collateral_point(const CollateralConfig& config, QueueMode m
   net::check_no_unrouted(dumbbell.switches());
 #if INCAST_AUDIT_ENABLED
   if (auditor) auditor->check_conservation(dumbbell.residual_buffered_bytes());
+#endif
+
+  // Tail autopsy teardown: finalize, conservation-check every breakdown,
+  // then keep only the percentile rows (the grid can trace many flows).
+  if (flow_tracer) {
+    const std::vector<obs::FlowBreakdown> breakdowns =
+        flow_tracer->finalize(sim.now().ns());
+    point.traced_flows = breakdowns.size();
+    point.flow_trace_incomplete = flow_tracer->incomplete_flows();
+#if INCAST_AUDIT_ENABLED
+    if (auditor) {
+      for (const obs::FlowBreakdown& f : breakdowns) {
+        auditor->check_flow_breakdown(f.flow, f.component_sum(), f.fct_ns);
+      }
+    }
+#endif
+    point.fct_rows = obs::tail_attribution(breakdowns);
+  }
+
+  // INT overflow teardown check (warn-only; see Port::int_hop_overflows).
+  for (const net::Switch* sw : dumbbell.switches()) {
+    point.int_hop_overflows += sw->int_hop_overflows();
+  }
+  for (int i = 0; i < dumbbell.num_senders(); ++i) {
+    point.int_hop_overflows += dumbbell.sender(i).int_hop_overflows();
+  }
+  for (int i = 0; i < dumbbell.num_receivers(); ++i) {
+    point.int_hop_overflows += dumbbell.receiver(i).int_hop_overflows();
+  }
+  if (point.int_hop_overflows > 0) {
+    std::fprintf(stderr,
+                 "warning: %lld INT hop records overflowed the %d-entry stack "
+                 "(net.int.hop_overflow); telemetry CCAs saw truncated paths\n",
+                 static_cast<long long>(point.int_hop_overflows), net::kMaxIntHops);
+  }
+
+#if INCAST_AUDIT_ENABLED
   if (auditor) point.audit_violations = auditor->total_violations();
 #endif
 
@@ -342,6 +388,14 @@ std::string collateral_csv(const CollateralReport& report) {
                   static_cast<long long>(p.incast_nacks),
                   static_cast<unsigned long long>(p.audit_violations));
     out += buf;
+  }
+  return out;
+}
+
+std::string collateral_fct_csv(const CollateralReport& report) {
+  std::string out = obs::fct_breakdown_csv_header();
+  for (const CollateralPoint& p : report.points) {
+    obs::append_fct_breakdown_csv(out, to_string(p.mode), p.degree, p.fct_rows);
   }
   return out;
 }

@@ -36,6 +36,7 @@
 
 #include "net/pfc.h"
 #include "net/topology.h"
+#include "obs/flow_trace.h"
 #include "sim/auditor.h"
 #include "sim/sweep.h"
 #include "tcp/tcp_config.h"
@@ -127,6 +128,12 @@ struct CollateralConfig {
   sim::AuditMode audit_mode{sim::AuditMode::kRelaxed};
   sim::Auditor::Config audit{};
 
+  // Tail autopsy (see IncastExperimentConfig::flow_trace). The sampling
+  // hash uses the *base* seed, so the same flow ids are sampled at every
+  // grid point and breakdowns stay comparable across modes/degrees.
+  bool flow_trace{false};
+  std::uint64_t flow_trace_sample_every{1};
+
   std::uint64_t seed{1};
 };
 
@@ -160,6 +167,16 @@ struct CollateralPoint {
 
   std::uint64_t events_processed{0};
   std::uint64_t audit_violations{0};
+
+  // Tail autopsy (empty unless flow_trace): p50/p99/p999 attribution rows.
+  // Every underlying breakdown was conservation-checked by the auditor
+  // before aggregation (audit_violations counts any failures).
+  std::vector<obs::TailAttributionRow> fct_rows;
+  std::uint64_t traced_flows{0};          // completed sampled flows
+  std::uint64_t flow_trace_incomplete{0}; // cut by max_sim_time
+
+  // INT hop-stamp overflows across all ports of this point's topology.
+  std::int64_t int_hop_overflows{0};
 };
 
 struct CollateralReport {
@@ -180,6 +197,11 @@ struct CollateralReport {
 // One CSV row per point, fixed column order and formatting — the artifact
 // the determinism suite byte-compares across --jobs values.
 [[nodiscard]] std::string collateral_csv(const CollateralReport& report);
+
+// fct_breakdown.csv over the grid: one row per (point, percentile), in
+// point order. Byte-identical at any --jobs value; empty rows for points
+// without traced flows are simply omitted.
+[[nodiscard]] std::string collateral_fct_csv(const CollateralReport& report);
 
 }  // namespace incast::core
 

@@ -1,6 +1,7 @@
 #include "core/fabric_experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include "core/experiment_obs.h"
 #include "fault/fault_injector.h"
+#include "obs/flow_trace.h"
 #include "obs/hub.h"
 #include "telemetry/port_sampler.h"
 
@@ -119,6 +121,15 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
     sim.set_auditor(&*auditor);
   }
 #endif
+  // Tail autopsy: attached before topology/sender construction, like the
+  // hub and the auditor (all three are cached pointers).
+  std::optional<obs::FlowTracer> flow_tracer;
+  if (config.flow_trace) {
+    flow_tracer.emplace(
+        obs::FlowTracer::Config{config.seed, config.flow_trace_sample_every},
+        config.hub);
+    sim.set_flow_tracer(&*flow_tracer);
+  }
   // Capacity hint: per-flow timers plus in-flight packets across the
   // fabric's extra hops (each hop adds serialization + propagation events).
   sim.reserve_events(static_cast<std::size_t>(config.num_flows) * 16 + 4096);
@@ -244,6 +255,37 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
   for (auto& s : spine_samplers) s->finalize(trace_end);
 
   FabricIncastExperimentResult result;
+
+  // Tail autopsy teardown: finalize, conservation-check every breakdown,
+  // derive the percentile attribution rows.
+  if (flow_tracer) {
+    result.flow_breakdowns = flow_tracer->finalize(sim.now().ns());
+    result.flow_trace_incomplete = flow_tracer->incomplete_flows();
+#if INCAST_AUDIT_ENABLED
+    if (auditor) {
+      for (const obs::FlowBreakdown& f : result.flow_breakdowns) {
+        auditor->check_flow_breakdown(f.flow, f.component_sum(), f.fct_ns);
+      }
+    }
+#endif
+    result.fct_rows = obs::tail_attribution(result.flow_breakdowns);
+  }
+
+  // INT overflow teardown check — warn, never abort (ACK echo on deep
+  // paths can exceed the stack legitimately).
+  for (const net::Switch* sw : fabric.switches()) {
+    result.int_hop_overflows += sw->int_hop_overflows();
+  }
+  for (int h = 0; h < fabric.num_hosts(); ++h) {
+    result.int_hop_overflows += fabric.host(h).int_hop_overflows();
+  }
+  if (result.int_hop_overflows > 0) {
+    std::fprintf(stderr,
+                 "warning: %lld INT hop records overflowed the %d-entry stack "
+                 "(net.int.hop_overflow); telemetry CCAs saw truncated paths\n",
+                 static_cast<long long>(result.int_hop_overflows), net::kMaxIntHops);
+  }
+
   result.bursts = driver.bursts();
   result.sender_hosts = sender_hosts;
   result.receiver_host = receiver_host;
@@ -339,11 +381,14 @@ FabricIncastExperimentResult run_fabric_incast_experiment(
 
   // Close out the observed run while every metric source is still alive.
   if (observer.active()) {
+    observer.hub()->metrics().register_counter(
+        "net.int.hop_overflow", [v = result.int_hop_overflows] { return v; });
     std::vector<double> bct_ms;
     for (std::size_t b = first_measured; b < result.bursts.size(); ++b) {
       bct_ms.push_back(result.bursts[b].completion_time().ms());
     }
     observer.finish(sim.now().ns(), bct_ms, to_string(result.mode));
+    observer.hub()->metrics().unregister_prefix("net.int.");
   }
 
   return result;

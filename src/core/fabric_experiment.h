@@ -65,6 +65,10 @@ struct FabricIncastExperimentConfig {
   sim::AuditMode audit_mode{sim::AuditMode::kRelaxed};
   sim::Auditor::Config audit{};
 
+  // Tail autopsy (see IncastExperimentConfig::flow_trace).
+  bool flow_trace{false};
+  std::uint64_t flow_trace_sample_every{1};
+
   std::uint64_t seed{1};
 };
 
@@ -138,6 +142,16 @@ struct FabricIncastExperimentResult {
   // Auditor invariant violations observed during the run (0 when auditing
   // is off or compiled out).
   std::uint64_t audit_violations{0};
+
+  // Tail autopsy (see IncastExperimentResult): per-flow breakdowns,
+  // percentile attribution rows, flows cut mid-period by max_sim_time.
+  std::vector<obs::FlowBreakdown> flow_breakdowns;
+  std::vector<obs::TailAttributionRow> fct_rows;
+  std::uint64_t flow_trace_incomplete{0};
+
+  // INT hop-stamp overflows across all fabric ports (see
+  // IncastExperimentResult::int_hop_overflows).
+  std::int64_t int_hop_overflows{0};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

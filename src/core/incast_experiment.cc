@@ -1,12 +1,14 @@
 #include "core/incast_experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "core/experiment_obs.h"
 #include "core/resilience_experiment.h"
+#include "obs/flow_trace.h"
 #include "obs/hub.h"
 
 namespace incast::core {
@@ -62,6 +64,16 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
     sim.set_auditor(&*auditor);
   }
 #endif
+  // Tail autopsy: like the hub and the auditor, the tracer attaches before
+  // topology/sender construction (both cache the pointer). The hub is only
+  // a span side channel — breakdowns are identical with or without it.
+  std::optional<obs::FlowTracer> flow_tracer;
+  if (config.flow_trace) {
+    flow_tracer.emplace(
+        obs::FlowTracer::Config{config.seed, config.flow_trace_sample_every},
+        config.hub);
+    sim.set_flow_tracer(&*flow_tracer);
+  }
   // Capacity hint: each flow keeps a few timers armed plus its share of
   // packets in flight; the constant floor covers telemetry tickers and the
   // bottleneck queue's worth of delivery events.
@@ -182,6 +194,45 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
 #endif
 
   IncastExperimentResult result;
+
+  // Tail autopsy teardown: close the waterfall, split the drain bucket, and
+  // hold every completed sampled flow to the conservation invariant.
+  if (flow_tracer) {
+    result.flow_breakdowns = flow_tracer->finalize(sim.now().ns());
+    result.flow_trace_incomplete = flow_tracer->incomplete_flows();
+#if INCAST_AUDIT_ENABLED
+    if (auditor) {
+      for (const obs::FlowBreakdown& f : result.flow_breakdowns) {
+        auditor->check_flow_breakdown(f.flow, f.component_sum(), f.fct_ns);
+      }
+    }
+#endif
+    result.fct_rows = obs::tail_attribution(result.flow_breakdowns);
+  }
+
+  // INT overflow teardown check (see Port::int_hop_overflows): never fatal
+  // — deep paths with ACK echo can legitimately exceed the stack — but
+  // never silent either.
+  for (const net::Switch* sw : dumbbell.switches()) {
+    result.int_hop_overflows += sw->int_hop_overflows();
+  }
+  for (int i = 0; i < dumbbell.num_senders(); ++i) {
+    result.int_hop_overflows += dumbbell.sender(i).int_hop_overflows();
+  }
+  for (int i = 0; i < dumbbell.num_receivers(); ++i) {
+    result.int_hop_overflows += dumbbell.receiver(i).int_hop_overflows();
+  }
+  if (result.int_hop_overflows > 0) {
+    std::fprintf(stderr,
+                 "warning: %lld INT hop records overflowed the %d-entry stack "
+                 "(net.int.hop_overflow); telemetry CCAs saw truncated paths\n",
+                 static_cast<long long>(result.int_hop_overflows), net::kMaxIntHops);
+  }
+  if (observer.active()) {
+    observer.hub()->metrics().register_counter(
+        "net.int.hop_overflow", [v = result.int_hop_overflows] { return v; });
+  }
+
 #if INCAST_AUDIT_ENABLED
   if (auditor) result.audit_violations = auditor->total_violations();
 #endif
@@ -298,6 +349,9 @@ IncastExperimentResult run_incast_experiment(const IncastExperimentConfig& confi
       bct_ms.push_back(bursts[b].completion_time().ms());
     }
     observer.finish(sim.now().ns(), bct_ms, to_string(classify_mode(result)));
+    // The overflow counter captured a snapshot value; drop it so a reused
+    // hub (back-to-back runs) can register it afresh.
+    observer.hub()->metrics().unregister_prefix("net.int.");
   }
 
   return result;

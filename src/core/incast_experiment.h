@@ -16,6 +16,7 @@
 
 #include "fault/fault_injector.h"
 #include "net/topology.h"
+#include "obs/flow_trace.h"
 #include "sim/auditor.h"
 #include "sim/event_category.h"
 #include "tcp/tcp_config.h"
@@ -96,6 +97,14 @@ struct IncastExperimentConfig {
   sim::AuditMode audit_mode{sim::AuditMode::kRelaxed};
   sim::Auditor::Config audit{};
 
+  // Tail autopsy (obs/flow_trace.h): attach a FlowTracer and decompose each
+  // sampled flow's FCT into serialization/propagation/per-tier queueing/
+  // stall classes. Sampling hashes (flow id, seed) so the decision is
+  // deterministic and jobs-invariant; 1 traces every flow. Disabled runs
+  // are byte-identical to pre-tracer behavior.
+  bool flow_trace{false};
+  std::uint64_t flow_trace_sample_every{1};
+
   std::uint64_t seed{1};
 };
 
@@ -165,6 +174,20 @@ struct IncastExperimentResult {
   // in strict mode — the first one aborts — and under -DINCAST_AUDIT=OFF
   // or audit_mode kOff).
   std::uint64_t audit_violations{0};
+
+  // Tail autopsy (empty unless config.flow_trace): exact per-flow FCT
+  // decompositions for completed sampled flows, the p50/p99/p999
+  // attribution rows derived from them, and how many sampled flows the
+  // sim-time wall cut mid-period.
+  std::vector<obs::FlowBreakdown> flow_breakdowns;
+  std::vector<obs::TailAttributionRow> fct_rows;
+  std::uint64_t flow_trace_incomplete{0};
+
+  // INT hop-stamp overflows across all ports (packets whose INT stack was
+  // full at a stamping hop). Nonzero means telemetry-driven CCAs saw a
+  // truncated path — surfaced as the net.int.hop_overflow metric and a
+  // teardown warning instead of being dropped silently.
+  std::int64_t int_hop_overflows{0};
 
   [[nodiscard]] double marked_fraction() const noexcept {
     return queue_enqueues > 0

@@ -6,6 +6,7 @@
 
 #include "core/experiment_obs.h"
 #include "net/packet.h"
+#include "obs/flow_trace.h"
 #include "obs/hub.h"
 #include "obs/metrics.h"
 #include "sim/stable_arena.h"
@@ -42,6 +43,19 @@ ScalingPoint run_scaling_point(const ScalingConfig& config, int degree,
     sim.set_auditor(&*auditor);
   }
 #endif
+
+  // Tail autopsy: attach before any component constructs, so every port and
+  // sender caches the tracer pointer. Sampling hashes with the *base* seed
+  // (not this point's derived seed) so the same flow ids are traced at
+  // every degree.
+  std::optional<obs::FlowTracer> flow_tracer;
+  if (config.flow_trace) {
+    flow_tracer.emplace(
+        obs::FlowTracer::Config{config.seed, config.flow_trace_sample_every},
+        hub);
+    sim.set_flow_tracer(&*flow_tracer);
+  }
+
   sim.reserve_events(static_cast<std::size_t>(degree) * 8 + 4096);
 
   fabric::FatTreeConfig fcfg = config.fabric;
@@ -97,6 +111,27 @@ ScalingPoint run_scaling_point(const ScalingConfig& config, int degree,
   net::check_no_unrouted(switches);
 #if INCAST_AUDIT_ENABLED
   if (auditor) auditor->check_conservation(tree.residual_buffered_bytes());
+#endif
+
+  // Tail autopsy teardown: finalize sampled breakdowns, conservation-check
+  // each one, aggregate into percentile rows. Full per-flow breakdowns are
+  // discarded here — at degree 8000 keeping them for every point would
+  // defeat the memory budget this experiment exists to measure.
+  if (flow_tracer) {
+    const std::vector<obs::FlowBreakdown> breakdowns =
+        flow_tracer->finalize(sim.now().ns());
+    point.traced_flows = breakdowns.size();
+    point.flow_trace_incomplete = flow_tracer->incomplete_flows();
+#if INCAST_AUDIT_ENABLED
+    if (auditor) {
+      for (const obs::FlowBreakdown& f : breakdowns) {
+        auditor->check_flow_breakdown(f.flow, f.component_sum(), f.fct_ns);
+      }
+    }
+#endif
+    point.fct_rows = obs::tail_attribution(breakdowns);
+  }
+#if INCAST_AUDIT_ENABLED
   if (auditor) point.audit_violations = auditor->total_violations();
 #endif
 
@@ -122,6 +157,7 @@ ScalingPoint run_scaling_point(const ScalingConfig& config, int degree,
   point.flow_state_bytes = connections.bytes();
   for (net::Switch* sw : switches) {
     point.routing_bytes += sw->routing_bytes();
+    point.int_hop_overflows += sw->int_hop_overflows();
     for (std::size_t i = 0; i < sw->num_ports(); ++i) {
       point.queue_drops += sw->port(i).queue().stats().dropped_packets;
       point.packet_pool_bytes += sw->port(i).pool_high_water() * sizeof(net::Packet);
@@ -129,9 +165,17 @@ ScalingPoint run_scaling_point(const ScalingConfig& config, int degree,
   }
   for (int h = 0; h < num_hosts; ++h) {
     net::Host& host = tree.host(h);
+    point.int_hop_overflows += host.int_hop_overflows();
     for (std::size_t i = 0; i < host.num_ports(); ++i) {
       point.packet_pool_bytes += host.port(i).pool_high_water() * sizeof(net::Packet);
     }
+  }
+  if (point.int_hop_overflows > 0) {
+    std::fprintf(stderr,
+                 "warning: %lld INT hop records overflowed the %d-entry stack "
+                 "(net.int.hop_overflow); telemetry CCAs saw truncated paths\n",
+                 static_cast<long long>(point.int_hop_overflows),
+                 net::kMaxIntHops);
   }
   point.event_bytes = static_cast<std::uint64_t>(sim.slab_high_water()) *
                       sim::EventQueue::slot_bytes();
@@ -163,8 +207,11 @@ ScalingPoint run_scaling_point(const ScalingConfig& config, int degree,
     metrics.register_gauge("scaling.event_bytes", [&point] {
       return static_cast<double>(point.event_bytes);
     });
+    metrics.register_counter("net.int.hop_overflow",
+                             [v = point.int_hop_overflows] { return v; });
     observer.finish(sim.now().ns(), {point.fct_ms}, nullptr);
     metrics.unregister_prefix("scaling.");
+    metrics.unregister_prefix("net.int.");
   }
 
   return point;
@@ -219,6 +266,14 @@ std::string scaling_csv(const ScalingReport& report) {
                   static_cast<unsigned long long>(p.events_processed),
                   static_cast<unsigned long long>(p.audit_violations));
     out += buf;
+  }
+  return out;
+}
+
+std::string scaling_fct_csv(const ScalingReport& report) {
+  std::string out = obs::fct_breakdown_csv_header();
+  for (const ScalingPoint& p : report.points) {
+    obs::append_fct_breakdown_csv(out, "scaling", p.degree, p.fct_rows);
   }
   return out;
 }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "fabric/fat_tree.h"
+#include "obs/flow_trace.h"
 #include "sim/auditor.h"
 #include "sim/sweep.h"
 #include "tcp/tcp_config.h"
@@ -85,6 +86,13 @@ struct ScalingConfig {
   sim::AuditMode audit_mode{sim::AuditMode::kRelaxed};
   sim::Auditor::Config audit{};
 
+  // Tail autopsy (see IncastExperimentConfig::flow_trace). The sampling
+  // hash uses the *base* seed, so the same flow ids are sampled at every
+  // degree and attribution rows stay comparable along the ladder. At the
+  // 8000-sender end, sample_every keeps the breakdown footprint bounded.
+  bool flow_trace{false};
+  std::uint64_t flow_trace_sample_every{1};
+
   // Base seed; each point derives its own via derive_task_seed and uses it
   // as the fabric's ECMP seed, so every degree sees an independent (but
   // reproducible) path-collision pattern.
@@ -113,6 +121,16 @@ struct ScalingPoint {
 
   std::uint64_t events_processed{0};
   std::uint64_t audit_violations{0};
+
+  // Tail autopsy (empty unless flow_trace): p50/p99/p999 attribution rows.
+  // Every underlying breakdown was conservation-checked by the auditor
+  // before aggregation (audit_violations counts any failures).
+  std::vector<obs::TailAttributionRow> fct_rows;
+  std::uint64_t traced_flows{0};          // completed sampled flows
+  std::uint64_t flow_trace_incomplete{0}; // cut by max_sim_time
+
+  // INT hop-stamp overflows across all ports of this point's fabric.
+  std::int64_t int_hop_overflows{0};
 };
 
 struct ScalingReport {
@@ -132,6 +150,11 @@ struct ScalingReport {
 // One CSV row per point, fixed column order and formatting — the artifact
 // the determinism suite byte-compares across --jobs values.
 [[nodiscard]] std::string scaling_csv(const ScalingReport& report);
+
+// fct_breakdown.csv over the ladder: one row per (degree, percentile), in
+// degree order, mode label "scaling". Byte-identical at any --jobs value;
+// degrees without traced flows are simply omitted.
+[[nodiscard]] std::string scaling_fct_csv(const ScalingReport& report);
 
 }  // namespace incast::core
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/flow_trace.h"
+
 namespace incast::fabric {
 
 std::string host_node_name(int pod, int leaf, int slot) {
@@ -186,6 +188,17 @@ FatTree::FatTree(sim::Simulator& sim, const FatTreeConfig& config) : config_{con
       sw->port(i).set_int_stamping(true);
     }
   }
+
+  // Tier tags for the flow tracer's per-tier queueing attribution.
+  const auto tag_tier = [](net::Node& node, obs::HopTier tier) {
+    for (std::size_t i = 0; i < node.num_ports(); ++i) {
+      node.port(i).set_trace_tier(tier);
+    }
+  };
+  for (auto& h : hosts_) tag_tier(*h, obs::HopTier::kHost);
+  for (auto& lf : leaves_) tag_tier(*lf, obs::HopTier::kTor);
+  for (auto& ag : aggs_) tag_tier(*ag, obs::HopTier::kAgg);
+  for (auto& sp : spines_) tag_tier(*sp, obs::HopTier::kSpine);
   if (config_.shared_buffer.has_value()) {
     for (auto& lf : leaves_) lf->enable_shared_buffer(*config_.shared_buffer);
   }

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/flow_trace.h"
 #include "obs/hub.h"
 
 namespace incast::net {
@@ -23,6 +24,12 @@ void Port::set_trace_label(const std::string& label) {
 
 void Port::send(Packet p) {
   assert(connected() && "port must be connected before sending");
+  if (flow_tracer_ != nullptr && p.flow_traced) {
+    // Stamp admission time and the pause ledger; read back at dequeue to
+    // attribute this hop's residency (queue wait vs. PFC pause overlap).
+    p.trace_enqueue_ns = sim_.now().ns();
+    p.trace_paused_ns = paused_ns();
+  }
   const std::int64_t size = p.size_bytes;
   const std::int64_t trims_before = queue_->stats().trimmed_bytes;
   if (trace_hub_ == nullptr) {
@@ -146,13 +153,28 @@ void Port::maybe_transmit() {
 
     if (dequeue_tap_ != nullptr) dequeue_tap_->on_dequeue(*next, sim_.now());
 
+    if (flow_tracer_ != nullptr && next->trace_enqueue_ns >= 0) {
+      const std::int64_t wait = sim_.now().ns() - next->trace_enqueue_ns;
+      // Pause ledger delta = pause time overlapping this packet's residency
+      // (an open pause at enqueue is included by paused_ns() on both reads).
+      std::int64_t pause = paused_ns() - next->trace_paused_ns;
+      if (pause < 0) pause = 0;
+      if (pause > wait) pause = wait;
+      flow_tracer_->on_hop(next->tcp.flow_id, trace_tier_, wait - pause, pause,
+                           bandwidth_.serialization_time(next->size_bytes).ns(),
+                           propagation_delay_.ns());
+      next->trace_enqueue_ns = -1;  // consumed; next hop re-stamps
+    }
+
     if (int_stamping_ && next->int_stack.enabled) {
-      next->int_stack.push(IntHopRecord{
-          .qlen_bytes = queue_->bytes(),
-          .tx_bytes = queue_->stats().dequeued_bytes,
-          .link_bps = bandwidth_.bps(),
-          .timestamp_ns = sim_.now().ns(),
-      });
+      if (!next->int_stack.push(IntHopRecord{
+              .qlen_bytes = queue_->bytes(),
+              .tx_bytes = queue_->stats().dequeued_bytes,
+              .link_bps = bandwidth_.bps(),
+              .timestamp_ns = sim_.now().ns(),
+          })) {
+        ++int_hop_overflows_;  // stack full: surfaced as net.int.hop_overflow
+      }
     }
   }
 

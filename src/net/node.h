@@ -21,7 +21,9 @@
 #include "sim/units.h"
 
 namespace incast::obs {
+class FlowTracer;
 class Hub;
+enum class HopTier : std::uint8_t;
 }  // namespace incast::obs
 
 namespace incast::net {
@@ -77,7 +79,8 @@ class Port {
       : sim_{sim},
         bandwidth_{bandwidth},
         propagation_delay_{propagation_delay},
-        queue_{make_queue(queue_config)} {}
+        queue_{make_queue(queue_config)},
+        flow_tracer_{sim.flow_tracer()} {}
 
   Port(const Port&) = delete;
   Port& operator=(const Port&) = delete;
@@ -139,6 +142,19 @@ class Port {
   // outlive the port's traffic.
   void set_dequeue_tap(DequeueTap* tap) noexcept { dequeue_tap_ = tap; }
 
+  // Which topology tier this port's egress queue belongs to, for the
+  // flow tracer's per-tier queueing attribution (obs::HopTier). Builders
+  // tag ports once at construction; untagged ports report kUnknown.
+  void set_trace_tier(obs::HopTier tier) noexcept { trace_tier_ = tier; }
+  [[nodiscard]] obs::HopTier trace_tier() const noexcept { return trace_tier_; }
+
+  // INT hop records that could not be stamped because the packet's stack
+  // was already at kMaxIntHops — silent truncation made loud (satellite of
+  // the tail-autopsy work; surfaced as the net.int.hop_overflow metric).
+  [[nodiscard]] std::int64_t int_hop_overflows() const noexcept {
+    return int_hop_overflows_;
+  }
+
   // Names this port for the observability layer: drop and ECN-mark events
   // are then emitted as "<label>.drop" / "<label>.ecn_mark" instants on the
   // queue track. Only labeled ports trace — unlabeled ports keep the exact
@@ -196,6 +212,11 @@ class Port {
   std::int64_t pause_count_{0};
   std::int64_t paused_ns_total_{0};
   obs::Hub* trace_hub_{nullptr};
+  // Cached at construction, like trace_hub_: nullptr (no tracer attached)
+  // keeps the per-packet hooks to a single predictable branch.
+  obs::FlowTracer* flow_tracer_{nullptr};
+  obs::HopTier trace_tier_{};  // zero-initialized = kUnknown
+  std::int64_t int_hop_overflows_{0};
   std::string drop_event_name_;
   std::string mark_event_name_;
   std::string trim_event_name_;
@@ -229,6 +250,14 @@ class Node {
   [[nodiscard]] NodeId id() const noexcept { return id_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  // Total INT hop-stamp overflows across this node's ports (see
+  // Port::int_hop_overflows).
+  [[nodiscard]] std::int64_t int_hop_overflows() const noexcept {
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < ports_.size(); ++i) total += ports_[i].int_hop_overflows();
+    return total;
+  }
 
  protected:
   sim::Simulator& sim_;

@@ -124,8 +124,14 @@ struct IntStack {
   std::uint8_t num_hops{0};
   std::array<IntHopRecord, kMaxIntHops> hops{};
 
-  void push(const IntHopRecord& rec) noexcept {
-    if (num_hops < kMaxIntHops) hops[num_hops++] = rec;
+  // Appends one hop record. Returns false when the stack is already full —
+  // the record is NOT recorded and the caller must count the overflow
+  // (surfaced as the net.int.hop_overflow metric) instead of losing the
+  // deepest hops silently.
+  [[nodiscard]] bool push(const IntHopRecord& rec) noexcept {
+    if (num_hops >= kMaxIntHops) return false;
+    hops[num_hops++] = rec;
+    return true;
   }
 };
 
@@ -151,6 +157,14 @@ struct Packet {
   // checksum fails, so the receiving NIC discards it without any protocol
   // reaction — the sender learns about it only through SACK holes or RTO.
   bool corrupted{false};
+  // Flow-trace sampling (obs/flow_trace.h): set by the sender on data
+  // packets of sampled flows. Ports stamp enqueue time and the pause ledger
+  // at admission and read them back at dequeue to attribute per-hop
+  // residency. Inert when no FlowTracer is attached — pure data, never
+  // consulted by forwarding or protocol logic.
+  bool flow_traced{false};
+  std::int64_t trace_enqueue_ns{-1};  // -1 = not stamped at this hop
+  std::int64_t trace_paused_ns{0};    // port's paused_ns() at enqueue
   sim::Time sent_at{};        // when the sender emitted it (diagnostics)
   std::uint64_t uid{0};       // unique per packet (diagnostics)
 

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/flow_trace.h"
+
 namespace incast::net {
 
 Dumbbell::Dumbbell(sim::Simulator& sim, const DumbbellConfig& config) : config_{config} {
@@ -69,12 +71,17 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const DumbbellConfig& config) : config_{
   }
 
   // Switch egress ports stamp INT telemetry onto packets that request it
-  // (needed by INT-based CCAs like HPCC; free for everything else).
+  // (needed by INT-based CCAs like HPCC; free for everything else). They
+  // are also tagged as ToR tier for the flow tracer's per-tier queueing
+  // attribution; host NICs below are the host tier.
   for (Switch* sw : {tor_s_.get(), tor_r_.get()}) {
     for (std::size_t i = 0; i < sw->num_ports(); ++i) {
       sw->port(i).set_int_stamping(true);
+      sw->port(i).set_trace_tier(obs::HopTier::kTor);
     }
   }
+  for (const auto& h : senders_) h->port(0).set_trace_tier(obs::HopTier::kHost);
+  for (const auto& h : receivers_) h->port(0).set_trace_tier(obs::HopTier::kHost);
 }
 
 DropTailQueue& Dumbbell::bottleneck_queue(int i) {

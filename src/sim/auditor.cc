@@ -13,6 +13,7 @@ const char* to_string(AuditInvariant inv) noexcept {
     case AuditInvariant::kCwndBounds: return "cwnd_bounds";
     case AuditInvariant::kRtoBounds: return "rto_bounds";
     case AuditInvariant::kLivelock: return "livelock";
+    case AuditInvariant::kFlowBreakdown: return "flow_breakdown";
   }
   return "unknown";
 }

@@ -89,8 +89,9 @@ enum class AuditInvariant : std::uint8_t {
   kCwndBounds,        // cwnd non-positive or above the sanity cap
   kRtoBounds,         // RTO below min_rto or above the sanity cap
   kLivelock,          // too many events without sim-time advance
+  kFlowBreakdown,     // FCT attribution components do not sum to the FCT
 };
-inline constexpr std::size_t kNumAuditInvariants = 6;
+inline constexpr std::size_t kNumAuditInvariants = 7;
 
 [[nodiscard]] const char* to_string(AuditInvariant inv) noexcept;
 
@@ -247,6 +248,21 @@ class Auditor {
               "flow " + std::to_string(flow) + ": rto=" + std::to_string(rto.ns()) +
                   "ns (bounds [" + std::to_string(config_.min_rto.ns()) + ", " +
                   std::to_string(config_.max_rto.ns()) + "]ns)");
+    }
+  }
+
+  // --- Flow-trace hook (called by experiments after FlowTracer::finalize) --
+
+  // The tail-autopsy conservation invariant: a sampled flow's attribution
+  // components must sum to its measured FCT *exactly* (integer ns). Any
+  // difference means the tracer dropped or double-counted an interval.
+  void check_flow_breakdown(std::uint64_t flow, std::int64_t component_sum_ns,
+                            std::int64_t fct_ns) {
+    if (component_sum_ns != fct_ns || fct_ns < 0) [[unlikely]] {
+      violate(AuditInvariant::kFlowBreakdown,
+              "flow " + std::to_string(flow) + ": components sum to " +
+                  std::to_string(component_sum_ns) + "ns but fct=" +
+                  std::to_string(fct_ns) + "ns");
     }
   }
 

@@ -39,6 +39,7 @@
 #include "sim/time.h"
 
 namespace incast::obs {
+class FlowTracer;
 class Hub;
 }  // namespace incast::obs
 
@@ -129,6 +130,13 @@ class Simulator {
   void set_auditor(Auditor* auditor) noexcept { auditor_ = auditor; }
   [[nodiscard]] Auditor* auditor() const noexcept { return auditor_; }
 
+  // Borrowed flow-lifecycle tracer (obs/flow_trace.h); nullptr (the
+  // default) means "no latency attribution". Like the hub, attach it
+  // *before* building topology/senders — they cache the pointer at
+  // construction. Components reach it through INCAST_FLOW_TRACER(sim).
+  void set_flow_tracer(obs::FlowTracer* tracer) noexcept { flow_tracer_ = tracer; }
+  [[nodiscard]] obs::FlowTracer* flow_tracer() const noexcept { return flow_tracer_; }
+
  private:
   void dispatch_one();
 
@@ -141,6 +149,7 @@ class Simulator {
   std::array<double, kNumEventCategories> wall_ns_by_category_{};
   obs::Hub* hub_{nullptr};
   Auditor* auditor_{nullptr};
+  obs::FlowTracer* flow_tracer_{nullptr};
 };
 
 }  // namespace incast::sim

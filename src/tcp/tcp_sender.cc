@@ -45,6 +45,10 @@ TcpSender::TcpSender(sim::Simulator& sim, net::Host& local, net::NodeId remote,
   } else {
     hub_ = nullptr;
   }
+
+  if (auto* ft = INCAST_FLOW_TRACER(sim_); ft != nullptr && ft->sampled(flow_)) {
+    ft_ = ft;
+  }
 }
 
 TcpSender::~TcpSender() {
@@ -72,9 +76,32 @@ void TcpSender::close_recovery_span() {
   hub_->end(sim_.now().ns(), obs::TraceCategory::kTcp, "fast_recovery", trace_tid_);
 }
 
+void TcpSender::ft_unblock(obs::FlowTracer::UnblockCause cause) {
+  ft_->on_unblocked(flow_, sim_.now().ns(), cause);
+}
+
+void TcpSender::ft_block() {
+  using BlockReason = obs::FlowTracer::BlockReason;
+  BlockReason reason = BlockReason::kDrain;
+  if (in_recovery_) {
+    reason = BlockReason::kFastRecovery;
+  } else if (snd_nxt_ < app_limit_) {
+    reason = BlockReason::kCwndLimited;
+  }
+  ft_->on_blocked(flow_, sim_.now().ns(), reason);
+}
+
 void TcpSender::add_app_data(std::int64_t bytes) {
   assert(bytes >= 0);
   if (bytes == 0) return;
+
+  if (ft_ != nullptr) {
+    // Idle flow: opens a new active period (no-op if one is open). Active
+    // flow: the app pushing data is what woke the sender, so close the
+    // open wait interval (a just-opened period closes a zero-length one).
+    ft_->on_period_start(flow_, sim_.now().ns());
+    ft_unblock(obs::FlowTracer::UnblockCause::kApp);
+  }
 
   if (config_.slow_start_after_idle && snd_una_ == snd_nxt_ &&
       sim_.now() - last_activity_ > current_rto()) {
@@ -83,6 +110,7 @@ void TcpSender::add_app_data(std::int64_t bytes) {
 
   app_limit_ += bytes;
   try_send();
+  if (ft_ != nullptr) ft_block();
 }
 
 std::int64_t TcpSender::effective_cwnd() const noexcept {
@@ -94,11 +122,19 @@ std::int64_t TcpSender::effective_cwnd() const noexcept {
 }
 
 void TcpSender::handle_packet(net::Packet p) {
+  if (ft_ != nullptr) {
+    ft_unblock(p.tcp.nack ? obs::FlowTracer::UnblockCause::kNack
+                          : obs::FlowTracer::UnblockCause::kAck);
+  }
   if (p.tcp.nack) [[unlikely]] {
     on_nack(p);
+    if (ft_ != nullptr) ft_block();
     return;
   }
-  if (!p.tcp.has_ack) return;
+  if (!p.tcp.has_ack) {
+    if (ft_ != nullptr) ft_block();
+    return;
+  }
 
   ++stats_.acks_received;
   if (p.tcp.ece) ++stats_.ece_acks_received;
@@ -118,6 +154,8 @@ void TcpSender::handle_packet(net::Packet p) {
   // Sanity-check the window the congestion controller just produced: a
   // non-positive or absurd cwnd here means a CCA bug, not congestion.
   if (auto* a = INCAST_AUDITOR(sim_)) a->check_cwnd(flow_, effective_cwnd());
+
+  if (ft_ != nullptr) ft_block();
 }
 
 void TcpSender::on_nack(const net::Packet& p) {
@@ -276,6 +314,12 @@ void TcpSender::on_new_ack(std::int64_t ack, bool ece, const net::IntStack& int_
 
   try_send();
 
+  // Close the tracer's active period before the completion callback — the
+  // callback may push the next burst, which opens a fresh period.
+  if (ft_ != nullptr && all_acked()) {
+    ft_->on_flow_complete(flow_, sim_.now().ns());
+  }
+
   if (on_ack_advance_) on_ack_advance_(snd_una_);
   if (all_acked() && on_all_acked_) {
     on_all_acked_();
@@ -374,7 +418,9 @@ void TcpSender::paced_send(std::int64_t cwnd) {
     if (pace_timer_ == sim::kInvalidEventId) {
       pace_timer_ = sim_.schedule_at(pace_next_, [this] {
         pace_timer_ = sim::kInvalidEventId;
+        if (ft_ != nullptr) ft_unblock(obs::FlowTracer::UnblockCause::kTimer);
         try_send();
+        if (ft_ != nullptr) ft_block();
       }, sim::EventCategory::kTcp);
     }
     return;
@@ -401,6 +447,7 @@ void TcpSender::send_segment(std::int64_t seq, std::int64_t len) {
   net::Packet p = net::make_data_packet(local_.id(), remote_, flow_, seq, len);
   p.sent_at = sim_.now();
   p.int_stack.enabled = config_.int_telemetry;
+  p.flow_traced = ft_ != nullptr;
 
   const bool is_retx = seq + len <= max_sent_;
   p.is_retransmit = is_retx;
@@ -452,6 +499,7 @@ void TcpSender::on_pto() {
   // without waiting out the RTO (RFC 8985 §7.3, simplified).
   if (snd_una_ >= snd_nxt_ || in_recovery_) return;
 
+  if (ft_ != nullptr) ft_unblock(obs::FlowTracer::UnblockCause::kTimer);
   ++stats_.tlp_probes;
   tlp_probe_outstanding_ = true;  // at most one probe per quiet episode
 
@@ -465,6 +513,7 @@ void TcpSender::on_pto() {
     send_segment(snd_nxt_ - len, len);
   }
   // The RTO (re-armed by send_segment if needed) remains the backstop.
+  if (ft_ != nullptr) ft_block();
 }
 
 sim::Time TcpSender::current_rto() const noexcept {
@@ -500,10 +549,13 @@ void TcpSender::on_rto() {
     // Stale timer: nothing is outstanding. If the application still has
     // unsent data (e.g. a pacing gap was pending when the flow went
     // idle), revive transmission rather than going silent.
+    if (ft_ != nullptr) ft_unblock(obs::FlowTracer::UnblockCause::kTimer);
     try_send();
+    if (ft_ != nullptr) ft_block();
     return;
   }
 
+  if (ft_ != nullptr) ft_unblock(obs::FlowTracer::UnblockCause::kRto);
   ++stats_.timeouts;
   rto_backoff_ = std::min(rto_backoff_ + 1, kMaxRtoBackoff);
   if (hub_ != nullptr) {
@@ -529,6 +581,7 @@ void TcpSender::on_rto() {
 
   try_send();
   arm_rto();
+  if (ft_ != nullptr) ft_block();
 }
 
 }  // namespace incast::tcp

@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "net/host.h"
+#include "obs/flow_trace.h"
 #include "tcp/tcp_config.h"
 
 namespace incast::obs {
@@ -132,6 +133,12 @@ class TcpSender final : public net::PacketHandler {
   // emission; no-op without an observed hub.
   void maybe_emit_cwnd();
   void close_recovery_span();
+  // Flow-lifecycle tracing (obs/flow_trace.h): closes the open wait
+  // interval / records why the sender is waiting again. Callers guard on
+  // ft_ != nullptr; both run at the current sim time, which keeps the
+  // interval partition gap-free.
+  void ft_unblock(obs::FlowTracer::UnblockCause cause);
+  void ft_block();
   [[nodiscard]] sim::Time current_rto() const noexcept;
   [[nodiscard]] AckEvent make_ack_event(std::int64_t newly_acked, bool ece) const noexcept;
 
@@ -194,6 +201,9 @@ class TcpSender final : public net::PacketHandler {
   std::string metric_prefix_;
   std::int64_t last_cwnd_emitted_{-1};
   bool recovery_span_open_{false};
+  // Non-null only when a FlowTracer is attached AND this flow is sampled
+  // (decided once at construction) — the unobserved path pays one branch.
+  obs::FlowTracer* ft_{nullptr};
 };
 
 }  // namespace incast::tcp

@@ -119,7 +119,7 @@ AckEvent ack_with_int(const net::IntHopRecord& rec, Time now,
   ev.now = now;
   ev.app_limited = app_limited;
   ev.int_stack.enabled = true;
-  ev.int_stack.push(rec);
+  EXPECT_TRUE(ev.int_stack.push(rec));
   return ev;
 }
 

@@ -15,7 +15,12 @@ forgives, which is exactly why CI must not):
   * sync ``B``/``E`` pairs balance per (pid, tid) as a stack with matching
     names, and no span is left open;
   * async ``b``/``e`` pairs balance per (cat, name, id) with every ``b``
-    preceding its ``e``.
+    preceding its ``e``;
+  * within one async track (pid, tid, id) the spans obey stack discipline:
+    every ``e`` closes the innermost open ``b`` on that track, with a
+    matching (cat, name). The flow-trace waterfall relies on this — each
+    flow renders on its own track and a component span must never
+    straddle the lifecycle span's close.
 
 Usage:  check_trace.py TRACE.json [TRACE2.json ...]
 Exit codes: 0 all valid, 1 invariant violated, 2 unreadable input.
@@ -75,6 +80,7 @@ def check_trace(path):
     last_ts = None
     sync_stacks = {}   # (pid, tid) -> [(index, name), ...]
     async_open = {}    # (cat, name, id) -> [index, ...]
+    async_tracks = {}  # (pid, tid, id) -> [(index, cat, name), ...]
     counts = {}
     for i, ev in enumerate(events):
         if not check_event_schema(path, i, ev):
@@ -103,6 +109,8 @@ def check_trace(path):
                               f"'E' name {ev['name']!r} closes span {open_name!r}")
         elif ph == "b":
             async_open.setdefault((ev["cat"], ev["name"], ev["id"]), []).append(i)
+            async_tracks.setdefault((ev["pid"], ev["tid"], ev["id"]), []).append(
+                (i, ev["cat"], ev["name"]))
         elif ph == "e":
             stack = async_open.get((ev["cat"], ev["name"], ev["id"]), [])
             if not stack:
@@ -111,6 +119,15 @@ def check_trace(path):
                           f"({ev['cat']}, {ev['name']}, {ev['id']})")
             else:
                 stack.pop()
+            track = async_tracks.get((ev["pid"], ev["tid"], ev["id"]), [])
+            if track:
+                _, open_cat, open_name = track.pop()
+                if (open_cat, open_name) != (ev["cat"], ev["name"]):
+                    ok = fail(path, i,
+                              f"async 'e' ({ev['cat']}, {ev['name']}) closes "
+                              f"over still-open ({open_cat}, {open_name}) on "
+                              f"track (pid={ev['pid']}, tid={ev['tid']}, "
+                              f"id={ev['id']}) — spans must nest")
 
     for (pid, tid), stack in sync_stacks.items():
         for i, name in stack:

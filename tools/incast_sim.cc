@@ -132,10 +132,23 @@
 //   For faults, the baseline run is the observed one (sweep points run in
 //   parallel); for fleet, the (host 0, snapshot 0) cell is. Trace and
 //   metrics bytes are identical for every --jobs value.
+//
+//   Tail-autopsy flags, shared by burst / fabric / collateral / scaling:
+//     --flow-trace              sampled per-flow latency attribution: each
+//                               sampled flow's FCT is decomposed exactly
+//                               into serialization, propagation, per-tier
+//                               queueing, PFC pause and sender stall classes
+//     --flow-trace-out FILE     write the p50/p99/p999 attribution rows as
+//                               fct_breakdown.csv (implies --flow-trace);
+//                               byte-identical at any --jobs value
+//     --flow-trace-sample N     trace 1 in N flows, hashed by (flow id,
+//                               base seed) so the sample set is the same at
+//                               every sweep point (default 1 = every flow)
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <memory>
@@ -154,6 +167,7 @@
 #include "core/resilience_experiment.h"
 #include "core/scaling_experiment.h"
 #include "core/task_journal.h"
+#include "obs/flow_trace.h"
 #include "obs/hub.h"
 #include "telemetry/trace_io.h"
 
@@ -300,6 +314,90 @@ struct ObsCli {
   }
 };
 
+// The tail-autopsy flags shared by burst / fabric / collateral / scaling.
+// Must run before finish(args) so the flags are consumed.
+struct FlowTraceCli {
+  bool enabled{false};
+  std::uint64_t sample_every{1};
+  std::string out_path;
+
+  void parse(core::CliArgs& args) {
+    out_path = args.get_or("flow-trace-out", "");
+    enabled = args.bool_or("flow-trace", false) || !out_path.empty();
+    sample_every =
+        static_cast<std::uint64_t>(args.int_or("flow-trace-sample", 1, 1, 1'000'000'000));
+  }
+
+  // Writes fct_breakdown.csv when --flow-trace-out was given. Returns 0, or
+  // 3 (the documented file-I/O exit code) on failure.
+  [[nodiscard]] int write_csv(const std::string& csv) const {
+    if (out_path.empty()) return 0;
+    std::ofstream out{out_path};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 3;
+    }
+    out << csv;
+    std::printf("wrote flow-trace breakdown to %s\n", out_path.c_str());
+    return 0;
+  }
+};
+
+// Full tail-autopsy table for the single-point subcommands: one row per
+// percentile, every component as its share of that flow's FCT.
+void print_fct_attribution(const std::vector<obs::TailAttributionRow>& rows,
+                           std::uint64_t traced, std::uint64_t incomplete) {
+  std::printf("\ntail autopsy (%llu completed sampled flow(s), %llu incomplete):\n",
+              static_cast<unsigned long long>(traced),
+              static_cast<unsigned long long>(incomplete));
+  if (rows.empty()) {
+    std::printf("  no completed sampled flows -- nothing to attribute\n");
+    return;
+  }
+  core::Table t{{"pctl", "FCT", "serial", "prop", "q-host", "q-tor", "q-agg", "q-spine",
+                 "pfc", "cwnd", "rto", "fast-rec", "nack-rec", "other"}};
+  for (const auto& row : rows) {
+    const obs::FlowBreakdown& f = row.flow;
+    const auto pct = [&f](std::int64_t ns) {
+      return f.fct_ns > 0 ? core::fmt(100.0 * static_cast<double>(ns) /
+                                          static_cast<double>(f.fct_ns),
+                                      1) + " %"
+                          : std::string{"-"};
+    };
+    t.add_row({row.pctl, core::fmt(static_cast<double>(f.fct_ns) / 1e6, 3) + " ms",
+               pct(f.serialization_ns), pct(f.propagation_ns), pct(f.q_host_ns),
+               pct(f.q_tor_ns), pct(f.q_agg_ns), pct(f.q_spine_ns), pct(f.pfc_pause_ns),
+               pct(f.cwnd_limited_ns), pct(f.rto_wait_ns), pct(f.fast_recovery_ns),
+               pct(f.nack_recovery_ns), pct(f.other_ns)});
+  }
+  t.print();
+}
+
+// One p99 cause-share row for the grid subcommands' footer table ("where
+// did the p99 flow's time go at this point"). Queue tiers and wire time are
+// folded so a row stays readable across a whole mode x degree grid; points
+// with no traced flows contribute no row.
+void add_p99_row(core::Table& t, const std::string& mode, int degree,
+                 const std::vector<obs::TailAttributionRow>& rows) {
+  for (const auto& row : rows) {
+    if (std::strcmp(row.pctl, "p99") != 0) continue;
+    const obs::FlowBreakdown& f = row.flow;
+    const auto pct = [&f](std::int64_t ns) {
+      return f.fct_ns > 0 ? core::fmt(100.0 * static_cast<double>(ns) /
+                                          static_cast<double>(f.fct_ns),
+                                      1) + " %"
+                          : std::string{"-"};
+    };
+    const std::int64_t wire = f.serialization_ns + f.propagation_ns;
+    const std::int64_t queue = f.q_host_ns + f.q_tor_ns + f.q_agg_ns + f.q_spine_ns;
+    t.add_row({mode, std::to_string(degree),
+               core::fmt(static_cast<double>(f.fct_ns) / 1e6, 3) + " ms", pct(wire),
+               pct(queue), pct(f.pfc_pause_ns), pct(f.cwnd_limited_ns), pct(f.rto_wait_ns),
+               pct(f.fast_recovery_ns), pct(f.nack_recovery_ns), pct(f.other_ns)});
+    return;
+  }
+}
+
 // The run-hardening flags shared by every simulation subcommand: auditor
 // mode and budgets, plus (for sweeps) quarantine/retry and the checkpoint
 // journal. Must run before finish(args) so the flags are consumed.
@@ -413,18 +511,28 @@ int run_burst(core::CliArgs& args) {
   if (!parse_incast_config(args, cfg, cc_name)) return 2;
   HardeningCli hard;
   if (!hard.parse(args, /*sweep_flags=*/false)) return 2;
+  FlowTraceCli ft;
+  ft.parse(args);
   ObsCli obs_cli;
   if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
   cfg.hub = obs_cli.hub.get();
   cfg.audit_mode = hard.audit_mode;
   cfg.audit = hard.audit;
+  cfg.flow_trace = ft.enabled;
+  cfg.flow_trace_sample_every = ft.sample_every;
 
   std::printf("burst: %d x %s bursts of a %d-flow %s incast (seed %llu)\n",
               cfg.num_bursts, cfg.burst_duration.to_string().c_str(), cfg.num_flows,
               cc_name.c_str(), static_cast<unsigned long long>(cfg.seed));
   const auto r = core::run_incast_experiment(cfg);
   print_burst_table(r);
+  if (ft.enabled) {
+    print_fct_attribution(r.fct_rows, r.flow_breakdowns.size(), r.flow_trace_incomplete);
+    std::string csv = obs::fct_breakdown_csv_header();
+    obs::append_fct_breakdown_csv(csv, "burst", cfg.num_flows, r.fct_rows);
+    if (const int rc = ft.write_csv(csv); rc != 0) return rc;
+  }
   return obs_cli.write_outputs();
 }
 
@@ -633,12 +741,16 @@ int run_fabric(core::CliArgs& args) {
   const std::string telemetry_prefix = args.get_or("export-telemetry", "");
   HardeningCli hard;
   if (!hard.parse(args, /*sweep_flags=*/false)) return 2;
+  FlowTraceCli ft;
+  ft.parse(args);
   ObsCli obs_cli;
   if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
   cfg.hub = obs_cli.hub.get();
   cfg.audit_mode = hard.audit_mode;
   cfg.audit = hard.audit;
+  cfg.flow_trace = ft.enabled;
+  cfg.flow_trace_sample_every = ft.sample_every;
 
   const int num_leaves = cfg.fabric.num_pods * cfg.fabric.leaves_per_pod;
   const int uplinks = cfg.fabric.aggs_per_pod > 0 ? cfg.fabric.aggs_per_pod
@@ -717,6 +829,12 @@ int run_fabric(core::CliArgs& args) {
     }
     std::printf("\nexported %d vantage trace(s) to %s*.csv\n", written,
                 telemetry_prefix.c_str());
+  }
+  if (ft.enabled) {
+    print_fct_attribution(r.fct_rows, r.flow_breakdowns.size(), r.flow_trace_incomplete);
+    std::string csv = obs::fct_breakdown_csv_header();
+    obs::append_fct_breakdown_csv(csv, "fabric", cfg.num_flows, r.fct_rows);
+    if (const int rc = ft.write_csv(csv); rc != 0) return rc;
   }
   return obs_cli.write_outputs();
 }
@@ -927,6 +1045,8 @@ int run_collateral(core::CliArgs& args) {
   const std::string csv_path = args.get_or("export-csv", "");
   HardeningCli hard;
   if (!hard.parse(args, /*sweep_flags=*/true)) return 2;
+  FlowTraceCli ft;
+  ft.parse(args);
   ObsCli obs_cli;
   if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
@@ -937,6 +1057,8 @@ int run_collateral(core::CliArgs& args) {
   cfg.audit_mode = hard.audit_mode;
   cfg.audit = hard.audit;
   cfg.sweep = hard.policy();
+  cfg.flow_trace = ft.enabled;
+  cfg.flow_trace_sample_every = ft.sample_every;
 
   std::printf("collateral: victim flow vs %d x %s incast bursts, %zu mode(s) x %zu "
               "degree(s) (seed %llu)\n",
@@ -960,8 +1082,26 @@ int run_collateral(core::CliArgs& args) {
                std::to_string(static_cast<long long>(p.audit_violations))});
   }
   t.print();
+
+  if (ft.enabled) {
+    std::printf("\ntail autopsy: p99 cause shares per point "
+                "(what fraction of the p99 flow's FCT each cause explains):\n");
+    core::Table ft_t{{"mode", "degree", "p99 FCT", "wire", "queue", "pfc", "cwnd", "rto",
+                      "fast-rec", "nack-rec", "other"}};
+    for (std::size_t i = 0; i < report.points.size(); ++i) {
+      if (report.sweep.failed(i) || report.sweep.tasks[i].attempts == 0) continue;
+      const auto& p = report.points[i];
+      add_p99_row(ft_t, core::to_string(p.mode), p.degree, p.fct_rows);
+    }
+    ft_t.print();
+  }
+
   std::printf("\n");
   core::print_sweep_stats(report.sweep);
+
+  if (ft.enabled) {
+    if (const int rc = ft.write_csv(core::collateral_fct_csv(report)); rc != 0) return rc;
+  }
 
   if (!csv_path.empty()) {
     std::ofstream out{csv_path};
@@ -1016,6 +1156,8 @@ int run_scaling(core::CliArgs& args) {
   const std::string csv_path = args.get_or("export-csv", "");
   HardeningCli hard;
   if (!hard.parse(args, /*sweep_flags=*/true)) return 2;
+  FlowTraceCli ft;
+  ft.parse(args);
   ObsCli obs_cli;
   if (!obs_cli.parse(args)) return 2;
   if (const int rc = finish(args); rc != 0) return rc;
@@ -1026,6 +1168,8 @@ int run_scaling(core::CliArgs& args) {
   cfg.audit_mode = hard.audit_mode;
   cfg.audit = hard.audit;
   cfg.sweep = hard.policy();
+  cfg.flow_trace = ft.enabled;
+  cfg.flow_trace_sample_every = ft.sample_every;
 
   const int hosts =
       cfg.fabric.num_pods * cfg.fabric.leaves_per_pod * cfg.fabric.hosts_per_leaf;
@@ -1049,8 +1193,26 @@ int run_scaling(core::CliArgs& args) {
                std::to_string(static_cast<long long>(p.audit_violations))});
   }
   t.print();
+
+  if (ft.enabled) {
+    std::printf("\ntail autopsy: p99 cause shares per degree "
+                "(what fraction of the p99 flow's FCT each cause explains):\n");
+    core::Table ft_t{{"mode", "degree", "p99 FCT", "wire", "queue", "pfc", "cwnd", "rto",
+                      "fast-rec", "nack-rec", "other"}};
+    for (std::size_t i = 0; i < report.points.size(); ++i) {
+      if (report.sweep.failed(i) || report.sweep.tasks[i].attempts == 0) continue;
+      const auto& p = report.points[i];
+      add_p99_row(ft_t, "scaling", p.degree, p.fct_rows);
+    }
+    ft_t.print();
+  }
+
   std::printf("\n");
   core::print_sweep_stats(report.sweep);
+
+  if (ft.enabled) {
+    if (const int rc = ft.write_csv(core::scaling_fct_csv(report)); rc != 0) return rc;
+  }
 
   if (!csv_path.empty()) {
     std::ofstream out{csv_path};
