@@ -350,13 +350,23 @@ CollateralReport run_collateral_experiment(const CollateralConfig& config) {
                                                                stats) {
     const QueueMode mode = config.modes[index / config.degrees.size()];
     const int degree = config.degrees[index % config.degrees.size()];
+    const std::uint64_t seed = sim::derive_task_seed(config.seed, index);
+    // Journal resume: a point completed by a prior interrupted run is
+    // replayed from its payload instead of re-simulated.
+    if (config.resume) {
+      CollateralPoint cached;
+      if (config.resume(index, cached)) {
+        stats.events = cached.events_processed;
+        return cached;
+      }
+    }
     // Only point 0 is observed: worker threads must not share the hub, and
     // pinning it to a fixed point keeps trace/metrics output byte-identical
     // at any --jobs value.
     obs::Hub* hub = index == 0 ? config.hub : nullptr;
-    CollateralPoint point = run_collateral_point(
-        config, mode, degree, sim::derive_task_seed(config.seed, index), hub);
+    CollateralPoint point = run_collateral_point(config, mode, degree, seed, hub);
     stats.events = point.events_processed;
+    if (config.on_result) config.on_result(index, seed, point);
     return point;
   });
   report.sweep = runner.last_run();

@@ -134,6 +134,15 @@ struct CollateralConfig {
   bool flow_trace{false};
   std::uint64_t flow_trace_sample_every{1};
 
+  // Checkpoint/resume hooks (core::TaskJournal wires these from the CLI).
+  // `resume` is consulted before a point runs: return true and fill the
+  // point to skip its simulation. `on_result` fires after every freshly-run
+  // point.
+  std::function<bool(std::size_t index, struct CollateralPoint& out)> resume{};
+  std::function<void(std::size_t index, std::uint64_t seed,
+                     const struct CollateralPoint& point)>
+      on_result{};
+
   std::uint64_t seed{1};
 };
 

@@ -81,6 +81,32 @@ void put_tcp(std::string& out, const tcp::TcpConfig& tcp) {
   put(out, "int_telemetry", static_cast<std::int64_t>(tcp.int_telemetry ? 1 : 0));
 }
 
+void put_queue(std::string& out, const char* prefix, const net::DropTailQueue::Config& q) {
+  std::string key{prefix};
+  const auto add = [&](const char* name, std::int64_t v) {
+    put(out, (key + name).c_str(), v);
+  };
+  add("capacity_packets", q.capacity_packets);
+  add("capacity_bytes", q.capacity_bytes);
+  add("ecn_threshold_packets", q.ecn_threshold_packets);
+  add("ecn_kmin_packets", q.ecn_kmin_packets);
+  add("ecn_kmax_packets", q.ecn_kmax_packets);
+  add("discipline", static_cast<std::int64_t>(q.discipline));
+  add("trim_header_bytes", q.trim_header_bytes);
+  add("header_capacity_packets", q.header_capacity_packets);
+}
+
+void put_pfc(std::string& out, const char* prefix, const net::LosslessInputQueue::Config& p) {
+  std::string key{prefix};
+  const auto add = [&](const char* name, std::int64_t v) {
+    put(out, (key + name).c_str(), v);
+  };
+  add("xoff_bytes", p.xoff_bytes);
+  add("xon_bytes", p.xon_bytes);
+  add("headroom_bytes", p.headroom_bytes);
+  add("pause_ns", p.pause_ns);
+}
+
 void put_fault(std::string& out, const char* prefix, const fault::LinkFaultConfig& f) {
   std::string key{prefix};
   const auto add_d = [&](const char* name, double v) {
@@ -151,6 +177,93 @@ std::string canonical_config(const ResilienceConfig& config) {
   }
   out += '|';
   put_time(out, "flap_at", config.flap_at);
+  return out;
+}
+
+std::string canonical_config(const ScalingConfig& config) {
+  std::string out{"scaling|"};
+  out += "degrees=";
+  for (const int d : config.degrees) {
+    out += std::to_string(d);
+    out += ',';
+  }
+  out += '|';
+  const fabric::FatTreeConfig& f = config.fabric;
+  put(out, "num_pods", static_cast<std::int64_t>(f.num_pods));
+  put(out, "leaves_per_pod", static_cast<std::int64_t>(f.leaves_per_pod));
+  put(out, "hosts_per_leaf", static_cast<std::int64_t>(f.hosts_per_leaf));
+  put(out, "aggs_per_pod", static_cast<std::int64_t>(f.aggs_per_pod));
+  put(out, "num_spines", static_cast<std::int64_t>(f.num_spines));
+  put(out, "host_link_bps", f.host_link.bps());
+  put(out, "leaf_uplink_bps", f.leaf_uplink.bps());
+  put(out, "spine_link_bps", f.spine_link.bps());
+  put_time(out, "link_delay", f.link_delay);
+  put_queue(out, "switch_queue_", f.switch_queue);
+  put_queue(out, "host_queue_", f.host_queue);
+  put(out, "shared_buffer", static_cast<std::int64_t>(f.shared_buffer ? 1 : 0));
+  if (f.shared_buffer) {
+    put(out, "shared_buffer_bytes", f.shared_buffer->total_bytes);
+    put(out, "shared_buffer_alpha", f.shared_buffer->alpha);
+  }
+  put(out, "fabric_pfc", static_cast<std::int64_t>(f.pfc ? 1 : 0));
+  if (f.pfc) put_pfc(out, "fabric_pfc_", *f.pfc);
+  // f.ecmp_seed is excluded: each point overwrites it with its derived seed.
+  put(out, "bytes_per_flow", config.bytes_per_flow);
+  put_tcp(out, config.tcp);
+  put_time(out, "max_sim_time", config.max_sim_time);
+  // Engine identity, not domain count: the parallel engine is byte-identical
+  // at any N, so resuming under a different --domains is safe, while legacy
+  // vs parallel are distinct deterministic sequences (see the header).
+  put(out, "engine", static_cast<std::int64_t>(config.domains > 0 ? 1 : 0));
+  put_time(out, "lookahead_override", config.lookahead_override);
+  put(out, "flow_trace", static_cast<std::int64_t>(config.flow_trace ? 1 : 0));
+  put_u64(out, "flow_trace_sample_every", config.flow_trace_sample_every);
+  put_u64(out, "seed", config.seed);
+  return out;
+}
+
+std::string canonical_config(const CollateralConfig& config) {
+  std::string out{"collateral|"};
+  out += "modes=";
+  for (const QueueMode mode : config.modes) {
+    out += to_string(mode);
+    out += ',';
+  }
+  out += "|degrees=";
+  for (const int d : config.degrees) {
+    out += std::to_string(d);
+    out += ',';
+  }
+  out += '|';
+  put(out, "num_bursts", static_cast<std::int64_t>(config.num_bursts));
+  put_time(out, "burst_duration", config.burst_duration);
+  put_time(out, "inter_burst_gap", config.inter_burst_gap);
+  // Topology template. num_senders/num_receivers are overridden per point
+  // (degree + 1 senders, 2 receivers) and switch_queue is reshaped per mode
+  // from the knobs below, so none of those three enter the fingerprint.
+  const net::DumbbellConfig& t = config.topology;
+  put(out, "host_link_bps", t.host_link.bps());
+  put(out, "core_link_bps", t.core_link.bps());
+  put(out, "receiver_link_bps",
+      t.receiver_link ? t.receiver_link->bps() : static_cast<std::int64_t>(-1));
+  put_time(out, "link_delay", t.link_delay);
+  put_queue(out, "host_queue_", t.host_queue);
+  put(out, "queue_capacity_packets", static_cast<std::int64_t>(config.queue_capacity_packets));
+  put(out, "ecn_threshold_packets", static_cast<std::int64_t>(config.ecn_threshold_packets));
+  put(out, "shared_buffer_bytes", config.shared_buffer_bytes);
+  put(out, "shared_buffer_alpha", config.shared_buffer_alpha);
+  put_pfc(out, "pfc_", config.pfc);
+  put(out, "pfc_queue_capacity_packets",
+      static_cast<std::int64_t>(config.pfc_queue_capacity_packets));
+  put(out, "trim_queue_capacity_packets",
+      static_cast<std::int64_t>(config.trim_queue_capacity_packets));
+  put(out, "victim_cwnd_cap_bytes", config.victim_cwnd_cap_bytes);
+  put_tcp(out, config.tcp);
+  put(out, "pfc_cc", static_cast<std::int64_t>(config.pfc_cc));
+  put_time(out, "max_sim_time", config.max_sim_time);
+  put(out, "flow_trace", static_cast<std::int64_t>(config.flow_trace ? 1 : 0));
+  put_u64(out, "flow_trace_sample_every", config.flow_trace_sample_every);
+  put_u64(out, "seed", config.seed);
   return out;
 }
 
@@ -342,6 +455,62 @@ sim::EventCategoryCounts categories_from_json(const Json& v) {
   return counts;
 }
 
+Json fct_rows_to_json(const std::vector<obs::TailAttributionRow>& rows) {
+  Json::Array arr;
+  arr.reserve(rows.size());
+  for (const obs::TailAttributionRow& row : rows) {
+    Json::Object o;
+    o["pctl"] = Json{std::string{row.pctl}};
+    o["flows"] = Json{static_cast<std::int64_t>(row.flows)};
+    const obs::FlowBreakdown& b = row.flow;
+    o["flow"] = Json{static_cast<std::int64_t>(b.flow)};
+    o["fct_ns"] = Json{b.fct_ns};
+    o["serialization_ns"] = Json{b.serialization_ns};
+    o["propagation_ns"] = Json{b.propagation_ns};
+    o["q_host_ns"] = Json{b.q_host_ns};
+    o["q_tor_ns"] = Json{b.q_tor_ns};
+    o["q_agg_ns"] = Json{b.q_agg_ns};
+    o["q_spine_ns"] = Json{b.q_spine_ns};
+    o["pfc_pause_ns"] = Json{b.pfc_pause_ns};
+    o["cwnd_limited_ns"] = Json{b.cwnd_limited_ns};
+    o["rto_wait_ns"] = Json{b.rto_wait_ns};
+    o["fast_recovery_ns"] = Json{b.fast_recovery_ns};
+    o["nack_recovery_ns"] = Json{b.nack_recovery_ns};
+    o["other_ns"] = Json{b.other_ns};
+    arr.emplace_back(std::move(o));
+  }
+  return Json{std::move(arr)};
+}
+
+std::vector<obs::TailAttributionRow> fct_rows_from_json(const Json& v) {
+  std::vector<obs::TailAttributionRow> rows;
+  for (const Json& rj : v.as_array()) {
+    obs::TailAttributionRow row;
+    // pctl is a static-string field; map the stored text back onto the same
+    // literals tail_attribution() emits.
+    const std::string pctl = rj.at("pctl").as_string();
+    row.pctl = pctl == "p50" ? "p50" : pctl == "p99" ? "p99" : pctl == "p999" ? "p999" : "";
+    row.flows = static_cast<int>(rj.at("flows").as_int());
+    obs::FlowBreakdown& b = row.flow;
+    b.flow = static_cast<std::uint64_t>(rj.at("flow").as_int());
+    b.fct_ns = rj.at("fct_ns").as_int();
+    b.serialization_ns = rj.at("serialization_ns").as_int();
+    b.propagation_ns = rj.at("propagation_ns").as_int();
+    b.q_host_ns = rj.at("q_host_ns").as_int();
+    b.q_tor_ns = rj.at("q_tor_ns").as_int();
+    b.q_agg_ns = rj.at("q_agg_ns").as_int();
+    b.q_spine_ns = rj.at("q_spine_ns").as_int();
+    b.pfc_pause_ns = rj.at("pfc_pause_ns").as_int();
+    b.cwnd_limited_ns = rj.at("cwnd_limited_ns").as_int();
+    b.rto_wait_ns = rj.at("rto_wait_ns").as_int();
+    b.fast_recovery_ns = rj.at("fast_recovery_ns").as_int();
+    b.nack_recovery_ns = rj.at("nack_recovery_ns").as_int();
+    b.other_ns = rj.at("other_ns").as_int();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 }  // namespace
 
 Json to_journal_payload(const HostTraceResult& result) {
@@ -453,6 +622,119 @@ ResiliencePoint resilience_point_from_payload(const Json& payload) {
       static_cast<std::uint64_t>(payload.at("peak_events_pending").as_int());
   r.slab_high_water = static_cast<std::uint64_t>(payload.at("slab_high_water").as_int());
   r.audit_violations = static_cast<std::uint64_t>(payload.at("audit_violations").as_int());
+  return p;
+}
+
+Json to_journal_payload(const ScalingPoint& point) {
+  Json::Object o;
+  o["degree"] = Json{static_cast<std::int64_t>(point.degree)};
+  o["fct_ms"] = Json{point.fct_ms};
+  o["optimal_ms"] = Json{point.optimal_ms};
+  o["overhead_pct"] = Json{point.overhead_pct};
+  o["completed_flows"] = Json{static_cast<std::int64_t>(point.completed_flows)};
+  o["timeouts"] = Json{point.timeouts};
+  o["retransmits"] = Json{point.retransmits};
+  o["queue_drops"] = Json{point.queue_drops};
+  o["flow_state_bytes"] = Json{static_cast<std::int64_t>(point.flow_state_bytes)};
+  o["packet_pool_bytes"] = Json{static_cast<std::int64_t>(point.packet_pool_bytes)};
+  o["routing_bytes"] = Json{static_cast<std::int64_t>(point.routing_bytes)};
+  o["event_bytes"] = Json{static_cast<std::int64_t>(point.event_bytes)};
+  o["bytes_per_flow"] = Json{static_cast<std::int64_t>(point.bytes_per_flow)};
+  o["events_processed"] = Json{static_cast<std::int64_t>(point.events_processed)};
+  o["audit_violations"] = Json{static_cast<std::int64_t>(point.audit_violations)};
+  o["fct_rows"] = fct_rows_to_json(point.fct_rows);
+  o["traced_flows"] = Json{static_cast<std::int64_t>(point.traced_flows)};
+  o["flow_trace_incomplete"] = Json{static_cast<std::int64_t>(point.flow_trace_incomplete)};
+  o["int_hop_overflows"] = Json{point.int_hop_overflows};
+  // The parallel-engine diagnostics (windows, per-domain splits, stalls) are
+  // intentionally absent — see the header. A replayed point reports zeros.
+  return Json{std::move(o)};
+}
+
+ScalingPoint scaling_point_from_payload(const Json& payload) {
+  ScalingPoint p;
+  p.degree = static_cast<int>(payload.at("degree").as_int());
+  p.fct_ms = payload.at("fct_ms").as_double();
+  p.optimal_ms = payload.at("optimal_ms").as_double();
+  p.overhead_pct = payload.at("overhead_pct").as_double();
+  p.completed_flows = static_cast<int>(payload.at("completed_flows").as_int());
+  p.timeouts = payload.at("timeouts").as_int();
+  p.retransmits = payload.at("retransmits").as_int();
+  p.queue_drops = payload.at("queue_drops").as_int();
+  p.flow_state_bytes = static_cast<std::uint64_t>(payload.at("flow_state_bytes").as_int());
+  p.packet_pool_bytes = static_cast<std::uint64_t>(payload.at("packet_pool_bytes").as_int());
+  p.routing_bytes = static_cast<std::uint64_t>(payload.at("routing_bytes").as_int());
+  p.event_bytes = static_cast<std::uint64_t>(payload.at("event_bytes").as_int());
+  p.bytes_per_flow = static_cast<std::uint64_t>(payload.at("bytes_per_flow").as_int());
+  p.events_processed = static_cast<std::uint64_t>(payload.at("events_processed").as_int());
+  p.audit_violations = static_cast<std::uint64_t>(payload.at("audit_violations").as_int());
+  p.fct_rows = fct_rows_from_json(payload.at("fct_rows"));
+  p.traced_flows = static_cast<std::uint64_t>(payload.at("traced_flows").as_int());
+  p.flow_trace_incomplete =
+      static_cast<std::uint64_t>(payload.at("flow_trace_incomplete").as_int());
+  p.int_hop_overflows = payload.at("int_hop_overflows").as_int();
+  return p;
+}
+
+Json to_journal_payload(const CollateralPoint& point) {
+  Json::Object o;
+  o["mode"] = Json{to_string(point.mode)};
+  o["degree"] = Json{static_cast<std::int64_t>(point.degree)};
+  o["victim_goodput_gbps"] = Json{point.victim_goodput_gbps};
+  o["victim_delivered_bytes"] = Json{point.victim_delivered_bytes};
+  o["victim_paused_ms"] = Json{point.victim_paused_ms};
+  o["victim_retransmits"] = Json{point.victim_retransmits};
+  o["victim_timeouts"] = Json{point.victim_timeouts};
+  o["victim_nacks"] = Json{point.victim_nacks};
+  o["incast_avg_bct_ms"] = Json{point.incast_avg_bct_ms};
+  o["incast_max_bct_ms"] = Json{point.incast_max_bct_ms};
+  o["incast_timeouts"] = Json{point.incast_timeouts};
+  o["queue_drops"] = Json{point.queue_drops};
+  o["trimmed_packets"] = Json{point.trimmed_packets};
+  o["trimmed_bytes"] = Json{point.trimmed_bytes};
+  o["pfc_pause_frames"] = Json{point.pfc_pause_frames};
+  o["pfc_resume_frames"] = Json{point.pfc_resume_frames};
+  o["pfc_overflow_drops"] = Json{point.pfc_overflow_drops};
+  o["incast_nacks"] = Json{point.incast_nacks};
+  o["events_processed"] = Json{static_cast<std::int64_t>(point.events_processed)};
+  o["audit_violations"] = Json{static_cast<std::int64_t>(point.audit_violations)};
+  o["fct_rows"] = fct_rows_to_json(point.fct_rows);
+  o["traced_flows"] = Json{static_cast<std::int64_t>(point.traced_flows)};
+  o["flow_trace_incomplete"] = Json{static_cast<std::int64_t>(point.flow_trace_incomplete)};
+  o["int_hop_overflows"] = Json{point.int_hop_overflows};
+  return Json{std::move(o)};
+}
+
+CollateralPoint collateral_point_from_payload(const Json& payload) {
+  CollateralPoint p;
+  const std::string mode = payload.at("mode").as_string();
+  if (!parse_queue_mode(mode, p.mode)) {
+    throw Error{ErrorCategory::kIo, "journal payload: unknown queue mode " + mode};
+  }
+  p.degree = static_cast<int>(payload.at("degree").as_int());
+  p.victim_goodput_gbps = payload.at("victim_goodput_gbps").as_double();
+  p.victim_delivered_bytes = payload.at("victim_delivered_bytes").as_int();
+  p.victim_paused_ms = payload.at("victim_paused_ms").as_double();
+  p.victim_retransmits = payload.at("victim_retransmits").as_int();
+  p.victim_timeouts = payload.at("victim_timeouts").as_int();
+  p.victim_nacks = payload.at("victim_nacks").as_int();
+  p.incast_avg_bct_ms = payload.at("incast_avg_bct_ms").as_double();
+  p.incast_max_bct_ms = payload.at("incast_max_bct_ms").as_double();
+  p.incast_timeouts = payload.at("incast_timeouts").as_int();
+  p.queue_drops = payload.at("queue_drops").as_int();
+  p.trimmed_packets = payload.at("trimmed_packets").as_int();
+  p.trimmed_bytes = payload.at("trimmed_bytes").as_int();
+  p.pfc_pause_frames = payload.at("pfc_pause_frames").as_int();
+  p.pfc_resume_frames = payload.at("pfc_resume_frames").as_int();
+  p.pfc_overflow_drops = payload.at("pfc_overflow_drops").as_int();
+  p.incast_nacks = payload.at("incast_nacks").as_int();
+  p.events_processed = static_cast<std::uint64_t>(payload.at("events_processed").as_int());
+  p.audit_violations = static_cast<std::uint64_t>(payload.at("audit_violations").as_int());
+  p.fct_rows = fct_rows_from_json(payload.at("fct_rows"));
+  p.traced_flows = static_cast<std::uint64_t>(payload.at("traced_flows").as_int());
+  p.flow_trace_incomplete =
+      static_cast<std::uint64_t>(payload.at("flow_trace_incomplete").as_int());
+  p.int_hop_overflows = payload.at("int_hop_overflows").as_int();
   return p;
 }
 

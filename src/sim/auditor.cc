@@ -14,6 +14,7 @@ const char* to_string(AuditInvariant inv) noexcept {
     case AuditInvariant::kRtoBounds: return "rto_bounds";
     case AuditInvariant::kLivelock: return "livelock";
     case AuditInvariant::kFlowBreakdown: return "flow_breakdown";
+    case AuditInvariant::kLookahead: return "lookahead";
   }
   return "unknown";
 }

@@ -1,0 +1,15 @@
+#include "sim/domain.h"
+
+namespace incast::sim {
+
+std::size_t window_hist_bucket(std::uint64_t events_in_window) noexcept {
+  if (events_in_window == 0) return 0;
+  std::size_t bucket = 1;
+  while (events_in_window > 1 && bucket + 1 < kWindowHistBuckets) {
+    events_in_window >>= 1U;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace incast::sim

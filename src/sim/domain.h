@@ -1,0 +1,121 @@
+// Domain decomposition primitives for the conservative parallel engine.
+//
+// A *domain* is one shard of a single simulation run: it owns a Simulator
+// (its own EventQueue and clock) and executes on its own worker thread under
+// the windowed conservative barrier in sim/parallel_simulator.h. This header
+// holds the two pieces every layer above agrees on:
+//
+//  * Event-ordering lanes. Decomposition-invariant determinism needs a
+//    tie-break at equal timestamps that does not depend on how entities are
+//    assigned to domains. A global insertion counter (the sequential
+//    engine's tie-break) is exactly such a dependence, so the parallel
+//    engine orders equal-time events by a 64-bit *key* instead:
+//
+//        key = (lane << kLaneSeqBits) | lane_seq
+//
+//    where `lane` identifies the scheduling entity (net::Node id + 1; lane
+//    0 is the ambient lane for non-entity schedules) and `lane_seq` is that
+//    lane's private monotone counter. A lane's events are only ever
+//    scheduled by code executing in the lane owner's domain, so lane
+//    counters need no synchronization, and the (time, key) order every
+//    domain executes is the projection of one global total order — the same
+//    total order at any domain count, which is the whole determinism
+//    argument.
+//
+//  * Cross-domain mailboxes. During a window, a producer domain appends
+//    entries to its private (src, dst) mailbox — single producer, no
+//    consumer until the barrier, so the window-time fast path is a plain
+//    vector append with no locks and no atomics. The barrier itself is the
+//    synchronization edge: all workers rendezvous on one mutex/condvar
+//    generation, after which the coordinator drains every mailbox serially
+//    before opening the next window. Entries carry the (time, key) stamp
+//    assigned at transmit, so a packet merges into the destination queue at
+//    exactly the global position it would have held intra-domain.
+#ifndef INCAST_SIM_DOMAIN_H_
+#define INCAST_SIM_DOMAIN_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace incast::sim {
+
+// Low bits of an event key hold the lane-local sequence number; high bits
+// the lane. 40 bits of sequence is ~10^12 events per lane (a degree-100k
+// run schedules orders of magnitude fewer per node), and 24 bits of lane is
+// ~16M nodes.
+inline constexpr std::uint32_t kLaneSeqBits = 40;
+
+// Lane 0 is the ambient lane: schedules made outside any entity (setup
+// code, experiment harnesses). Ambient events are domain-local — they must
+// only be scheduled before the parallel run starts or by single-domain
+// runs, never from mid-run cross-domain code paths.
+inline constexpr std::uint64_t kAmbientLane = 0;
+
+[[nodiscard]] constexpr std::uint64_t make_event_key(std::uint64_t lane,
+                                                     std::uint64_t lane_seq) noexcept {
+  return (lane << kLaneSeqBits) | lane_seq;
+}
+
+// One directed (src domain -> dst domain) mailbox. post() is called only by
+// the src domain's worker thread during a window; entries()/clear() only at
+// a barrier (all threads quiescent), so no internal synchronization is
+// needed — see the header comment for the happens-before argument.
+template <typename Entry>
+class DomainMailbox {
+ public:
+  void post(Entry entry) {
+    entries_.push_back(std::move(entry));
+    ++posted_;
+  }
+
+  [[nodiscard]] std::vector<Entry>& entries() noexcept { return entries_; }
+  void clear() noexcept { entries_.clear(); }
+
+  // Lifetime count of entries ever posted (not cleared by clear()).
+  [[nodiscard]] std::uint64_t posted() const noexcept { return posted_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t posted_{0};
+};
+
+// The n x n grid of directed mailboxes between domains. The (d, d)
+// diagonal exists but is never used — intra-domain delivery stays on the
+// direct scheduling path.
+template <typename Entry>
+class MailboxGrid {
+ public:
+  explicit MailboxGrid(int domains)
+      : domains_{domains},
+        boxes_{static_cast<std::size_t>(domains) * static_cast<std::size_t>(domains)} {}
+
+  [[nodiscard]] DomainMailbox<Entry>& box(int src, int dst) {
+    assert(src >= 0 && src < domains_ && dst >= 0 && dst < domains_);
+    return boxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(domains_) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  [[nodiscard]] int domains() const noexcept { return domains_; }
+
+  [[nodiscard]] std::uint64_t total_posted() const noexcept {
+    std::uint64_t total = 0;
+    for (const DomainMailbox<Entry>& b : boxes_) total += b.posted();
+    return total;
+  }
+
+ private:
+  int domains_;
+  std::vector<DomainMailbox<Entry>> boxes_;
+};
+
+// Bucket index for the per-window event-count histogram (floor(log2(n))+1,
+// clamped; bucket 0 = empty windows). Defined in domain.cc.
+inline constexpr std::size_t kWindowHistBuckets = 24;
+[[nodiscard]] std::size_t window_hist_bucket(std::uint64_t events_in_window) noexcept;
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_DOMAIN_H_

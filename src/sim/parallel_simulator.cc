@@ -1,0 +1,139 @@
+#include "sim/parallel_simulator.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace incast::sim {
+
+ParallelSimulator::ParallelSimulator(std::vector<Simulator*> domains,
+                                     Config config, Hooks hooks)
+    : domains_{std::move(domains)}, config_{config}, hooks_{std::move(hooks)} {
+  assert(!domains_.empty());
+  assert(config_.lookahead > Time::zero() &&
+         "conservative decomposition needs positive lookahead");
+  stats_.events_per_domain.assign(domains_.size(), 0);
+}
+
+Time ParallelSimulator::global_next_event_time() const {
+  Time t = Time::infinity();
+  for (const Simulator* d : domains_) {
+    const Time next = d->next_event_time();
+    if (next < t) t = next;
+  }
+  return t;
+}
+
+std::uint64_t ParallelSimulator::total_events() const {
+  std::uint64_t total = 0;
+  for (const Simulator* d : domains_) total += d->events_processed();
+  return total;
+}
+
+ParallelSimulator::Stats ParallelSimulator::run() {
+  // First window. If nothing is scheduled within the deadline the run is
+  // trivially over; otherwise open [T, min(T+L, deadline+1ns)). The +1 ns
+  // keeps run_until() semantics: events at exactly the deadline still run
+  // (window bounds are exclusive).
+  const Time first = global_next_event_time();
+  if (first > config_.deadline) {
+    for (Simulator* d : domains_) d->advance_to(config_.deadline);
+    return std::move(stats_);
+  }
+  window_end_ = std::min(first + config_.lookahead,
+                         config_.deadline + Time::nanoseconds(1));
+  events_at_window_start_ = total_events();
+
+  const int n = static_cast<int>(domains_.size());
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n) - 1);
+  for (int d = 1; d < n; ++d) {
+    workers.emplace_back([this, d] { worker_loop(d); });
+  }
+  worker_loop(0);
+  for (std::thread& t : workers) t.join();
+
+  for (int d = 0; d < n; ++d) {
+    stats_.events_per_domain[static_cast<std::size_t>(d)] =
+        domains_[static_cast<std::size_t>(d)]->events_processed();
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+  return std::move(stats_);
+}
+
+void ParallelSimulator::worker_loop(int domain) {
+  Simulator& sim = *domains_[static_cast<std::size_t>(domain)];
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (done_) return;
+    }
+    const Time end = window_end_;  // stable between barriers
+    try {
+      sim.run_window(end);
+    } catch (...) {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Fall through to the barrier so peers are not left waiting; the
+      // coordinator sees the error and winds the run down.
+    }
+
+    // Generation barrier: last arriver coordinates, everyone else waits
+    // for the generation to tick.
+    std::unique_lock<std::mutex> lk(mu_);
+    if (++arrived_ == static_cast<int>(domains_.size())) {
+      arrived_ = 0;
+      coordinate();
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      const std::uint64_t gen = generation_;
+      const auto t0 = std::chrono::steady_clock::now();
+      cv_.wait(lk, [this, gen] { return generation_ != gen; });
+      const auto t1 = std::chrono::steady_clock::now();
+      stats_.barrier_stall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    }
+  }
+}
+
+void ParallelSimulator::coordinate() {
+  // Runs under mu_ with every other thread blocked on the condition
+  // variable: all domain queues, mailboxes, and counters are quiescent and
+  // may be touched freely.
+  if (first_error_) {
+    done_ = true;
+    return;
+  }
+  const Time completed_end = window_end_;
+  ++stats_.windows;
+  const std::uint64_t events_now = total_events();
+  ++stats_.window_hist[window_hist_bucket(events_now - events_at_window_start_)];
+  events_at_window_start_ = events_now;
+
+  try {
+    if (hooks_.drain) hooks_.drain(completed_end);
+    if (hooks_.sample) hooks_.sample();
+    if (hooks_.should_stop && hooks_.should_stop()) {
+      stats_.stopped = true;
+      done_ = true;
+      return;
+    }
+  } catch (...) {
+    first_error_ = std::current_exception();
+    done_ = true;
+    return;
+  }
+
+  const Time next = global_next_event_time();
+  if (next > config_.deadline) {
+    for (Simulator* d : domains_) d->advance_to(config_.deadline);
+    done_ = true;
+    return;
+  }
+  window_end_ = std::min(next + config_.lookahead,
+                         config_.deadline + Time::nanoseconds(1));
+}
+
+}  // namespace incast::sim

@@ -1,0 +1,142 @@
+// ParallelSimulator: conservative (lookahead-based) windowed execution of
+// one simulation run sharded across several sim::Simulator domains.
+//
+// Algorithm. Let T be the minimum next-event time across all domains and L
+// the lookahead (the minimum propagation delay of any inter-domain link).
+// Every event in [T, T+L) can be executed without inter-domain coordination:
+// a packet transmitted at time t in that window arrives at its cross-domain
+// peer no earlier than t + L >= T + L, i.e. strictly after the window. So
+// the engine repeats:
+//
+//   1. every domain runs its events with timestamp < window_end in
+//      parallel, posting cross-domain traffic to mailboxes (sim/domain.h);
+//   2. all workers rendezvous at a generation barrier; the last arriver
+//      becomes the coordinator and — with every other thread quiescent —
+//      drains mailboxes into destination queues, samples memory, checks the
+//      stop predicate, and computes the next window from the new global
+//      minimum next-event time.
+//
+// There are no null messages and no per-link channel clocks: the barrier is
+// global, which is the right trade for this workload (every domain is busy
+// every window during an incast, and the fan-in rack would be the clock
+// bottleneck of any channel-clocked scheme anyway).
+//
+// Determinism. Window boundaries depend only on the global event set —
+// min-next-time and the stop predicate are computed from all domains at a
+// barrier — so the window sequence is identical at any domain count,
+// including 1. Within a window each domain executes in (time, key) order
+// with decomposition-invariant keys (Simulator keyed ordering), which makes
+// the whole run the projection of one global total order. The engine
+// therefore produces byte-identical results at any `--domains N`.
+//
+// Threads. Domain 0 runs on the calling thread; domains 1..N-1 each get a
+// worker thread for the duration of run(). Mailbox posts during a window
+// are single-producer per (src, dst) pair and are read only inside the
+// barrier's critical section, so the barrier mutex is the synchronization
+// edge for every cross-domain byte — no atomics on the packet path.
+//
+// Exceptions thrown inside a domain (audit failures, budget aborts) are
+// captured, the run winds down at the next barrier, and the first exception
+// is rethrown on the calling thread.
+#ifndef INCAST_SIM_PARALLEL_SIMULATOR_H_
+#define INCAST_SIM_PARALLEL_SIMULATOR_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "sim/domain.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace incast::sim {
+
+class ParallelSimulator {
+ public:
+  struct Config {
+    // Window length L: the minimum inter-domain propagation delay. Must be
+    // positive — a zero-lookahead topology cannot be decomposed
+    // conservatively.
+    Time lookahead{Time::zero()};
+    // Simulated-time horizon: the run finishes once every pending event
+    // lies beyond `deadline` (all domain clocks then advance to it), or
+    // earlier when the stop predicate fires.
+    Time deadline{Time::infinity()};
+  };
+
+  // Barrier-time callbacks, all invoked serially by the coordinator while
+  // every worker is quiescent — they may touch any domain's state freely.
+  struct Hooks {
+    // Drain cross-domain mailboxes into destination event queues.
+    // `completed_end` is the exclusive upper bound of the window that just
+    // ran; every drained entry must have timestamp >= completed_end, and
+    // the drain hook is where lookahead violations are detected.
+    std::function<void(Time completed_end)> drain;
+    // Optional: sample global state (e.g. live-packet high-water marks)
+    // after the drain, while counts are consistent.
+    std::function<void()> sample;
+    // Optional: return true to finish the run at this barrier (e.g. all
+    // flows completed). Checked after drain + sample. May throw to abort
+    // (e.g. a global event budget) — the exception surfaces from run().
+    std::function<bool()> should_stop;
+  };
+
+  // Execution diagnostics. These describe *how* the run was executed, not
+  // what it simulated: everything here except `end_time`, `windows`, and
+  // `window_hist` depends on thread scheduling or domain count and is
+  // excluded from the determinism contract (see docs/PARALLELISM.md).
+  struct Stats {
+    std::uint64_t windows{0};
+    // Events dispatched per domain over the whole run (N-invariant in sum,
+    // per-domain split depends on the assignment).
+    std::vector<std::uint64_t> events_per_domain;
+    // Wall nanoseconds threads spent blocked at the barrier, summed over
+    // all non-coordinator waiters (scheduling-dependent).
+    std::uint64_t barrier_stall_ns{0};
+    // Histogram of global events per window, log2 buckets (N-invariant:
+    // windows and the event set are decomposition-independent).
+    std::array<std::uint64_t, kWindowHistBuckets> window_hist{};
+    // True if the run ended via the stop predicate, false if it ran out
+    // the deadline.
+    bool stopped{false};
+  };
+
+  // `domains` are borrowed; every one must already have keyed ordering
+  // enabled and its initial events scheduled.
+  ParallelSimulator(std::vector<Simulator*> domains, Config config, Hooks hooks);
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  // Executes the run to completion and returns the diagnostics. Call once.
+  Stats run();
+
+ private:
+  void worker_loop(int domain);
+  // Runs at the barrier by the last arriver, under lock, all peers waiting.
+  void coordinate();
+  [[nodiscard]] Time global_next_event_time() const;
+  [[nodiscard]] std::uint64_t total_events() const;
+
+  std::vector<Simulator*> domains_;
+  Config config_;
+  Hooks hooks_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_{0};
+  std::uint64_t generation_{0};
+  bool done_{false};
+  Time window_end_{Time::zero()};
+  std::uint64_t events_at_window_start_{0};
+  std::exception_ptr first_error_;
+  Stats stats_;
+};
+
+}  // namespace incast::sim
+
+#endif  // INCAST_SIM_PARALLEL_SIMULATOR_H_

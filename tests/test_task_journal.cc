@@ -353,6 +353,187 @@ TEST(TaskJournal, ResiliencePointPayloadRoundTrips) {
   EXPECT_EQ(back.result.events_processed, p.result.events_processed);
 }
 
+TEST(TaskJournal, ScalingPointPayloadRoundTrips) {
+  ScalingPoint p;
+  p.degree = 512;
+  p.fct_ms = 12.625;
+  p.optimal_ms = 3.5;
+  p.overhead_pct = 260.71;
+  p.completed_flows = 512;
+  p.timeouts = 3;
+  p.retransmits = 91;
+  p.queue_drops = 88;
+  p.flow_state_bytes = 1'000'000;
+  p.packet_pool_bytes = 2'000'000;
+  p.routing_bytes = 300'000;
+  p.event_bytes = 40'000;
+  p.bytes_per_flow = 6523;
+  p.events_processed = 777'777;
+  p.audit_violations = 1;
+  p.traced_flows = 256;
+  p.flow_trace_incomplete = 2;
+  p.int_hop_overflows = 5;
+  obs::TailAttributionRow row;
+  row.pctl = "p99";
+  row.flows = 256;
+  row.flow.flow = 12345;
+  row.flow.fct_ns = 12'625'000;
+  row.flow.serialization_ns = 1'000'000;
+  row.flow.q_tor_ns = 9'000'000;
+  row.flow.rto_wait_ns = 2'000'000;
+  row.flow.other_ns = 625'000;
+  p.fct_rows.push_back(row);
+  // Parallel diagnostics are execution-only and must NOT survive the
+  // journal: a resumed point may run under a different --domains.
+  p.parallel_domains = 8;
+  p.windows = 1000;
+  p.packets_bridged = 5000;
+
+  const ScalingPoint back =
+      scaling_point_from_payload(Json::parse(to_journal_payload(p).dump()));
+  EXPECT_EQ(back.degree, p.degree);
+  EXPECT_DOUBLE_EQ(back.fct_ms, p.fct_ms);
+  EXPECT_DOUBLE_EQ(back.optimal_ms, p.optimal_ms);
+  EXPECT_DOUBLE_EQ(back.overhead_pct, p.overhead_pct);
+  EXPECT_EQ(back.completed_flows, p.completed_flows);
+  EXPECT_EQ(back.timeouts, p.timeouts);
+  EXPECT_EQ(back.retransmits, p.retransmits);
+  EXPECT_EQ(back.queue_drops, p.queue_drops);
+  EXPECT_EQ(back.flow_state_bytes, p.flow_state_bytes);
+  EXPECT_EQ(back.packet_pool_bytes, p.packet_pool_bytes);
+  EXPECT_EQ(back.routing_bytes, p.routing_bytes);
+  EXPECT_EQ(back.event_bytes, p.event_bytes);
+  EXPECT_EQ(back.bytes_per_flow, p.bytes_per_flow);
+  EXPECT_EQ(back.events_processed, p.events_processed);
+  EXPECT_EQ(back.audit_violations, p.audit_violations);
+  EXPECT_EQ(back.traced_flows, p.traced_flows);
+  EXPECT_EQ(back.flow_trace_incomplete, p.flow_trace_incomplete);
+  EXPECT_EQ(back.int_hop_overflows, p.int_hop_overflows);
+  ASSERT_EQ(back.fct_rows.size(), 1u);
+  EXPECT_STREQ(back.fct_rows[0].pctl, "p99");  // static-literal mapping
+  EXPECT_EQ(back.fct_rows[0].flows, row.flows);
+  EXPECT_EQ(back.fct_rows[0].flow.flow, row.flow.flow);
+  EXPECT_EQ(back.fct_rows[0].flow.fct_ns, row.flow.fct_ns);
+  EXPECT_EQ(back.fct_rows[0].flow.q_tor_ns, row.flow.q_tor_ns);
+  EXPECT_EQ(back.fct_rows[0].flow.rto_wait_ns, row.flow.rto_wait_ns);
+  EXPECT_EQ(back.fct_rows[0].flow.other_ns, row.flow.other_ns);
+  EXPECT_EQ(back.parallel_domains, 0u);  // excluded by design
+  EXPECT_EQ(back.windows, 0u);
+  EXPECT_EQ(back.packets_bridged, 0u);
+}
+
+TEST(TaskJournal, CollateralPointPayloadRoundTrips) {
+  CollateralPoint p;
+  p.mode = QueueMode::kTrim;
+  p.degree = 128;
+  p.victim_goodput_gbps = 9.25;
+  p.victim_delivered_bytes = 1'000'000'000;
+  p.victim_paused_ms = 0.75;
+  p.victim_retransmits = 12;
+  p.victim_timeouts = 1;
+  p.victim_nacks = 34;
+  p.incast_avg_bct_ms = 4.5;
+  p.incast_max_bct_ms = 8.125;
+  p.incast_timeouts = 9;
+  p.queue_drops = 100;
+  p.trimmed_packets = 5000;
+  p.trimmed_bytes = 7'000'000;
+  p.pfc_pause_frames = 0;
+  p.pfc_resume_frames = 0;
+  p.pfc_overflow_drops = 0;
+  p.incast_nacks = 4900;
+  p.events_processed = 123'123;
+  p.audit_violations = 0;
+  p.traced_flows = 64;
+  p.flow_trace_incomplete = 0;
+  p.int_hop_overflows = 2;
+  obs::TailAttributionRow row;
+  row.pctl = "p999";
+  row.flows = 64;
+  row.flow.fct_ns = 8'125'000;
+  row.flow.nack_recovery_ns = 4'000'000;
+  p.fct_rows.push_back(row);
+
+  const CollateralPoint back =
+      collateral_point_from_payload(Json::parse(to_journal_payload(p).dump()));
+  EXPECT_EQ(back.mode, QueueMode::kTrim);
+  EXPECT_EQ(back.degree, p.degree);
+  EXPECT_DOUBLE_EQ(back.victim_goodput_gbps, p.victim_goodput_gbps);
+  EXPECT_EQ(back.victim_delivered_bytes, p.victim_delivered_bytes);
+  EXPECT_DOUBLE_EQ(back.victim_paused_ms, p.victim_paused_ms);
+  EXPECT_EQ(back.victim_retransmits, p.victim_retransmits);
+  EXPECT_EQ(back.victim_timeouts, p.victim_timeouts);
+  EXPECT_EQ(back.victim_nacks, p.victim_nacks);
+  EXPECT_DOUBLE_EQ(back.incast_avg_bct_ms, p.incast_avg_bct_ms);
+  EXPECT_DOUBLE_EQ(back.incast_max_bct_ms, p.incast_max_bct_ms);
+  EXPECT_EQ(back.incast_timeouts, p.incast_timeouts);
+  EXPECT_EQ(back.queue_drops, p.queue_drops);
+  EXPECT_EQ(back.trimmed_packets, p.trimmed_packets);
+  EXPECT_EQ(back.trimmed_bytes, p.trimmed_bytes);
+  EXPECT_EQ(back.incast_nacks, p.incast_nacks);
+  EXPECT_EQ(back.events_processed, p.events_processed);
+  EXPECT_EQ(back.int_hop_overflows, p.int_hop_overflows);
+  ASSERT_EQ(back.fct_rows.size(), 1u);
+  EXPECT_STREQ(back.fct_rows[0].pctl, "p999");
+  EXPECT_EQ(back.fct_rows[0].flow.nack_recovery_ns, row.flow.nack_recovery_ns);
+}
+
+TEST(TaskJournalFingerprint, ScalingCoversEngineIdentityNotDomainCount) {
+  ScalingConfig a;
+  a.degrees = {1, 2, 8};
+  a.domains = 2;
+  ScalingConfig b = a;
+  b.domains = 8;
+  // The parallel engine is byte-identical at any N: a journal written at
+  // --domains 2 must resume at --domains 8.
+  EXPECT_EQ(canonical_config(a), canonical_config(b));
+  // ...but the legacy engine is a different deterministic sequence.
+  b.domains = 0;
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  // Result-determining knobs all move the fingerprint.
+  b = a;
+  b.degrees = {1, 2, 4};
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  b = a;
+  b.bytes_per_flow += 1;
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  b = a;
+  b.fabric.hosts_per_leaf += 1;
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  b = a;
+  b.seed += 1;
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  // Execution knobs must NOT move it: resuming with different parallelism
+  // or output paths is the whole point of the journal.
+  b = a;
+  b.jobs = 7;
+  b.sweep.max_attempts = 9;
+  EXPECT_EQ(canonical_config(a), canonical_config(b));
+}
+
+TEST(TaskJournalFingerprint, CollateralCoversGridAndModeKnobs) {
+  CollateralConfig a;
+  a.degrees = {64};
+  CollateralConfig b = a;
+  b.modes = {QueueMode::kPfc};
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  b = a;
+  b.degrees = {64, 128};
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  b = a;
+  b.trim_queue_capacity_packets += 1;
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  b = a;
+  b.pfc.xoff_bytes += 1;
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  b = a;
+  b.victim_cwnd_cap_bytes += 1;
+  EXPECT_NE(canonical_config(a), canonical_config(b));
+  b = a;
+  b.jobs = 13;
+  EXPECT_EQ(canonical_config(a), canonical_config(b));
+}
+
 // --- End-to-end: kill mid-sweep, resume, byte-identical results. Suite is
 // --- named "SweepJournal" so the TSan leg covers concurrent appends.
 
@@ -447,6 +628,69 @@ TEST(SweepJournalResume, KilledSweepResumesByteIdentical) {
     }
     std::remove(path.c_str());
   }
+}
+
+// The PR 2 smoke fabric at a tiny ladder, on the windowed domain engine —
+// the journal must also hold across a --domains change between runs.
+ScalingConfig journal_ladder() {
+  ScalingConfig cfg;
+  cfg.degrees = {1, 2, 8};
+  cfg.fabric.num_pods = 2;
+  cfg.fabric.leaves_per_pod = 2;
+  cfg.fabric.hosts_per_leaf = 8;
+  cfg.fabric.aggs_per_pod = 0;
+  cfg.fabric.num_spines = 2;
+  cfg.bytes_per_flow = 27'000;
+  cfg.seed = 11;
+  cfg.jobs = 1;
+  cfg.domains = 1;
+  return cfg;
+}
+
+TEST(SweepJournalResume, ScalingLadderResumesByteIdenticalAcrossDomainCounts) {
+  const std::string want = scaling_csv(run_scaling_experiment(journal_ladder()));
+
+  const std::string path = temp_path("scaling.journal");
+  auto cfg = journal_ladder();
+  const JournalHeader header{"scaling", fnv1a(canonical_config(cfg)), cfg.degrees.size()};
+
+  // Phase 1: journal only the first two points — a "crash" before the third.
+  {
+    TaskJournal journal;
+    journal.open(path, header);
+    cfg.on_result = [&](std::size_t index, std::uint64_t seed, const ScalingPoint& p) {
+      if (index < 2) journal.record_ok(index, seed, to_journal_payload(p));
+    };
+    (void)run_scaling_experiment(cfg);
+  }
+
+  // Phase 2: resume under a *different* domain count. The fingerprint
+  // encodes engine identity, not N, so the journal is accepted; the two
+  // stored points replay, the third runs fresh, and the merged CSV is
+  // byte-identical to the uninterrupted run.
+  {
+    TaskJournal journal;
+    journal.open(path, header);
+    ASSERT_EQ(journal.completed_count(), 2u);
+    auto resumed_cfg = journal_ladder();
+    resumed_cfg.domains = 2;
+    std::atomic<int> replayed{0};
+    resumed_cfg.resume = [&](std::size_t index, ScalingPoint& out) {
+      const Json* payload = journal.payload(index);
+      if (payload == nullptr) return false;
+      out = scaling_point_from_payload(*payload);
+      ++replayed;
+      return true;
+    };
+    resumed_cfg.on_result = [&](std::size_t index, std::uint64_t seed,
+                                const ScalingPoint& p) {
+      journal.record_ok(index, seed, to_journal_payload(p));
+    };
+    const auto resumed = run_scaling_experiment(resumed_cfg);
+    EXPECT_EQ(replayed.load(), 2);
+    EXPECT_EQ(scaling_csv(resumed), want);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

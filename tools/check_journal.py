@@ -19,6 +19,12 @@ run depends on:
 
 ``--expect-complete`` additionally requires an "ok" record for every task
 index — the post-run check CI uses after an uninterrupted sweep.
+``--expect-command CMD`` requires the header's command to be CMD (CI pins
+the journal it just wrote to the subcommand that wrote it).
+
+For the known commands (fleet, faults, chaos, scaling, collateral) every
+"ok" payload is additionally checked for the keys its deserializer reads —
+a missing key there would crash the resume run, so it fails loudly here.
 
 Flight-recorder dumps are Chrome trace-event JSON and are validated by the
 sibling ``check_trace.py``; run both in CI.
@@ -33,6 +39,21 @@ import sys
 
 CATEGORIES = {"exception", "audit", "budget", "cancelled"}
 U64_MAX = 2**64 - 1
+
+# Keys each command's C++ payload deserializer reads with at() — absence
+# would throw on resume. Kept deliberately to the load-bearing subset so a
+# payload extension does not break older validators.
+TAIL_AUTOPSY_KEYS = ("fct_rows", "traced_flows", "flow_trace_incomplete")
+REQUIRED_PAYLOAD_KEYS = {
+    "fleet": ("host", "snapshot", "avg_utilization", "events_processed", "bursts"),
+    "faults": ("drop_rate", "flap_duration_ns", "goodput_rel", "mode",
+               "events_processed"),
+    "chaos": ("description", "seed", "events_processed"),
+    "scaling": ("degree", "fct_ms", "optimal_ms", "overhead_pct",
+                "completed_flows", "events_processed") + TAIL_AUTOPSY_KEYS,
+    "collateral": ("mode", "degree", "victim_goodput_gbps", "incast_avg_bct_ms",
+                   "events_processed") + TAIL_AUTOPSY_KEYS,
+}
 
 
 def fail(path, line_no, message):
@@ -63,7 +84,17 @@ def check_header(path, header):
     return True, tasks
 
 
-def check_record(path, line_no, record, tasks):
+def check_payload(path, line_no, command, payload):
+    required = REQUIRED_PAYLOAD_KEYS.get(command, ())
+    missing = [key for key in required if key not in payload]
+    if missing:
+        return fail(path, line_no,
+                    f"'{command}' payload missing key(s) the resume "
+                    f"deserializer reads: {', '.join(missing)}")
+    return True
+
+
+def check_record(path, line_no, record, tasks, command):
     if not isinstance(record, dict):
         return fail(path, line_no, "record is not an object"), None
     task = record.get("task")
@@ -78,6 +109,8 @@ def check_record(path, line_no, record, tasks):
     if status == "ok":
         if not isinstance(record.get("payload"), dict):
             return fail(path, line_no, "'ok' record missing object 'payload'"), None
+        if not check_payload(path, line_no, command, record["payload"]):
+            return False, None
     elif status == "fail":
         category = record.get("category")
         if category not in CATEGORIES:
@@ -93,7 +126,7 @@ def check_record(path, line_no, record, tasks):
     return True, (task, status)
 
 
-def check_journal(path, expect_complete):
+def check_journal(path, expect_complete, expect_command=None):
     try:
         with open(path) as f:
             # keepends=False; the writer terminates every complete line.
@@ -112,6 +145,9 @@ def check_journal(path, expect_complete):
     ok, tasks = check_header(path, header)
     if not ok:
         return False
+    if expect_command is not None and header["command"] != expect_command:
+        return fail(path, 1, f"--expect-command: header says "
+                             f"{header['command']!r}, expected {expect_command!r}")
 
     completed = set()
     failed = set()
@@ -128,7 +164,7 @@ def check_journal(path, expect_complete):
                 truncated_tail = True
                 continue
             return fail(path, i, f"unparseable record (not the final line): {e}")
-        ok, parsed = check_record(path, i, record, tasks)
+        ok, parsed = check_record(path, i, record, tasks, header["command"])
         if not ok:
             return False
         task, status = parsed
@@ -158,12 +194,15 @@ def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--expect-complete", action="store_true",
                         help="require an 'ok' record for every task index")
+    parser.add_argument("--expect-command", metavar="CMD",
+                        help="require the header's command to be CMD")
     parser.add_argument("journals", nargs="+", metavar="JOURNAL")
     args = parser.parse_args(argv[1:])
 
     all_ok = True
     for path in args.journals:
-        all_ok = check_journal(path, args.expect_complete) and all_ok
+        all_ok = check_journal(path, args.expect_complete,
+                               args.expect_command) and all_ok
     return 0 if all_ok else 1
 
 
